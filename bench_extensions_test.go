@@ -1,0 +1,152 @@
+package mv2j_test
+
+// Benchmarks for the forward-looking extensions beyond the paper's
+// prototype scope: one-sided operations (OMB parity) and non-blocking
+// collectives (MPI 3.0), including the communication/compute overlap
+// they exist to provide.
+
+import (
+	"testing"
+
+	"mv2j/internal/core"
+	"mv2j/internal/jvm"
+	"mv2j/internal/omb"
+	"mv2j/internal/profile"
+	"mv2j/internal/vtime"
+)
+
+func BenchmarkOneSidedLatency(b *testing.B) {
+	o := benchOpts(1, 64<<10)
+	var putUs, getUs, accUs float64
+	for i := 0; i < b.N; i++ {
+		put := mustRun(b, "put", benchCfg("mvapich2", core.MVAPICH2J, 2, 1, omb.ModeBuffer, o))
+		get := mustRun(b, "get", benchCfg("mvapich2", core.MVAPICH2J, 2, 1, omb.ModeBuffer, o))
+		acc := mustRun(b, "acc", benchCfg("mvapich2", core.MVAPICH2J, 2, 1, omb.ModeBuffer, o))
+		putUs = at(put, 8).LatencyUs
+		getUs = at(get, 8).LatencyUs
+		accUs = at(acc, 8).LatencyUs
+	}
+	b.ReportMetric(putUs, "put-8B-us")
+	b.ReportMetric(getUs, "get-8B-us")
+	b.ReportMetric(accUs, "acc-8B-us")
+}
+
+// BenchmarkNonBlockingOverlap measures how much of a bcast's cost an
+// Ibcast hides behind compute, per rank class.
+func BenchmarkNonBlockingOverlap(b *testing.B) {
+	prof := profile.MVAPICH2()
+	// Compute comparable to the message latency, and a per-iteration
+	// barrier so the root cannot run ahead and pre-deliver — otherwise
+	// there is nothing left to hide.
+	const computeUs = 5.0
+	var blockingUs, overlappedUs float64
+	run := func(nonBlocking bool) float64 {
+		var remote float64
+		err := core.Run(core.Config{Nodes: 2, PPN: 1, Lib: prof, Flavor: core.MVAPICH2J},
+			func(mpi *core.MPI) error {
+				world := mpi.CommWorld()
+				buf := mpi.JVM().MustAllocateDirect(8192)
+				var total vtime.Duration
+				const iters = 20
+				for k := 0; k < iters; k++ {
+					if err := world.Barrier(); err != nil {
+						return err
+					}
+					sw := vtime.StartStopwatch(mpi.Clock())
+					if nonBlocking {
+						req, err := world.Ibcast(buf, 8192, core.BYTE, 0)
+						if err != nil {
+							return err
+						}
+						if world.Rank() == 1 {
+							mpi.Clock().Advance(vtime.Micros(computeUs))
+						}
+						if err := req.Wait(); err != nil {
+							return err
+						}
+					} else {
+						if err := world.Bcast(buf, 8192, core.BYTE, 0); err != nil {
+							return err
+						}
+						if world.Rank() == 1 {
+							mpi.Clock().Advance(vtime.Micros(computeUs))
+						}
+					}
+					total += sw.Elapsed()
+				}
+				if world.Rank() == 1 {
+					remote = total.Micros() / iters
+				}
+				return nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return remote
+	}
+	for i := 0; i < b.N; i++ {
+		blockingUs = run(false)
+		overlappedUs = run(true)
+	}
+	b.ReportMetric(blockingUs, "bcast+compute-us")
+	b.ReportMetric(overlappedUs, "ibcast-overlap-us")
+	b.ReportMetric(blockingUs-overlappedUs, "hidden-us")
+}
+
+// BenchmarkRMAVsSendRecv compares a fence-bounded put epoch against
+// the equivalent two-sided exchange for a small payload.
+func BenchmarkRMAVsSendRecv(b *testing.B) {
+	prof := profile.MVAPICH2()
+	var putUs, sendUs float64
+	for i := 0; i < b.N; i++ {
+		err := core.Run(core.Config{Nodes: 2, PPN: 1, Lib: prof, Flavor: core.MVAPICH2J},
+			func(mpi *core.MPI) error {
+				world := mpi.CommWorld()
+				exposed := mpi.JVM().MustAllocateDirect(4096)
+				win, err := world.WinCreate(exposed)
+				if err != nil {
+					return err
+				}
+				payload := mpi.JVM().MustAllocateDirect(4096)
+				const iters = 20
+
+				sw := vtime.StartStopwatch(mpi.Clock())
+				for k := 0; k < iters; k++ {
+					if world.Rank() == 0 {
+						if err := win.Put(payload, 512, core.BYTE, 1, 0); err != nil {
+							return err
+						}
+					}
+					if err := win.Fence(); err != nil {
+						return err
+					}
+				}
+				if world.Rank() == 0 {
+					putUs = sw.Elapsed().Micros() / iters
+				}
+
+				sw = vtime.StartStopwatch(mpi.Clock())
+				for k := 0; k < iters; k++ {
+					if world.Rank() == 0 {
+						if err := world.Send(payload, 512, core.BYTE, 1, 0); err != nil {
+							return err
+						}
+					} else {
+						if _, err := world.Recv(payload, 512, core.BYTE, 0, 0); err != nil {
+							return err
+						}
+					}
+				}
+				if world.Rank() == 0 {
+					sendUs = sw.Elapsed().Micros() / iters
+				}
+				_ = jvm.Byte
+				return win.Free()
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(putUs, "put+fence-us")
+	b.ReportMetric(sendUs, "send/recv-us")
+}

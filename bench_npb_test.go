@@ -1,0 +1,74 @@
+package mv2j_test
+
+// Application-level benchmarks: the NPB-style kernels on both library
+// personalities, reporting virtual makespans. These complement the
+// per-figure microbenchmarks the way NPB-MPJ complements OMB-J.
+
+import (
+	"testing"
+
+	"mv2j/internal/core"
+	"mv2j/internal/npb"
+)
+
+func reportKernel(b *testing.B, mv2, ompi npb.Result) {
+	b.Helper()
+	if !mv2.Verified || !ompi.Verified {
+		b.Fatalf("verification failed: mv2=%v ompi=%v", mv2.Detail, ompi.Detail)
+	}
+	b.ReportMetric(mv2.Makespan.Micros(), "mv2-makespan-us")
+	b.ReportMetric(ompi.Makespan.Micros(), "ompi-makespan-us")
+	b.ReportMetric(ompi.Makespan.Micros()/mv2.Makespan.Micros(), "ompi/mv2-x")
+}
+
+func BenchmarkNPBEmbarrassinglyParallel(b *testing.B) {
+	var mv2, ompi npb.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		mv2, err = npb.RunEP(npb.EPConfig{LogPairs: 16, Nodes: 2, PPN: 8, Lib: "mvapich2"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ompi, err = npb.RunEP(npb.EPConfig{LogPairs: 16, Nodes: 2, PPN: 8, Lib: "openmpi", Flavor: core.OpenMPIJ})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportKernel(b, mv2, ompi)
+}
+
+func BenchmarkNPBConjugateGradient(b *testing.B) {
+	var mv2, ompi npb.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		cfg := npb.CGConfig{N: 1024, Band: 8, PowerIters: 3, CGIters: 10, Nodes: 4, PPN: 4, Lib: "mvapich2"}
+		mv2, err = npb.RunCG(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Lib, cfg.Flavor = "openmpi", core.OpenMPIJ
+		ompi, err = npb.RunCG(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportKernel(b, mv2, ompi)
+}
+
+func BenchmarkNPBIntegerSort(b *testing.B) {
+	var mv2, ompi npb.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		cfg := npb.ISConfig{KeysPerRank: 20000, MaxKey: 1 << 20, Nodes: 4, PPN: 4, Lib: "mvapich2"}
+		mv2, err = npb.RunIS(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Lib, cfg.Flavor = "openmpi", core.OpenMPIJ
+		ompi, err = npb.RunIS(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportKernel(b, mv2, ompi)
+}

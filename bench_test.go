@@ -1,0 +1,229 @@
+package mv2j_test
+
+// One benchmark per figure of the paper's evaluation (Figs. 5-18).
+// Each bench re-runs that figure's sweep on the simulated cluster and
+// reports the figure's headline quantities as custom metrics — the
+// virtual-time latencies/bandwidths and the cross-library factors the
+// paper quotes. ns/op is host simulation cost, NOT the modeled
+// latency; read the custom metrics.
+//
+//	go test -bench 'Fig' -benchmem
+//
+// cmd/experiments prints the same sweeps as full row-by-row series.
+
+import (
+	"math"
+	"testing"
+
+	"mv2j/internal/core"
+	"mv2j/internal/omb"
+	"mv2j/internal/profile"
+)
+
+func benchCfg(lib string, flavor core.Flavor, nodes, ppn int, mode omb.Mode, o omb.Options) omb.Config {
+	prof, ok := profile.ByName(lib)
+	if !ok {
+		panic("unknown profile " + lib)
+	}
+	return omb.Config{
+		Core: core.Config{Nodes: nodes, PPN: ppn, Lib: prof, Flavor: flavor},
+		Mode: mode,
+		Opts: o,
+	}
+}
+
+func benchOpts(minSize, maxSize int) omb.Options {
+	return omb.Options{
+		MinSize: minSize, MaxSize: maxSize,
+		Iters: 20, Warmup: 3,
+		LargeThreshold: 64 << 10, LargeIters: 5,
+		Window: 64,
+	}
+}
+
+func mustRun(b *testing.B, bench string, cfg omb.Config) []omb.Result {
+	b.Helper()
+	rows, err := omb.RunBenchmark(bench, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+func geoFactor(b *testing.B, num, den []omb.Result) float64 {
+	b.Helper()
+	logSum, n := 0.0, 0
+	for _, r := range num {
+		for _, q := range den {
+			if q.Size == r.Size && r.LatencyUs > 0 && q.LatencyUs > 0 {
+				logSum += math.Log(r.LatencyUs / q.LatencyUs)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		b.Fatal("no common sizes")
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+func at(rows []omb.Result, size int) omb.Result {
+	for _, r := range rows {
+		if r.Size == size {
+			return r
+		}
+	}
+	return omb.Result{}
+}
+
+// latencyFigure runs the four-series latency comparison of
+// Figs. 5/6/9/10 and reports the MV2-vs-OMPI buffer factor plus the
+// per-series latency at a representative size.
+func latencyFigure(b *testing.B, nodes, ppn, minSize, maxSize, repSize int) {
+	o := benchOpts(minSize, maxSize)
+	var factor, mv2BufUs, mv2ArrUs, ompiBufUs float64
+	for i := 0; i < b.N; i++ {
+		mv2Buf := mustRun(b, "latency", benchCfg("mvapich2", core.MVAPICH2J, nodes, ppn, omb.ModeBuffer, o))
+		mv2Arr := mustRun(b, "latency", benchCfg("mvapich2", core.MVAPICH2J, nodes, ppn, omb.ModeArrays, o))
+		ompiBuf := mustRun(b, "latency", benchCfg("openmpi", core.OpenMPIJ, nodes, ppn, omb.ModeBuffer, o))
+		_ = mustRun(b, "latency", benchCfg("openmpi", core.OpenMPIJ, nodes, ppn, omb.ModeArrays, o))
+		factor = geoFactor(b, ompiBuf, mv2Buf)
+		mv2BufUs = at(mv2Buf, repSize).LatencyUs
+		mv2ArrUs = at(mv2Arr, repSize).LatencyUs
+		ompiBufUs = at(ompiBuf, repSize).LatencyUs
+	}
+	b.ReportMetric(factor, "ompi/mv2-buffer-x")
+	b.ReportMetric(mv2BufUs, "mv2-buf-us")
+	b.ReportMetric(mv2ArrUs, "mv2-arr-us")
+	b.ReportMetric(ompiBufUs, "ompi-buf-us")
+}
+
+// bandwidthFigure runs the three-series bandwidth comparison of
+// Figs. 7/8/12/13 (Open MPI-J arrays cannot run: the API gap).
+func bandwidthFigure(b *testing.B, nodes, ppn, minSize, maxSize, repSize int) {
+	o := benchOpts(minSize, maxSize)
+	o.Iters = 10
+	var mv2Buf, mv2Arr, ompiBuf float64
+	for i := 0; i < b.N; i++ {
+		r1 := mustRun(b, "bw", benchCfg("mvapich2", core.MVAPICH2J, nodes, ppn, omb.ModeBuffer, o))
+		r2 := mustRun(b, "bw", benchCfg("mvapich2", core.MVAPICH2J, nodes, ppn, omb.ModeArrays, o))
+		r3 := mustRun(b, "bw", benchCfg("openmpi", core.OpenMPIJ, nodes, ppn, omb.ModeBuffer, o))
+		if _, err := omb.Bandwidth(benchCfg("openmpi", core.OpenMPIJ, nodes, ppn, omb.ModeArrays, o)); err == nil {
+			b.Fatal("Open MPI-J arrays bandwidth must be unsupported")
+		}
+		mv2Buf = at(r1, repSize).MBps
+		mv2Arr = at(r2, repSize).MBps
+		ompiBuf = at(r3, repSize).MBps
+	}
+	b.ReportMetric(mv2Buf, "mv2-buf-MBps")
+	b.ReportMetric(mv2Arr, "mv2-arr-MBps")
+	b.ReportMetric(ompiBuf, "ompi-buf-MBps")
+}
+
+// collectiveFigure runs the 64-rank four-series collective comparison
+// of Figs. 14-17 and reports both cross-library factors.
+func collectiveFigure(b *testing.B, bench string, minSize, maxSize int) {
+	o := benchOpts(minSize, maxSize)
+	o.Iters = 8
+	var bufFactor, arrFactor float64
+	for i := 0; i < b.N; i++ {
+		mv2Buf := mustRun(b, bench, benchCfg("mvapich2", core.MVAPICH2J, 4, 16, omb.ModeBuffer, o))
+		mv2Arr := mustRun(b, bench, benchCfg("mvapich2", core.MVAPICH2J, 4, 16, omb.ModeArrays, o))
+		ompiBuf := mustRun(b, bench, benchCfg("openmpi", core.OpenMPIJ, 4, 16, omb.ModeBuffer, o))
+		ompiArr := mustRun(b, bench, benchCfg("openmpi", core.OpenMPIJ, 4, 16, omb.ModeArrays, o))
+		bufFactor = geoFactor(b, ompiBuf, mv2Buf)
+		arrFactor = geoFactor(b, ompiArr, mv2Arr)
+	}
+	b.ReportMetric(bufFactor, "buffer-factor-x")
+	b.ReportMetric(arrFactor, "arrays-factor-x")
+}
+
+// --- Point-to-point latency ---
+
+// BenchmarkFig05IntraNodeLatencySmall: paper factor 2.46x.
+func BenchmarkFig05IntraNodeLatencySmall(b *testing.B) { latencyFigure(b, 1, 2, 1, 1024, 8) }
+
+// BenchmarkFig06IntraNodeLatencyLarge.
+func BenchmarkFig06IntraNodeLatencyLarge(b *testing.B) { latencyFigure(b, 1, 2, 2048, 4<<20, 1<<20) }
+
+// BenchmarkFig09InterNodeLatencySmall: paper says comparable.
+func BenchmarkFig09InterNodeLatencySmall(b *testing.B) { latencyFigure(b, 2, 1, 1, 1024, 8) }
+
+// BenchmarkFig10InterNodeLatencyLarge.
+func BenchmarkFig10InterNodeLatencyLarge(b *testing.B) { latencyFigure(b, 2, 1, 2048, 4<<20, 1<<20) }
+
+// --- Bandwidth (no Open MPI-J arrays series) ---
+
+func BenchmarkFig07IntraNodeBandwidthSmall(b *testing.B) { bandwidthFigure(b, 1, 2, 1, 1024, 1024) }
+func BenchmarkFig08IntraNodeBandwidthLarge(b *testing.B) {
+	bandwidthFigure(b, 1, 2, 2048, 4<<20, 4<<20)
+}
+func BenchmarkFig12InterNodeBandwidthSmall(b *testing.B) { bandwidthFigure(b, 2, 1, 1, 1024, 1024) }
+func BenchmarkFig13InterNodeBandwidthLarge(b *testing.B) {
+	bandwidthFigure(b, 2, 1, 2048, 4<<20, 4<<20)
+}
+
+// --- Fig. 11: Java layer overhead over the native library ---
+
+func BenchmarkFig11JavaLayerOverhead(b *testing.B) {
+	o := benchOpts(1, 8192)
+	var mv2Over, ompiOver float64
+	overhead := func(j, n []omb.Result) float64 {
+		sum, cnt := 0.0, 0
+		for _, r := range j {
+			for _, q := range n {
+				if q.Size == r.Size {
+					sum += r.LatencyUs - q.LatencyUs
+					cnt++
+				}
+			}
+		}
+		return sum / float64(cnt)
+	}
+	for i := 0; i < b.N; i++ {
+		mv2Nat := mustRun(b, "latency", benchCfg("mvapich2", core.MVAPICH2J, 2, 1, omb.ModeNative, o))
+		mv2Buf := mustRun(b, "latency", benchCfg("mvapich2", core.MVAPICH2J, 2, 1, omb.ModeBuffer, o))
+		ompiNat := mustRun(b, "latency", benchCfg("openmpi", core.OpenMPIJ, 2, 1, omb.ModeNative, o))
+		ompiBuf := mustRun(b, "latency", benchCfg("openmpi", core.OpenMPIJ, 2, 1, omb.ModeBuffer, o))
+		mv2Over = overhead(mv2Buf, mv2Nat)
+		ompiOver = overhead(ompiBuf, ompiNat)
+	}
+	b.ReportMetric(mv2Over, "mv2-java-overhead-us")
+	b.ReportMetric(ompiOver, "ompi-java-overhead-us")
+}
+
+// --- Collectives at 4 nodes x 16 ppn ---
+
+// BenchmarkFig14BcastSmall / Fig15: paper avg factors 6.2x (buffer),
+// 2.2x (arrays) over all sizes.
+func BenchmarkFig14BcastSmall(b *testing.B) { collectiveFigure(b, "bcast", 1, 1024) }
+func BenchmarkFig15BcastLarge(b *testing.B) { collectiveFigure(b, "bcast", 2048, 1<<20) }
+
+// BenchmarkFig16AllreduceSmall / Fig17: paper avg factors 2.76x
+// (buffer), 1.62x (arrays).
+func BenchmarkFig16AllreduceSmall(b *testing.B) { collectiveFigure(b, "allreduce", 1, 1024) }
+func BenchmarkFig17AllreduceLarge(b *testing.B) { collectiveFigure(b, "allreduce", 2048, 1<<20) }
+
+// --- Fig. 18: validated latency (arrays overtake buffers) ---
+
+func BenchmarkFig18ValidationLatency(b *testing.B) {
+	o := benchOpts(1, 4<<20)
+	o.Validate = true
+	o.Iters = 10
+	var crossover, ratio4MB float64
+	for i := 0; i < b.N; i++ {
+		arrays := mustRun(b, "latency", benchCfg("mvapich2", core.MVAPICH2J, 2, 1, omb.ModeArrays, o))
+		buffers := mustRun(b, "latency", benchCfg("mvapich2", core.MVAPICH2J, 2, 1, omb.ModeBuffer, o))
+		crossover = -1
+		for j := range arrays {
+			if arrays[j].LatencyUs < buffers[j].LatencyUs {
+				crossover = float64(arrays[j].Size)
+				break
+			}
+		}
+		last := len(arrays) - 1
+		ratio4MB = buffers[last].LatencyUs / arrays[last].LatencyUs
+	}
+	b.ReportMetric(crossover, "crossover-bytes")
+	b.ReportMetric(ratio4MB, "4MB-buffer/array-x")
+}

@@ -1,0 +1,435 @@
+// Command experiments regenerates every figure of the paper's
+// evaluation (Figs. 5–18) on the simulated cluster and prints each
+// series under the paper's legend names, plus the headline
+// average-factor numbers the paper quotes (e.g. bcast 6.2x, allreduce
+// 2.76x). Run with -fig to select one figure, or no flags for all.
+//
+//	go run ./cmd/experiments            # everything
+//	go run ./cmd/experiments -fig 14    # just Fig. 14
+//	go run ./cmd/experiments -quick     # smaller sweeps and ranks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"mv2j/internal/core"
+	"mv2j/internal/npb"
+	"mv2j/internal/omb"
+	"mv2j/internal/profile"
+)
+
+var quick bool
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (0 = all)")
+	extended := flag.Bool("extended", false, "also run the beyond-paper exhibits (one-sided, non-blocking overlap, NPB kernels)")
+	flag.BoolVar(&quick, "quick", false, "smaller sweeps and communicators")
+	flag.Parse()
+
+	figs := map[int]func(){
+		5: fig05, 6: fig06, 7: fig07, 8: fig08, 9: fig09, 10: fig10,
+		11: fig11, 12: fig12, 13: fig13, 14: fig14, 15: fig15,
+		16: fig16, 17: fig17, 18: fig18,
+	}
+	if *fig != 0 {
+		fn, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %d\n", *fig)
+			os.Exit(2)
+		}
+		fn()
+		return
+	}
+	var order []int
+	for n := range figs {
+		order = append(order, n)
+	}
+	sort.Ints(order)
+	for _, n := range order {
+		figs[n]()
+	}
+	if *extended {
+		extOneSided()
+		extNonBlocking()
+		extScaling()
+		extNPB()
+	}
+}
+
+// extScaling sweeps the communicator size for a fixed small bcast —
+// the scaling dimension the paper's fixed-64-rank evaluation leaves
+// out.
+func extScaling() {
+	sizes := []int{8, 16, 32, 64, 128}
+	if quick {
+		sizes = []int{8, 16}
+	}
+	o := opts(64, 64)
+	fmt.Printf("\n# Extended: 64B broadcast latency vs ranks (16 ppn)\n")
+	fmt.Printf("%-8s %20s %20s %8s\n", "ranks", "MVAPICH2-J (us)", "Open MPI-J (us)", "factor")
+	for _, p := range sizes {
+		nodes := (p + 15) / 16
+		ppn := p / nodes
+		mv2 := runSeries("", "bcast", "mvapich2", core.MVAPICH2J, nodes, ppn, omb.ModeBuffer, o)
+		ompi := runSeries("", "bcast", "openmpi", core.OpenMPIJ, nodes, ppn, omb.ModeBuffer, o)
+		if mv2.err != nil || ompi.err != nil {
+			fmt.Fprintf(os.Stderr, "scaling %d: %v %v\n", p, mv2.err, ompi.err)
+			continue
+		}
+		a, _ := lookup(mv2.rows, 64)
+		b, _ := lookup(ompi.rows, 64)
+		fmt.Printf("%-8d %20.2f %20.2f %7.2fx\n", p, a, b, b/a)
+	}
+}
+
+// --- Beyond-paper exhibits ---
+
+func extOneSided() {
+	o := opts(1, 64<<10)
+	ss := []series{
+		runSeries("RMA put+fence", "put", "mvapich2", core.MVAPICH2J, 2, 1, omb.ModeBuffer, o),
+		runSeries("RMA get+fence", "get", "mvapich2", core.MVAPICH2J, 2, 1, omb.ModeBuffer, o),
+		runSeries("RMA acc+fence", "acc", "mvapich2", core.MVAPICH2J, 2, 1, omb.ModeBuffer, o),
+	}
+	printSeries("Extended: one-sided latency (fence epochs, direct buffers)", "us", ss)
+}
+
+func extNonBlocking() {
+	o := opts(1, 64<<10)
+	nodes, ppn := 2, 4
+	if quick {
+		ppn = 2
+	}
+	lat, err := omb.NonBlockingLatency("ibcast", mkCfg("mvapich2", core.MVAPICH2J, nodes, ppn, omb.ModeBuffer, o))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "extended ibcast:", err)
+		return
+	}
+	ov, err := omb.NonBlockingOverlap("ibcast", mkCfg("mvapich2", core.MVAPICH2J, nodes, ppn, omb.ModeBuffer, o))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "extended ibcast overlap:", err)
+		return
+	}
+	fmt.Printf("\n# Extended: non-blocking bcast (Ibcast) on %dx%d ranks\n", nodes, ppn)
+	fmt.Printf("%-10s %14s %12s\n", "size(B)", "latency(us)", "overlap(%)")
+	for i := range lat {
+		fmt.Printf("%-10d %14.2f %12.1f\n", lat[i].Size, lat[i].LatencyUs, ov[i].MBps)
+	}
+}
+
+func extNPB() {
+	shapes := [2]int{2, 8}
+	if quick {
+		shapes = [2]int{2, 2}
+	}
+	fmt.Printf("\n# Extended: NPB-style kernels on %dx%d ranks (virtual makespans)\n", shapes[0], shapes[1])
+	fmt.Printf("%-8s %18s %18s %8s\n", "kernel", "mvapich2 (us)", "openmpi (us)", "factor")
+	type runner func(lib string, flavor core.Flavor) (npb.Result, error)
+	kernels := []struct {
+		name string
+		run  runner
+	}{
+		{"ep", func(lib string, fl core.Flavor) (npb.Result, error) {
+			return npb.RunEP(npb.EPConfig{LogPairs: 16, Nodes: shapes[0], PPN: shapes[1], Lib: lib, Flavor: fl})
+		}},
+		{"cg", func(lib string, fl core.Flavor) (npb.Result, error) {
+			p := shapes[0] * shapes[1]
+			n := 1024 - 1024%p
+			return npb.RunCG(npb.CGConfig{N: n, Band: 8, PowerIters: 3, CGIters: 10,
+				Nodes: shapes[0], PPN: shapes[1], Lib: lib, Flavor: fl})
+		}},
+		{"is", func(lib string, fl core.Flavor) (npb.Result, error) {
+			return npb.RunIS(npb.ISConfig{KeysPerRank: 20000, MaxKey: 1 << 20,
+				Nodes: shapes[0], PPN: shapes[1], Lib: lib, Flavor: fl})
+		}},
+	}
+	for _, k := range kernels {
+		mv2, err := k.run("mvapich2", core.MVAPICH2J)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "extended %s: %v\n", k.name, err)
+			continue
+		}
+		ompi, err := k.run("openmpi", core.OpenMPIJ)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "extended %s: %v\n", k.name, err)
+			continue
+		}
+		if !mv2.Verified || !ompi.Verified {
+			fmt.Fprintf(os.Stderr, "extended %s: verification failed\n", k.name)
+			continue
+		}
+		fmt.Printf("%-8s %18.1f %18.1f %7.2fx\n", k.name,
+			mv2.Makespan.Micros(), ompi.Makespan.Micros(),
+			ompi.Makespan.Micros()/mv2.Makespan.Micros())
+	}
+}
+
+type series struct {
+	label string
+	rows  []omb.Result
+	err   error
+}
+
+func mkCfg(lib string, flavor core.Flavor, nodes, ppn int, mode omb.Mode, opts omb.Options) omb.Config {
+	prof, ok := profile.ByName(lib)
+	if !ok {
+		panic("unknown profile " + lib)
+	}
+	return omb.Config{
+		Core: core.Config{Nodes: nodes, PPN: ppn, Lib: prof, Flavor: flavor},
+		Mode: mode,
+		Opts: opts,
+	}
+}
+
+func runSeries(label, bench, lib string, flavor core.Flavor, nodes, ppn int, mode omb.Mode, opts omb.Options) series {
+	rows, err := omb.RunBenchmark(bench, mkCfg(lib, flavor, nodes, ppn, mode, opts))
+	return series{label: label, rows: rows, err: err}
+}
+
+// fourWay runs the paper's standard comparison:
+// {MVAPICH2-J, Open MPI-J} x {buffer, arrays}.
+func fourWay(bench string, nodes, ppn int, opts omb.Options) []series {
+	return []series{
+		runSeries("MVAPICH2-J buffer", bench, "mvapich2", core.MVAPICH2J, nodes, ppn, omb.ModeBuffer, opts),
+		runSeries("MVAPICH2-J arrays", bench, "mvapich2", core.MVAPICH2J, nodes, ppn, omb.ModeArrays, opts),
+		runSeries("Open MPI-J buffer", bench, "openmpi", core.OpenMPIJ, nodes, ppn, omb.ModeBuffer, opts),
+		runSeries("Open MPI-J arrays", bench, "openmpi", core.OpenMPIJ, nodes, ppn, omb.ModeArrays, opts),
+	}
+}
+
+func opts(minSize, maxSize int) omb.Options {
+	o := omb.DefaultOptions()
+	o.MinSize, o.MaxSize = minSize, maxSize
+	if quick {
+		o.Iters, o.Warmup, o.LargeIters = 10, 2, 3
+	}
+	return o
+}
+
+func printSeries(title, unit string, ss []series) {
+	fmt.Printf("\n# %s  [%s]\n", title, unit)
+	sizes := map[int]bool{}
+	for _, s := range ss {
+		for _, r := range s.rows {
+			sizes[r.Size] = true
+		}
+	}
+	var order []int
+	for s := range sizes {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	fmt.Printf("%-10s", "size(B)")
+	for _, s := range ss {
+		fmt.Printf("  %20s", s.label)
+	}
+	fmt.Println()
+	for _, size := range order {
+		fmt.Printf("%-10d", size)
+		for _, s := range ss {
+			switch {
+			case s.err != nil:
+				fmt.Printf("  %20s", "n/a")
+			default:
+				v, ok := lookup(s.rows, size)
+				if !ok {
+					fmt.Printf("  %20s", "-")
+				} else {
+					fmt.Printf("  %20.2f", v)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	for _, s := range ss {
+		if s.err != nil {
+			fmt.Printf("  note: %s: %v\n", s.label, s.err)
+		}
+	}
+}
+
+func lookup(rows []omb.Result, size int) (float64, bool) {
+	for _, r := range rows {
+		if r.Size == size {
+			if r.MBps != 0 {
+				return r.MBps, true
+			}
+			return r.LatencyUs, true
+		}
+	}
+	return 0, false
+}
+
+// geoFactor is the geometric-mean latency ratio num/den over common
+// sizes — the paper's "on average for all message sizes" factor.
+func geoFactor(num, den series) float64 {
+	logSum, n := 0.0, 0
+	for _, r := range num.rows {
+		for _, q := range den.rows {
+			if q.Size == r.Size && r.LatencyUs > 0 && q.LatencyUs > 0 {
+				logSum += math.Log(r.LatencyUs / q.LatencyUs)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// --- Point-to-point latency (Figs. 5, 6, 9, 10) ---
+
+func fig05() {
+	ss := fourWay("latency", 1, 2, opts(1, 1024))
+	printSeries("Fig. 5: intra-node latency, small messages", "us", ss)
+	fmt.Printf("  avg factor OMPI-J buffer / MV2-J buffer = %.2fx (paper: 2.46x)\n",
+		geoFactor(ss[2], ss[0]))
+}
+
+func fig06() {
+	printSeries("Fig. 6: intra-node latency, large messages", "us",
+		fourWay("latency", 1, 2, opts(2048, 4<<20)))
+}
+
+func fig09() {
+	ss := fourWay("latency", 2, 1, opts(1, 1024))
+	printSeries("Fig. 9: inter-node latency, small messages", "us", ss)
+	fmt.Printf("  avg factor OMPI-J buffer / MV2-J buffer = %.2fx (paper: comparable)\n",
+		geoFactor(ss[2], ss[0]))
+}
+
+func fig10() {
+	printSeries("Fig. 10: inter-node latency, large messages", "us",
+		fourWay("latency", 2, 1, opts(2048, 4<<20)))
+}
+
+// --- Bandwidth (Figs. 7, 8, 12, 13): no Open MPI-J arrays series ---
+
+func fig07() {
+	printSeries("Fig. 7: intra-node bandwidth, small messages", "MB/s",
+		fourWay("bw", 1, 2, opts(1, 1024)))
+}
+
+func fig08() {
+	printSeries("Fig. 8: intra-node bandwidth, large messages", "MB/s",
+		fourWay("bw", 1, 2, opts(2048, 4<<20)))
+}
+
+func fig12() {
+	printSeries("Fig. 12: inter-node bandwidth, small messages", "MB/s",
+		fourWay("bw", 2, 1, opts(1, 1024)))
+}
+
+func fig13() {
+	printSeries("Fig. 13: inter-node bandwidth, large messages", "MB/s",
+		fourWay("bw", 2, 1, opts(2048, 4<<20)))
+}
+
+// --- Fig. 11: Java layer overhead (bindings vs native, buffers) ---
+
+func fig11() {
+	o := opts(1, 8192)
+	ss := []series{
+		runSeries("MVAPICH2 native", "latency", "mvapich2", core.MVAPICH2J, 2, 1, omb.ModeNative, o),
+		runSeries("MVAPICH2-J buffer", "latency", "mvapich2", core.MVAPICH2J, 2, 1, omb.ModeBuffer, o),
+		runSeries("Open MPI native", "latency", "openmpi", core.OpenMPIJ, 2, 1, omb.ModeNative, o),
+		runSeries("Open MPI-J buffer", "latency", "openmpi", core.OpenMPIJ, 2, 1, omb.ModeBuffer, o),
+	}
+	printSeries("Fig. 11: inter-node latency, native vs Java bindings", "us", ss)
+	mv2 := avgOverhead(ss[1], ss[0])
+	omp := avgOverhead(ss[3], ss[2])
+	fmt.Printf("  avg Java-layer overhead: MVAPICH2-J %.2fus, Open MPI-J %.2fus (paper: ~1us ballpark, MV2-J smaller)\n", mv2, omp)
+}
+
+func avgOverhead(j, native series) float64 {
+	sum, n := 0.0, 0
+	for _, r := range j.rows {
+		for _, q := range native.rows {
+			if q.Size == r.Size {
+				sum += r.LatencyUs - q.LatencyUs
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// --- Collectives (Figs. 14-17): 4 nodes x 16 ppn = 64 ranks ---
+
+func collShape() (nodes, ppn int) {
+	if quick {
+		return 2, 4
+	}
+	return 4, 16
+}
+
+func fig14() {
+	nodes, ppn := collShape()
+	ss := fourWay("bcast", nodes, ppn, opts(1, 1024))
+	printSeries(fmt.Sprintf("Fig. 14: broadcast latency, small messages (%dx%d ranks)", nodes, ppn), "us", ss)
+	reportCollFactors("bcast small", ss)
+}
+
+func fig15() {
+	nodes, ppn := collShape()
+	ss := fourWay("bcast", nodes, ppn, opts(2048, 1<<20))
+	printSeries("Fig. 15: broadcast latency, large messages", "us", ss)
+	reportCollFactors("bcast large (paper avg over all sizes: buffer 6.2x, arrays 2.2x)", ss)
+}
+
+func fig16() {
+	nodes, ppn := collShape()
+	ss := fourWay("allreduce", nodes, ppn, opts(1, 1024))
+	printSeries(fmt.Sprintf("Fig. 16: allreduce latency, small messages (%dx%d ranks)", nodes, ppn), "us", ss)
+	reportCollFactors("allreduce small", ss)
+}
+
+func fig17() {
+	nodes, ppn := collShape()
+	ss := fourWay("allreduce", nodes, ppn, opts(2048, 1<<20))
+	printSeries("Fig. 17: allreduce latency, large messages", "us", ss)
+	reportCollFactors("allreduce large (paper avg over all sizes: buffer 2.76x, arrays 1.62x)", ss)
+}
+
+func reportCollFactors(what string, ss []series) {
+	fmt.Printf("  %s: OMPI-J/MV2-J factor buffer=%.2fx arrays=%.2fx\n",
+		what, geoFactor(ss[2], ss[0]), geoFactor(ss[3], ss[1]))
+}
+
+// --- Fig. 18: latency with data validation (arrays vs buffers) ---
+
+func fig18() {
+	o := opts(1, 4<<20)
+	o.Validate = true
+	ss := []series{
+		runSeries("MVAPICH2-J arrays", "latency", "mvapich2", core.MVAPICH2J, 2, 1, omb.ModeArrays, o),
+		runSeries("MVAPICH2-J buffer", "latency", "mvapich2", core.MVAPICH2J, 2, 1, omb.ModeBuffer, o),
+	}
+	printSeries("Fig. 18: inter-node latency WITH data validation", "us", ss)
+	// Crossover and the 4MB ratio the paper quotes (~3x).
+	cross := -1
+	for _, r := range ss[0].rows {
+		if b, ok := lookup(ss[1].rows, r.Size); ok && r.LatencyUs < b {
+			cross = r.Size
+			break
+		}
+	}
+	big := 4 << 20
+	a, _ := lookup(ss[0].rows, big)
+	b, _ := lookup(ss[1].rows, big)
+	ratio := 0.0
+	if a > 0 {
+		ratio = b / a
+	}
+	fmt.Printf("  arrays overtake buffers at %dB (paper: after 256B); 4MB buffer/arrays = %.2fx (paper: ~3x)\n",
+		cross, ratio)
+}

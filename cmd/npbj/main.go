@@ -1,0 +1,82 @@
+// Command npbj runs the NPB-style kernels (EP, CG, IS) on the
+// simulated cluster — the application-level benchmarks the paper's
+// related work (NPB-MPJ) uses to evaluate Java MPI libraries.
+//
+//	npbj -kernel ep -nodes 2 -ppn 8 -class 18
+//	npbj -kernel cg -nodes 4 -ppn 4 -lib openmpi
+//	npbj -kernel is -nodes 2 -ppn 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mv2j/internal/core"
+	"mv2j/internal/npb"
+	"mv2j/internal/profile"
+)
+
+func main() {
+	kernel := flag.String("kernel", "ep", "kernel: ep | cg | is")
+	nodes := flag.Int("nodes", 2, "simulated nodes")
+	ppn := flag.Int("ppn", 4, "ranks per node")
+	lib := flag.String("lib", "mvapich2", "library: mvapich2 | openmpi")
+	class := flag.Int("class", 16, "problem scale (EP: log2 pairs; CG: N/64; IS: keys/rank / 1000)")
+	flag.Parse()
+
+	prof, ok := profile.ByName(*lib)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "npbj: unknown library %q\n", *lib)
+		os.Exit(2)
+	}
+	flavor := core.MVAPICH2J
+	if prof.Name == "openmpi" {
+		flavor = core.OpenMPIJ
+	}
+
+	var (
+		res npb.Result
+		err error
+	)
+	switch *kernel {
+	case "ep":
+		res, err = npb.RunEP(npb.EPConfig{
+			LogPairs: *class, Nodes: *nodes, PPN: *ppn, Lib: *lib, Flavor: flavor,
+		})
+	case "cg":
+		n := *class * 64
+		p := *nodes * *ppn
+		n -= n % p // keep N divisible by the rank count
+		if n < p {
+			n = p
+		}
+		res, err = npb.RunCG(npb.CGConfig{
+			N: n, Band: 8, PowerIters: 4, CGIters: 12,
+			Nodes: *nodes, PPN: *ppn, Lib: *lib, Flavor: flavor,
+		})
+	case "is":
+		res, err = npb.RunIS(npb.ISConfig{
+			KeysPerRank: *class * 1000, MaxKey: 1 << 20,
+			Nodes: *nodes, PPN: *ppn, Lib: *lib, Flavor: flavor,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "npbj: unknown kernel %q (ep | cg | is)\n", *kernel)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npbj:", err)
+		os.Exit(1)
+	}
+	status := "VERIFICATION SUCCESSFUL"
+	if !res.Verified {
+		status = "VERIFICATION FAILED"
+	}
+	fmt.Printf("NPB-J %s on %d x %d ranks (%s)\n", *kernel, *nodes, *ppn, prof.Name)
+	fmt.Printf("  %s\n", res.Detail)
+	fmt.Printf("  virtual makespan: %v\n", res.Makespan)
+	fmt.Printf("  %s\n", status)
+	if !res.Verified {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+// Command ombj is the OMB-J benchmark runner: the Java-bindings
+// counterpart of the OSU Micro-Benchmarks CLI, for the simulated
+// cluster. It mirrors OMB's flag conventions where they make sense.
+//
+// Examples:
+//
+//	ombj -b latency -nodes 2 -ppn 1 -lib mvapich2 -mode buffer
+//	ombj -b bcast -nodes 4 -ppn 16 -lib openmpi -mode arrays -m 1:1048576
+//	ombj -b latency -validate -m 1:4194304      # the Fig. 18 experiment
+//	ombj -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mv2j/internal/core"
+	"mv2j/internal/omb"
+	"mv2j/internal/profile"
+)
+
+func main() {
+	var (
+		bench    = flag.String("b", "latency", "benchmark name (see -list): point-to-point (latency, bw, bibw, mbw, mr), collectives (bcast, allreduce, ... and v-variants, barrier), non-blocking (ibcast, iallreduce, ibarrier), one-sided (put, get, acc)")
+		lib      = flag.String("lib", "mvapich2", "native library profile: mvapich2 | openmpi")
+		flavor   = flag.String("bindings", "", "bindings flavor: mv2j | ompij (defaults to match -lib)")
+		mode     = flag.String("mode", "buffer", "payload container: buffer | arrays | native")
+		nodes    = flag.Int("nodes", 2, "simulated nodes")
+		ppn      = flag.Int("ppn", 1, "ranks per node")
+		msgRange = flag.String("m", "1:4194304", "message size range min:max (bytes, powers of two)")
+		iters    = flag.Int("i", 50, "iterations per size")
+		warmup   = flag.Int("x", 5, "warmup iterations per size")
+		window   = flag.Int("w", 64, "bandwidth window size")
+		validate = flag.Bool("validate", false, "populate and verify payloads inside the timed region")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range omb.Benchmarks() {
+			fmt.Println(b)
+		}
+		return
+	}
+
+	minSize, maxSize, err := parseRange(*msgRange)
+	if err != nil {
+		fatal(err)
+	}
+	prof, ok := profile.ByName(*lib)
+	if !ok {
+		fatal(fmt.Errorf("unknown library %q (mvapich2 | openmpi)", *lib))
+	}
+	flv := core.MVAPICH2J
+	switch *flavor {
+	case "":
+		if prof.Name == "openmpi" {
+			flv = core.OpenMPIJ
+		}
+	case "mv2j", "mvapich2-j":
+		flv = core.MVAPICH2J
+	case "ompij", "openmpi-j":
+		flv = core.OpenMPIJ
+	default:
+		fatal(fmt.Errorf("unknown bindings flavor %q", *flavor))
+	}
+	var md omb.Mode
+	switch *mode {
+	case "buffer":
+		md = omb.ModeBuffer
+	case "arrays":
+		md = omb.ModeArrays
+	case "native":
+		md = omb.ModeNative
+	default:
+		fatal(fmt.Errorf("unknown mode %q (buffer | arrays | native)", *mode))
+	}
+
+	cfg := omb.Config{
+		Core: core.Config{Nodes: *nodes, PPN: *ppn, Lib: prof, Flavor: flv},
+		Mode: md,
+		Opts: omb.Options{
+			MinSize: minSize, MaxSize: maxSize,
+			Iters: *iters, Warmup: *warmup,
+			LargeThreshold: 64 << 10, LargeIters: max(2, *iters/5),
+			Window: *window, Validate: *validate,
+		},
+	}
+
+	rows, err := omb.RunBenchmark(*bench, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("# OMB-J %s: %s / %s / %s, %d nodes x %d ppn\n",
+		*bench, prof.Name, flv, md, *nodes, *ppn)
+	if *validate {
+		fmt.Println("# data validation enabled")
+	}
+	isBW := *bench == "bw" || *bench == "bibw"
+	if isBW {
+		fmt.Printf("%-12s%16s\n", "# Size", "Bandwidth (MB/s)")
+	} else {
+		fmt.Printf("%-12s%16s\n", "# Size", "Latency (us)")
+	}
+	for _, r := range rows {
+		if isBW {
+			fmt.Printf("%-12d%16.2f\n", r.Size, r.MBps)
+		} else {
+			fmt.Printf("%-12d%16.2f\n", r.Size, r.LatencyUs)
+		}
+	}
+}
+
+func parseRange(s string) (int, int, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad range %q, want min:max", s)
+	}
+	lo, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad range minimum %q", parts[0])
+	}
+	hi, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad range maximum %q", parts[1])
+	}
+	if lo < 1 || hi < lo {
+		return 0, 0, fmt.Errorf("range %d:%d out of order", lo, hi)
+	}
+	return lo, hi, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ombj:", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in     string
+		lo, hi int
+		ok     bool
+	}{
+		{"1:4194304", 1, 4194304, true},
+		{"64:64", 64, 64, true},
+		{"8:4", 0, 0, false},
+		{"0:16", 0, 0, false},
+		{"16", 0, 0, false},
+		{"a:b", 0, 0, false},
+		{"1:b", 0, 0, false},
+		{":", 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, err := parseRange(c.in)
+		if c.ok {
+			if err != nil || lo != c.lo || hi != c.hi {
+				t.Errorf("parseRange(%q) = %d,%d,%v; want %d,%d", c.in, lo, hi, err, c.lo, c.hi)
+			}
+		} else if err == nil {
+			t.Errorf("parseRange(%q) accepted invalid input", c.in)
+		}
+	}
+}
+
+func TestMaxHelper(t *testing.T) {
+	if max(3, 5) != 5 || max(5, 3) != 5 {
+		t.Fatal("max broken")
+	}
+}

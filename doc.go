@@ -1,0 +1,13 @@
+// Package mv2j is a simulation-grade Go reproduction of "Towards
+// Java-based HPC using the MVAPICH2 Library: Early Experiences"
+// (Al-Attar, Shafi, Subramoni, Panda): Java bindings for a native MPI
+// library, rebuilt end to end — simulated JVM (managed heap, moving
+// GC, arrays, direct ByteBuffers), JNI boundary, the mpjbuf buffering
+// layer, a complete native MPI runtime with MVAPICH2-like and
+// OpenMPI-like tuning profiles, the OMB-J benchmark suite, and a
+// harness regenerating every figure of the paper's evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results. The root package holds only the
+// per-figure benchmarks (bench_test.go, bench_ablation_test.go).
+package mv2j

@@ -1,0 +1,185 @@
+// Kmeans: distributed k-means clustering, the allreduce-driven pattern
+// of data-parallel analytics (the Big Data workloads the paper's
+// introduction motivates Java HPC with). Each rank owns a shard of
+// points; every iteration it assigns points to the nearest centroid
+// locally, then Allreduces the per-cluster sums and counts so all
+// ranks update identical centroids.
+//
+// A single-process reference run verifies the distributed result.
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"mv2j/internal/core"
+	"mv2j/internal/jvm"
+	"mv2j/internal/profile"
+)
+
+const (
+	dims      = 4
+	clusters  = 3
+	perRank   = 500
+	nRanks    = 8
+	iterLimit = 12
+)
+
+// synthPoint generates a deterministic point near one of three seeds.
+func synthPoint(global int, out []float64) {
+	seeds := [clusters][dims]float64{
+		{0, 0, 0, 0},
+		{10, 10, 10, 10},
+		{-8, 6, -8, 6},
+	}
+	s := seeds[global%clusters]
+	// Deterministic LCG jitter.
+	x := uint64(global)*6364136223846793005 + 1442695040888963407
+	for d := 0; d < dims; d++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		jitter := float64(int64(x>>33)%1000)/1000.0 - 0.5
+		out[d] = s[d] + jitter
+	}
+}
+
+func main() {
+	got, err := distributed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := serial()
+	fmt.Println("distributed centroids:")
+	for c := 0; c < clusters; c++ {
+		fmt.Printf("  c%d = %v\n", c, got[c])
+	}
+	for c := 0; c < clusters; c++ {
+		for d := 0; d < dims; d++ {
+			if math.Abs(got[c][d]-want[c][d]) > 1e-6 {
+				log.Fatalf("centroid mismatch at c%d[%d]: %v vs %v", c, d, got[c][d], want[c][d])
+			}
+		}
+	}
+	fmt.Println("distributed result matches the serial reference")
+}
+
+func initialCentroids() [][]float64 {
+	cents := make([][]float64, clusters)
+	for c := range cents {
+		cents[c] = make([]float64, dims)
+		synthPoint(c, cents[c]) // first points seed the centroids
+	}
+	return cents
+}
+
+func assign(p []float64, cents [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c := range cents {
+		d := 0.0
+		for i := range p {
+			diff := p[i] - cents[c][i]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func distributed() ([][]float64, error) {
+	var mu sync.Mutex
+	var result [][]float64
+	cfg := core.Config{
+		Nodes: 2, PPN: nRanks / 2,
+		Lib:    profile.MVAPICH2(),
+		Flavor: core.MVAPICH2J,
+	}
+	err := core.Run(cfg, func(mpi *core.MPI) error {
+		world := mpi.CommWorld()
+		me := world.Rank()
+
+		// Load the local shard.
+		points := make([][]float64, perRank)
+		for i := range points {
+			points[i] = make([]float64, dims)
+			synthPoint(me*perRank+i, points[i])
+		}
+		cents := initialCentroids()
+
+		// sums holds per-cluster coordinate sums then counts:
+		// clusters*dims doubles + clusters doubles.
+		local := mpi.JVM().MustArray(jvm.Double, clusters*dims+clusters)
+		global := mpi.JVM().MustArray(jvm.Double, clusters*dims+clusters)
+
+		for it := 0; it < iterLimit; it++ {
+			for i := 0; i < local.Len(); i++ {
+				local.SetFloat(i, 0)
+			}
+			for _, p := range points {
+				c := assign(p, cents)
+				for d := 0; d < dims; d++ {
+					j := c*dims + d
+					local.SetFloat(j, local.Float(j)+p[d])
+				}
+				j := clusters*dims + c
+				local.SetFloat(j, local.Float(j)+1)
+			}
+			if err := world.Allreduce(local, global, local.Len(), core.DOUBLE, core.SUM); err != nil {
+				return err
+			}
+			for c := 0; c < clusters; c++ {
+				n := global.Float(clusters*dims + c)
+				if n == 0 {
+					continue
+				}
+				for d := 0; d < dims; d++ {
+					cents[c][d] = global.Float(c*dims+d) / n
+				}
+			}
+		}
+		if me == 0 {
+			mu.Lock()
+			result = cents
+			mu.Unlock()
+		}
+		return nil
+	})
+	return result, err
+}
+
+func serial() [][]float64 {
+	total := nRanks * perRank
+	points := make([][]float64, total)
+	for i := range points {
+		points[i] = make([]float64, dims)
+		synthPoint(i, points[i])
+	}
+	cents := initialCentroids()
+	for it := 0; it < iterLimit; it++ {
+		sums := make([][]float64, clusters)
+		counts := make([]float64, clusters)
+		for c := range sums {
+			sums[c] = make([]float64, dims)
+		}
+		for _, p := range points {
+			c := assign(p, cents)
+			for d := range p {
+				sums[c][d] += p[d]
+			}
+			counts[c]++
+		}
+		for c := 0; c < clusters; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < dims; d++ {
+				cents[c][d] = sums[c][d] / counts[c]
+			}
+		}
+	}
+	return cents
+}

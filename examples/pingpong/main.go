@@ -1,0 +1,100 @@
+// Pingpong: measures point-to-point latency between two ranks on
+// different nodes, comparing the two buffer kinds the bindings accept
+// (direct ByteBuffers vs Java arrays) — a miniature of the paper's
+// Figs. 9/10 — and prints the per-size results.
+//
+//	go run ./examples/pingpong
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"mv2j/internal/core"
+	"mv2j/internal/jvm"
+	"mv2j/internal/profile"
+	"mv2j/internal/vtime"
+)
+
+const (
+	maxSize = 1 << 20
+	iters   = 40
+)
+
+func main() {
+	bufferUs, err := run(core.MVAPICH2J, useBuffers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arrayUs, err := run(core.MVAPICH2J, useArrays)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %18s %18s\n", "size(B)", "buffer latency(us)", "arrays latency(us)")
+	for size := 1; size <= maxSize; size *= 4 {
+		fmt.Printf("%-10d %18.2f %18.2f\n", size, bufferUs[size], arrayUs[size])
+	}
+}
+
+type kind int
+
+const (
+	useBuffers kind = iota
+	useArrays
+)
+
+func run(flavor core.Flavor, k kind) (map[int]float64, error) {
+	var mu sync.Mutex
+	out := map[int]float64{}
+	cfg := core.Config{
+		Nodes: 2, PPN: 1,
+		Lib:      profile.MVAPICH2(),
+		Flavor:   flavor,
+		HeapSize: 16 << 20, ArenaSize: 16 << 20,
+	}
+	err := core.Run(cfg, func(mpi *core.MPI) error {
+		world := mpi.CommWorld()
+		me := world.Rank()
+		other := 1 - me
+
+		var buf any
+		if k == useBuffers {
+			buf = mpi.JVM().MustAllocateDirect(maxSize)
+		} else {
+			buf = mpi.JVM().MustArray(jvm.Byte, maxSize)
+		}
+
+		for size := 1; size <= maxSize; size *= 4 {
+			sw := vtime.StartStopwatch(mpi.Clock())
+			for i := 0; i < iters; i++ {
+				if me == 0 {
+					if err := world.Send(buf, size, core.BYTE, other, 0); err != nil {
+						return err
+					}
+					if _, err := world.Recv(buf, size, core.BYTE, other, 0); err != nil {
+						return err
+					}
+				} else {
+					if _, err := world.Recv(buf, size, core.BYTE, other, 0); err != nil {
+						return err
+					}
+					if err := world.Send(buf, size, core.BYTE, other, 0); err != nil {
+						return err
+					}
+				}
+			}
+			if me == 0 {
+				mu.Lock()
+				out[size] = sw.Elapsed().Micros() / (2 * iters)
+				mu.Unlock()
+			}
+			if err := world.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,3 @@
+module mv2j
+
+go 1.22

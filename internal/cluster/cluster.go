@@ -1,0 +1,139 @@
+// Package cluster models the shape of the simulated machine: how many
+// nodes, how many ranks per node, and how MPI ranks are mapped onto
+// nodes. The evaluation in the paper runs on TACC Frontera (dual-socket
+// 56-core Cascade Lake nodes); the topology here carries just enough
+// structure for the fabric to distinguish intra-node from inter-node
+// communication and for collectives to make leader-based decisions.
+package cluster
+
+import "fmt"
+
+// Mapping selects how consecutive ranks are placed on nodes.
+type Mapping int
+
+const (
+	// Block places ranks 0..ppn-1 on node 0, ppn..2ppn-1 on node 1, …
+	// This is the default of most MPI launchers (and of the paper's
+	// "4 nodes with 64 processes in total—16 processes each" runs).
+	Block Mapping = iota
+	// Cyclic deals ranks round-robin across nodes.
+	Cyclic
+)
+
+func (m Mapping) String() string {
+	switch m {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	default:
+		return fmt.Sprintf("Mapping(%d)", int(m))
+	}
+}
+
+// Topology describes the simulated machine and the rank→node map.
+type Topology struct {
+	nodes   int
+	ppn     int
+	mapping Mapping
+	nodeOf  []int // rank -> node
+	local   []int // rank -> index among ranks of its node
+	byNode  [][]int
+}
+
+// New builds a topology of nodes×ppn ranks with block mapping.
+func New(nodes, ppn int) *Topology { return NewMapped(nodes, ppn, Block) }
+
+// NewMapped builds a topology with an explicit rank mapping policy.
+// It panics if nodes or ppn is not positive: a zero-size machine is a
+// programming error, not a runtime condition.
+func NewMapped(nodes, ppn int, m Mapping) *Topology {
+	if nodes <= 0 || ppn <= 0 {
+		panic(fmt.Sprintf("cluster: invalid topology %d nodes x %d ppn", nodes, ppn))
+	}
+	n := nodes * ppn
+	t := &Topology{
+		nodes:   nodes,
+		ppn:     ppn,
+		mapping: m,
+		nodeOf:  make([]int, n),
+		local:   make([]int, n),
+		byNode:  make([][]int, nodes),
+	}
+	for r := 0; r < n; r++ {
+		var node int
+		switch m {
+		case Cyclic:
+			node = r % nodes
+		default:
+			node = r / ppn
+		}
+		t.nodeOf[r] = node
+		t.local[r] = len(t.byNode[node])
+		t.byNode[node] = append(t.byNode[node], r)
+	}
+	return t
+}
+
+// Size returns the total number of ranks.
+func (t *Topology) Size() int { return len(t.nodeOf) }
+
+// Nodes returns the number of nodes.
+func (t *Topology) Nodes() int { return t.nodes }
+
+// PPN returns the number of ranks per node.
+func (t *Topology) PPN() int { return t.ppn }
+
+// Mapping returns the placement policy in effect.
+func (t *Topology) Mapping() Mapping { return t.mapping }
+
+// NodeOf returns the node hosting rank r.
+func (t *Topology) NodeOf(r int) int {
+	t.check(r)
+	return t.nodeOf[r]
+}
+
+// LocalRank returns r's index among the ranks of its node (0-based).
+func (t *Topology) LocalRank(r int) int {
+	t.check(r)
+	return t.local[r]
+}
+
+// SameNode reports whether ranks a and b share a node, i.e. whether
+// communication between them uses the shared-memory channel.
+func (t *Topology) SameNode(a, b int) bool {
+	t.check(a)
+	t.check(b)
+	return t.nodeOf[a] == t.nodeOf[b]
+}
+
+// RanksOnNode returns the ranks placed on the given node, in rank
+// order. The returned slice is owned by the topology; callers must not
+// modify it.
+func (t *Topology) RanksOnNode(node int) []int {
+	if node < 0 || node >= t.nodes {
+		panic(fmt.Sprintf("cluster: node %d out of range [0,%d)", node, t.nodes))
+	}
+	return t.byNode[node]
+}
+
+// Leader returns the lowest rank on r's node. Leader-based collective
+// algorithms stage data through this rank.
+func (t *Topology) Leader(r int) int {
+	t.check(r)
+	return t.byNode[t.nodeOf[r]][0]
+}
+
+// IsLeader reports whether r is the lowest rank of its node.
+func (t *Topology) IsLeader(r int) bool { return t.Leader(r) == r }
+
+func (t *Topology) check(r int) {
+	if r < 0 || r >= len(t.nodeOf) {
+		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", r, len(t.nodeOf)))
+	}
+}
+
+// String describes the topology, e.g. "4 nodes x 16 ppn (block)".
+func (t *Topology) String() string {
+	return fmt.Sprintf("%d nodes x %d ppn (%s)", t.nodes, t.ppn, t.mapping)
+}

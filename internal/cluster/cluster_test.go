@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockMapping(t *testing.T) {
+	top := New(4, 16)
+	if top.Size() != 64 {
+		t.Fatalf("Size = %d, want 64", top.Size())
+	}
+	if top.NodeOf(0) != 0 || top.NodeOf(15) != 0 || top.NodeOf(16) != 1 || top.NodeOf(63) != 3 {
+		t.Fatal("block mapping wrong")
+	}
+	if !top.SameNode(0, 15) || top.SameNode(15, 16) {
+		t.Fatal("SameNode wrong for block mapping")
+	}
+	if top.LocalRank(17) != 1 {
+		t.Fatalf("LocalRank(17) = %d, want 1", top.LocalRank(17))
+	}
+}
+
+func TestCyclicMapping(t *testing.T) {
+	top := NewMapped(4, 4, Cyclic)
+	if top.NodeOf(0) != 0 || top.NodeOf(1) != 1 || top.NodeOf(4) != 0 || top.NodeOf(7) != 3 {
+		t.Fatal("cyclic mapping wrong")
+	}
+	if !top.SameNode(0, 4) || top.SameNode(0, 1) {
+		t.Fatal("SameNode wrong for cyclic mapping")
+	}
+}
+
+func TestRanksOnNode(t *testing.T) {
+	top := New(2, 3)
+	got := top.RanksOnNode(1)
+	want := []int{3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("RanksOnNode(1) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RanksOnNode(1) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLeader(t *testing.T) {
+	top := New(3, 4)
+	if top.Leader(5) != 4 {
+		t.Fatalf("Leader(5) = %d, want 4", top.Leader(5))
+	}
+	if !top.IsLeader(4) || top.IsLeader(5) {
+		t.Fatal("IsLeader wrong")
+	}
+}
+
+func TestInvalidTopologyPanics(t *testing.T) {
+	for _, c := range [][2]int{{0, 4}, {4, 0}, {-1, 4}, {4, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			New(c[0], c[1])
+		}()
+	}
+}
+
+func TestRankOutOfRangePanics(t *testing.T) {
+	top := New(2, 2)
+	for _, f := range []func(){
+		func() { top.NodeOf(4) },
+		func() { top.NodeOf(-1) },
+		func() { top.LocalRank(99) },
+		func() { top.RanksOnNode(2) },
+		func() { top.Leader(-3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(4, 16).String(); got != "4 nodes x 16 ppn (block)" {
+		t.Fatalf("String() = %q", got)
+	}
+	if Block.String() != "block" || Cyclic.String() != "cyclic" {
+		t.Fatal("Mapping.String wrong")
+	}
+	if Mapping(9).String() != "Mapping(9)" {
+		t.Fatal("unknown Mapping.String wrong")
+	}
+}
+
+// Property: for any topology shape and mapping, every rank appears on
+// exactly one node, local ranks are dense per node, and SameNode is an
+// equivalence relation consistent with NodeOf.
+func TestMappingPartitionProperty(t *testing.T) {
+	f := func(nodesRaw, ppnRaw uint8, cyclic bool) bool {
+		nodes := int(nodesRaw%8) + 1
+		ppn := int(ppnRaw%8) + 1
+		m := Block
+		if cyclic {
+			m = Cyclic
+		}
+		top := NewMapped(nodes, ppn, m)
+		seen := make(map[int]bool)
+		for node := 0; node < nodes; node++ {
+			rs := top.RanksOnNode(node)
+			if len(rs) != ppn {
+				return false
+			}
+			for i, r := range rs {
+				if seen[r] || top.NodeOf(r) != node || top.LocalRank(r) != i {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		if len(seen) != top.Size() {
+			return false
+		}
+		for a := 0; a < top.Size(); a++ {
+			for b := 0; b < top.Size(); b++ {
+				if top.SameNode(a, b) != (top.NodeOf(a) == top.NodeOf(b)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

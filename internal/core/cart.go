@@ -1,0 +1,161 @@
+package core
+
+import "fmt"
+
+// ProcNull is MPI_PROC_NULL: point-to-point operations addressed to it
+// complete immediately without communicating — the idiom that keeps
+// halo-exchange loops free of edge-case branches.
+const ProcNull = -2
+
+// CartComm is a communicator with Cartesian topology information
+// (MPI_Cart_create and friends).
+type CartComm struct {
+	*Comm
+	dims    []int
+	periods []bool
+	coords  []int
+}
+
+// DimsCreate factors nnodes into ndims near-equal dimensions
+// (MPI_Dims_create with all dimensions free).
+func DimsCreate(nnodes, ndims int) ([]int, error) {
+	if nnodes <= 0 || ndims <= 0 {
+		return nil, fmt.Errorf("%w: DimsCreate(%d, %d)", ErrCount, nnodes, ndims)
+	}
+	dims := make([]int, ndims)
+	for i := range dims {
+		dims[i] = 1
+	}
+	// Collect the prime factorisation, then greedily assign factors,
+	// largest first, to the currently smallest dimension — yielding
+	// near-cubic grids.
+	var factors []int
+	n := nnodes
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			factors = append(factors, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		factors = append(factors, n)
+	}
+	for i := len(factors) - 1; i >= 0; i-- {
+		dims[smallestIdx(dims)] *= factors[i]
+	}
+	// Sort descending for the conventional MPI output.
+	for i := 0; i < len(dims); i++ {
+		for j := i + 1; j < len(dims); j++ {
+			if dims[j] > dims[i] {
+				dims[i], dims[j] = dims[j], dims[i]
+			}
+		}
+	}
+	return dims, nil
+}
+
+func smallestIdx(dims []int) int {
+	idx := 0
+	for i, d := range dims {
+		if d < dims[idx] {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// CreateCart builds a Cartesian communicator over the first
+// prod(dims) ranks; others receive nil (MPI_COMM_NULL). Collective.
+func (c *Comm) CreateCart(dims []int, periods []bool) (*CartComm, error) {
+	if len(dims) == 0 || len(periods) != len(dims) {
+		return nil, fmt.Errorf("%w: cart needs matching dims/periods", ErrCount)
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: non-positive cart dimension %d", ErrCount, d)
+		}
+		total *= d
+	}
+	if total > c.Size() {
+		return nil, fmt.Errorf("%w: cart of %d ranks on a %d-rank communicator", ErrCount, total, c.Size())
+	}
+	color := 0
+	if c.Rank() >= total {
+		color = nativeUndefined
+	}
+	sub, err := c.Split(color, c.Rank())
+	if err != nil {
+		return nil, err
+	}
+	if sub == nil {
+		return nil, nil
+	}
+	cc := &CartComm{
+		Comm:    sub,
+		dims:    append([]int(nil), dims...),
+		periods: append([]bool(nil), periods...),
+	}
+	cc.coords = cc.coordsOf(sub.Rank())
+	return cc, nil
+}
+
+// Dims returns the grid shape.
+func (cc *CartComm) Dims() []int { return append([]int(nil), cc.dims...) }
+
+// Coords returns the caller's grid coordinates (MPI_Cart_coords of the
+// own rank).
+func (cc *CartComm) Coords() []int { return append([]int(nil), cc.coords...) }
+
+// coordsOf converts a rank to row-major coordinates.
+func (cc *CartComm) coordsOf(rank int) []int {
+	coords := make([]int, len(cc.dims))
+	for i := len(cc.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % cc.dims[i]
+		rank /= cc.dims[i]
+	}
+	return coords
+}
+
+// RankOf converts coordinates to a rank (MPI_Cart_rank). Periodic
+// dimensions wrap; out-of-range coordinates on non-periodic dimensions
+// error.
+func (cc *CartComm) RankOf(coords []int) (int, error) {
+	if len(coords) != len(cc.dims) {
+		return 0, fmt.Errorf("%w: %d coordinates for a %d-D grid", ErrCount, len(coords), len(cc.dims))
+	}
+	rank := 0
+	for i, x := range coords {
+		d := cc.dims[i]
+		if cc.periods[i] {
+			x = ((x % d) + d) % d
+		} else if x < 0 || x >= d {
+			return 0, fmt.Errorf("%w: coordinate %d out of [0,%d) on non-periodic dim %d", ErrCount, x, d, i)
+		}
+		rank = rank*d + x
+	}
+	return rank, nil
+}
+
+// Shift returns the source and destination ranks for a displacement
+// along a dimension (MPI_Cart_shift). Off-grid neighbours on
+// non-periodic dimensions are ProcNull.
+func (cc *CartComm) Shift(dim, disp int) (src, dst int, err error) {
+	if dim < 0 || dim >= len(cc.dims) {
+		return 0, 0, fmt.Errorf("%w: shift dimension %d", ErrCount, dim)
+	}
+	at := func(delta int) int {
+		coords := cc.Coords()
+		coords[dim] += delta
+		r, err := cc.RankOf(coords)
+		if err != nil {
+			return ProcNull
+		}
+		return r
+	}
+	return at(-disp), at(+disp), nil
+}
+
+// nativeUndefined mirrors nativempi.Undefined without leaking the
+// import into every caller.
+const nativeUndefined = -1

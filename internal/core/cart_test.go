@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mv2j/internal/jvm"
+)
+
+func TestDimsCreate(t *testing.T) {
+	cases := []struct {
+		n, nd int
+		want  []int
+	}{
+		{12, 2, []int{4, 3}},
+		{16, 2, []int{4, 4}},
+		{64, 3, []int{4, 4, 4}},
+		{7, 2, []int{7, 1}},
+		{6, 1, []int{6}},
+	}
+	for _, c := range cases {
+		got, err := DimsCreate(c.n, c.nd)
+		if err != nil {
+			t.Fatalf("DimsCreate(%d,%d): %v", c.n, c.nd, err)
+		}
+		prod := 1
+		for _, d := range got {
+			prod *= d
+		}
+		if prod != c.n || len(got) != c.nd {
+			t.Fatalf("DimsCreate(%d,%d) = %v", c.n, c.nd, got)
+		}
+		for i, d := range c.want {
+			if got[i] != d {
+				t.Fatalf("DimsCreate(%d,%d) = %v, want %v", c.n, c.nd, got, c.want)
+			}
+		}
+	}
+	if _, err := DimsCreate(0, 2); err == nil {
+		t.Fatal("DimsCreate(0,2) accepted")
+	}
+}
+
+func TestCartTopology(t *testing.T) {
+	// 2x3 grid on 6 ranks, periodic in dim 1 only.
+	err := Run(mv2Config(2, 3), func(m *MPI) error {
+		c := m.CommWorld()
+		cart, err := c.CreateCart([]int{2, 3}, []bool{false, true})
+		if err != nil {
+			return err
+		}
+		coords := cart.Coords()
+		wantRow, wantCol := c.Rank()/3, c.Rank()%3
+		if coords[0] != wantRow || coords[1] != wantCol {
+			return fmt.Errorf("rank %d: coords %v, want [%d %d]", c.Rank(), coords, wantRow, wantCol)
+		}
+		back, err := cart.RankOf(coords)
+		if err != nil {
+			return err
+		}
+		if back != cart.Rank() {
+			return fmt.Errorf("RankOf(Coords) = %d, want %d", back, cart.Rank())
+		}
+
+		// Vertical shift (non-periodic): top row has no up-neighbour.
+		up, down, err := cart.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		if wantRow == 0 && up != ProcNull {
+			return fmt.Errorf("rank %d: up = %d, want ProcNull", c.Rank(), up)
+		}
+		if wantRow == 1 && down != ProcNull {
+			return fmt.Errorf("rank %d: down = %d, want ProcNull", c.Rank(), down)
+		}
+
+		// Horizontal shift (periodic): always wraps.
+		left, right, err := cart.Shift(1, 1)
+		if err != nil {
+			return err
+		}
+		if left == ProcNull || right == ProcNull {
+			return fmt.Errorf("rank %d: periodic shift gave ProcNull", c.Rank())
+		}
+		wantRight, _ := cart.RankOf([]int{wantRow, wantCol + 1})
+		if right != wantRight {
+			return fmt.Errorf("rank %d: right = %d, want %d", c.Rank(), right, wantRight)
+		}
+
+		// Halo exchange around the periodic ring: ProcNull legs are
+		// no-ops, so no branching needed.
+		token := m.JVM().MustArray(jvm.Int, 1)
+		token.SetInt(0, int64(cart.Rank()))
+		in := m.JVM().MustArray(jvm.Int, 1)
+		if _, err := cart.Sendrecv(token, 1, INT, right, 0, in, 1, INT, left, 0); err != nil {
+			return err
+		}
+		if int(in.Int(0)) != left {
+			return fmt.Errorf("rank %d: ring got %d, want %d", cart.Rank(), in.Int(0), left)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartExcessRanksGetNil(t *testing.T) {
+	err := Run(mv2Config(1, 5), func(m *MPI) error {
+		c := m.CommWorld()
+		cart, err := c.CreateCart([]int{2, 2}, []bool{false, false})
+		if err != nil {
+			return err
+		}
+		if c.Rank() < 4 && cart == nil {
+			return fmt.Errorf("rank %d should be in the grid", c.Rank())
+		}
+		if c.Rank() == 4 && cart != nil {
+			return fmt.Errorf("rank 4 should get COMM_NULL")
+		}
+		if cart != nil {
+			return cart.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartValidation(t *testing.T) {
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		c := m.CommWorld()
+		if _, err := c.CreateCart([]int{4, 4}, []bool{false, false}); err == nil {
+			return fmt.Errorf("oversized grid accepted")
+		}
+		if _, err := c.CreateCart([]int{2}, []bool{false, true}); err == nil {
+			return fmt.Errorf("mismatched periods accepted")
+		}
+		if _, err := c.CreateCart([]int{0}, []bool{false}); err == nil {
+			return fmt.Errorf("zero dimension accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcNullPointToPoint(t *testing.T) {
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		c := m.CommWorld()
+		arr := m.JVM().MustArray(jvm.Int, 4)
+		if err := c.Send(arr, 4, INT, ProcNull, 0); err != nil {
+			return err
+		}
+		st, err := c.Recv(arr, 4, INT, ProcNull, 0)
+		if err != nil {
+			return err
+		}
+		if st.Source != ProcNull || st.Bytes != 0 {
+			return fmt.Errorf("ProcNull recv status %+v", st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+
+	"mv2j/internal/nativempi"
+)
+
+// Op re-exports the native reduction operations at the bindings level.
+type Op = nativempi.Op
+
+// Predefined reduction operations.
+const (
+	SUM  = nativempi.OpSum
+	PROD = nativempi.OpProd
+	MAX  = nativempi.OpMax
+	MIN  = nativempi.OpMin
+	LAND = nativempi.OpLAnd
+	LOR  = nativempi.OpLOr
+	BAND = nativempi.OpBAnd
+	BOR  = nativempi.OpBOr
+	BXOR = nativempi.OpBXor
+)
+
+// Blocking collectives (the subset MVAPICH2-J implements: §IV-D).
+// Each is one bindings call: stage buffers, one native collective,
+// unpack. Java arrays stage through the buffering layer on both sides;
+// direct ByteBuffers pass straight through.
+
+// Barrier blocks until all ranks of the communicator reach it.
+func (c *Comm) Barrier() error {
+	defer c.mpi.beginColl()()
+	return c.native.Barrier()
+}
+
+// Bcast broadcasts count dt elements from root's buf into every other
+// rank's buf (in place, as in MPI).
+func (c *Comm) Bcast(buf any, count int, dt Datatype, root int) error {
+	defer c.mpi.beginColl()()
+	if c.Rank() == root {
+		raw, free, err := c.mpi.sendStage(buf, 0, count, dt)
+		if err != nil {
+			return err
+		}
+		defer free()
+		return c.native.Bcast(raw, root)
+	}
+	raw, finish, free, err := c.mpi.recvStage(buf, 0, count, dt)
+	if err != nil {
+		return err
+	}
+	defer free()
+	if err := c.native.Bcast(raw, root); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// Reduce combines count dt elements from every rank's sendBuf into
+// root's recvBuf. recvBuf may be nil on non-root ranks.
+func (c *Comm) Reduce(sendBuf, recvBuf any, count int, dt Datatype, op Op, root int) error {
+	defer c.mpi.beginColl()()
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, count, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	if c.Rank() != root {
+		return c.native.Reduce(sraw, nil, dt.Kind(), op, root)
+	}
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, count, dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	if err := c.native.Reduce(sraw, rraw, dt.Kind(), op, root); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// Allreduce combines count dt elements across all ranks into every
+// rank's recvBuf.
+func (c *Comm) Allreduce(sendBuf, recvBuf any, count int, dt Datatype, op Op) error {
+	defer c.mpi.beginColl()()
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, count, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, count, dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	if err := c.native.Allreduce(sraw, rraw, dt.Kind(), op); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// Gather collects sendCount dt elements from every rank into root's
+// recvBuf, which must hold size·sendCount elements. recvBuf may be nil
+// on non-root ranks.
+func (c *Comm) Gather(sendBuf any, sendCount int, recvBuf any, recvCount int, dt Datatype, root int) error {
+	defer c.mpi.beginColl()()
+	if sendCount != recvCount {
+		return fmt.Errorf("%w: gather send count %d != recv count %d", ErrCount, sendCount, recvCount)
+	}
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, sendCount, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	if c.Rank() != root {
+		return c.native.Gather(sraw, nil, root)
+	}
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, recvCount*c.Size(), dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	if err := c.native.Gather(sraw, rraw, root); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// Scatter distributes recvCount dt elements to each rank from root's
+// sendBuf (size·recvCount elements). sendBuf may be nil off-root.
+func (c *Comm) Scatter(sendBuf any, sendCount int, recvBuf any, recvCount int, dt Datatype, root int) error {
+	defer c.mpi.beginColl()()
+	if sendCount != recvCount {
+		return fmt.Errorf("%w: scatter send count %d != recv count %d", ErrCount, sendCount, recvCount)
+	}
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, recvCount, dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	if c.Rank() != root {
+		if err := c.native.Scatter(nil, rraw, root); err != nil {
+			return err
+		}
+		return finish()
+	}
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, sendCount*c.Size(), dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	if err := c.native.Scatter(sraw, rraw, root); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// Allgather concatenates sendCount dt elements from every rank into
+// every rank's recvBuf (size·sendCount elements).
+func (c *Comm) Allgather(sendBuf any, sendCount int, recvBuf any, recvCount int, dt Datatype) error {
+	defer c.mpi.beginColl()()
+	if sendCount != recvCount {
+		return fmt.Errorf("%w: allgather send count %d != recv count %d", ErrCount, sendCount, recvCount)
+	}
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, sendCount, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, recvCount*c.Size(), dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	if err := c.native.Allgather(sraw, rraw); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(rank_0, ..., rank_r).
+func (c *Comm) Scan(sendBuf, recvBuf any, count int, dt Datatype, op Op) error {
+	defer c.mpi.beginColl()()
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, count, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, count, dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	if err := c.native.Scan(sraw, rraw, dt.Kind(), op); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// Exscan computes the exclusive prefix reduction: rank 0's recvBuf is
+// untouched; rank r>0 receives op(rank_0, ..., rank_{r-1}).
+func (c *Comm) Exscan(sendBuf, recvBuf any, count int, dt Datatype, op Op) error {
+	defer c.mpi.beginColl()()
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, count, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, count, dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	if err := c.native.Exscan(sraw, rraw, dt.Kind(), op); err != nil {
+		return err
+	}
+	if c.Rank() == 0 {
+		// Rank 0's buffer is untouched by Exscan; skip the unpack so
+		// the staging area's garbage never reaches the user buffer.
+		return nil
+	}
+	return finish()
+}
+
+// ReduceScatter reduces blocks across all ranks and scatters them:
+// rank r receives the reduced counts[r] elements of block r. Counts
+// are in dt elements.
+func (c *Comm) ReduceScatter(sendBuf, recvBuf any, counts []int, dt Datatype, op Op) error {
+	defer c.mpi.beginColl()()
+	if len(counts) != c.Size() {
+		return fmt.Errorf("%w: reduce_scatter counts length %d != %d", ErrCount, len(counts), c.Size())
+	}
+	total := 0
+	bcounts := make([]int, len(counts))
+	for r, n := range counts {
+		if n < 0 {
+			return fmt.Errorf("%w: negative count for rank %d", ErrCount, r)
+		}
+		bcounts[r] = n * dt.Size()
+		total += n
+	}
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, total, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, counts[c.Rank()], dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	if err := c.native.ReduceScatter(sraw, rraw, bcounts, dt.Kind(), op); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// Alltoall exchanges sendCount dt elements with every rank: block i of
+// sendBuf goes to rank i, block j of recvBuf comes from rank j.
+func (c *Comm) Alltoall(sendBuf any, sendCount int, recvBuf any, recvCount int, dt Datatype) error {
+	defer c.mpi.beginColl()()
+	if sendCount != recvCount {
+		return fmt.Errorf("%w: alltoall send count %d != recv count %d", ErrCount, sendCount, recvCount)
+	}
+	p := c.Size()
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, sendCount*p, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, recvCount*p, dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	if err := c.native.Alltoall(sraw, rraw); err != nil {
+		return err
+	}
+	return finish()
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mv2j/internal/jvm"
+)
+
+// runBoth runs the same SPMD body under both bindings flavors.
+func runBoth(t *testing.T, nodes, ppn int, body func(m *MPI) error) {
+	t.Helper()
+	for _, cfg := range []Config{mv2Config(nodes, ppn), ompiConfig(nodes, ppn)} {
+		cfg := cfg
+		t.Run(cfg.Flavor.String(), func(t *testing.T) {
+			if err := Run(cfg, body); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBcastBindings(t *testing.T) {
+	runBoth(t, 2, 2, func(m *MPI) error {
+		c := m.CommWorld()
+		const n = 50
+		// Arrays.
+		arr := m.JVM().MustArray(jvm.Int, n)
+		if c.Rank() == 2 {
+			fillArray(arr, 7)
+		}
+		if err := c.Bcast(arr, n, INT, 2); err != nil {
+			return err
+		}
+		if err := checkArray(arr, 7); err != nil {
+			return fmt.Errorf("rank %d array bcast: %w", c.Rank(), err)
+		}
+		// Direct buffers.
+		buf := m.JVM().MustAllocateDirect(n)
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				buf.PutByteAt(i, byte(i+1))
+			}
+		}
+		if err := c.Bcast(buf, n, BYTE, 0); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if buf.ByteAt(i) != byte(i+1) {
+				return fmt.Errorf("rank %d: buffer bcast[%d] = %d", c.Rank(), i, buf.ByteAt(i))
+			}
+		}
+		return nil
+	})
+}
+
+func TestReduceAllreduceBindings(t *testing.T) {
+	runBoth(t, 2, 2, func(m *MPI) error {
+		c := m.CommWorld()
+		const n = 20
+		p := c.Size()
+		send := m.JVM().MustArray(jvm.Long, n)
+		for i := 0; i < n; i++ {
+			send.SetInt(i, int64(c.Rank()+i))
+		}
+		want := func(i int) int64 { return int64(p*i) + int64(p*(p-1)/2) }
+
+		// Reduce to root 1 (arrays).
+		var recv jvm.Array
+		if c.Rank() == 1 {
+			recv = m.JVM().MustArray(jvm.Long, n)
+		}
+		var recvAny any
+		if !recv.IsNil() {
+			recvAny = recv
+		}
+		if err := c.Reduce(send, recvAny, n, LONG, SUM, 1); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for i := 0; i < n; i++ {
+				if recv.Int(i) != want(i) {
+					return fmt.Errorf("reduce[%d] = %d, want %d", i, recv.Int(i), want(i))
+				}
+			}
+		}
+
+		// Allreduce (direct buffers of doubles).
+		sb := m.JVM().MustAllocateDirect(8 * n)
+		rb := m.JVM().MustAllocateDirect(8 * n)
+		sb.SetOrder(jvm.LittleEndian)
+		rb.SetOrder(jvm.LittleEndian)
+		for i := 0; i < n; i++ {
+			sb.PutFloatKindAt(jvm.Double, 8*i, float64(c.Rank())+float64(i))
+		}
+		if err := c.Allreduce(sb, rb, n, DOUBLE, SUM); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if got := rb.FloatKindAt(jvm.Double, 8*i); got != float64(want(i)) {
+				return fmt.Errorf("buffer allreduce[%d] = %v, want %v", i, got, float64(want(i)))
+			}
+		}
+		return nil
+	})
+}
+
+func TestGatherScatterBindings(t *testing.T) {
+	runBoth(t, 1, 4, func(m *MPI) error {
+		c := m.CommWorld()
+		const n = 6
+		p := c.Size()
+		send := m.JVM().MustArray(jvm.Int, n)
+		fillArray(send, int64(c.Rank()*10))
+
+		var recv jvm.Array
+		var recvAny any
+		if c.Rank() == 0 {
+			recv = m.JVM().MustArray(jvm.Int, n*p)
+			recvAny = recv
+		}
+		if err := c.Gather(send, n, recvAny, n, INT, 0); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for r := 0; r < p; r++ {
+				for i := 0; i < n; i++ {
+					if got := recv.Int(r*n + i); got != int64(r*10+i) {
+						return fmt.Errorf("gather[%d][%d] = %d", r, i, got)
+					}
+				}
+			}
+		}
+
+		out := m.JVM().MustArray(jvm.Int, n)
+		if err := c.Scatter(recvAny, n, out, n, INT, 0); err != nil {
+			return err
+		}
+		return checkArray(out, int64(c.Rank()*10))
+	})
+}
+
+func TestAllgatherAlltoallBindings(t *testing.T) {
+	runBoth(t, 2, 2, func(m *MPI) error {
+		c := m.CommWorld()
+		const n = 4
+		p := c.Size()
+		send := m.JVM().MustArray(jvm.Int, n)
+		fillArray(send, int64(100*c.Rank()))
+		recv := m.JVM().MustArray(jvm.Int, n*p)
+		if err := c.Allgather(send, n, recv, n, INT); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			for i := 0; i < n; i++ {
+				if got := recv.Int(r*n + i); got != int64(100*r+i) {
+					return fmt.Errorf("allgather[%d][%d] = %d", r, i, got)
+				}
+			}
+		}
+
+		a2aSend := m.JVM().MustArray(jvm.Int, n*p)
+		for r := 0; r < p; r++ {
+			for i := 0; i < n; i++ {
+				a2aSend.SetInt(r*n+i, int64(1000*c.Rank()+10*r+i))
+			}
+		}
+		a2aRecv := m.JVM().MustArray(jvm.Int, n*p)
+		if err := c.Alltoall(a2aSend, n, a2aRecv, n, INT); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			for i := 0; i < n; i++ {
+				if got := a2aRecv.Int(r*n + i); got != int64(1000*r+10*c.Rank()+i) {
+					return fmt.Errorf("alltoall[%d][%d] = %d", r, i, got)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestVectoredCollectivesBindings(t *testing.T) {
+	runBoth(t, 1, 3, func(m *MPI) error {
+		c := m.CommWorld()
+		p := c.Size()
+		me := c.Rank()
+		counts := make([]int, p)
+		displs := make([]int, p)
+		total := 0
+		for r := 0; r < p; r++ {
+			counts[r] = r + 1
+			displs[r] = total
+			total += counts[r]
+		}
+		send := m.JVM().MustArray(jvm.Int, me+1)
+		fillArray(send, int64(me*100))
+
+		var gat jvm.Array
+		var gatAny any
+		if me == 0 {
+			gat = m.JVM().MustArray(jvm.Int, total)
+			gatAny = gat
+		}
+		if err := c.Gatherv(send, me+1, gatAny, counts, displs, INT, 0); err != nil {
+			return err
+		}
+		if me == 0 {
+			for r := 0; r < p; r++ {
+				for i := 0; i < counts[r]; i++ {
+					if got := gat.Int(displs[r] + i); got != int64(r*100+i) {
+						return fmt.Errorf("gatherv[%d][%d] = %d", r, i, got)
+					}
+				}
+			}
+		}
+
+		back := m.JVM().MustArray(jvm.Int, me+1)
+		if err := c.Scatterv(gatAny, counts, displs, back, me+1, INT, 0); err != nil {
+			return err
+		}
+		if err := checkArray(back, int64(me*100)); err != nil {
+			return fmt.Errorf("scatterv: %w", err)
+		}
+
+		all := m.JVM().MustArray(jvm.Int, total)
+		if err := c.Allgatherv(send, me+1, all, counts, displs, INT); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			for i := 0; i < counts[r]; i++ {
+				if got := all.Int(displs[r] + i); got != int64(r*100+i) {
+					return fmt.Errorf("allgatherv[%d][%d] = %d", r, i, got)
+				}
+			}
+		}
+
+		// Alltoallv: rank s sends (s+r+1) ints to rank r.
+		sc := make([]int, p)
+		sd := make([]int, p)
+		tot := 0
+		for r := 0; r < p; r++ {
+			sc[r] = me + r + 1
+			sd[r] = tot
+			tot += sc[r]
+		}
+		sarr := m.JVM().MustArray(jvm.Int, tot)
+		for r := 0; r < p; r++ {
+			for i := 0; i < sc[r]; i++ {
+				sarr.SetInt(sd[r]+i, int64(me*1000+r*10+i))
+			}
+		}
+		rc := make([]int, p)
+		rd := make([]int, p)
+		tot = 0
+		for r := 0; r < p; r++ {
+			rc[r] = r + me + 1
+			rd[r] = tot
+			tot += rc[r]
+		}
+		rarr := m.JVM().MustArray(jvm.Int, tot)
+		if err := c.Alltoallv(sarr, sc, sd, rarr, rc, rd, INT); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			for i := 0; i < rc[r]; i++ {
+				if got := rarr.Int(rd[r] + i); got != int64(r*1000+me*10+i) {
+					return fmt.Errorf("alltoallv[%d][%d] = %d", r, i, got)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestScanReduceScatterBindings(t *testing.T) {
+	runBoth(t, 2, 2, func(m *MPI) error {
+		c := m.CommWorld()
+		p := c.Size()
+		me := c.Rank()
+
+		// Scan over long arrays.
+		send := m.JVM().MustArray(jvm.Long, 4)
+		recv := m.JVM().MustArray(jvm.Long, 4)
+		for i := 0; i < 4; i++ {
+			send.SetInt(i, int64(me+i))
+		}
+		if err := c.Scan(send, recv, 4, LONG, SUM); err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			want := int64(0)
+			for r := 0; r <= me; r++ {
+				want += int64(r + i)
+			}
+			if recv.Int(i) != want {
+				return fmt.Errorf("rank %d: scan[%d] = %d, want %d", me, i, recv.Int(i), want)
+			}
+		}
+
+		// ReduceScatter of 2 longs per rank.
+		counts := make([]int, p)
+		for r := range counts {
+			counts[r] = 2
+		}
+		rsSend := m.JVM().MustArray(jvm.Long, 2*p)
+		for i := 0; i < 2*p; i++ {
+			rsSend.SetInt(i, int64(me*100+i))
+		}
+		rsRecv := m.JVM().MustArray(jvm.Long, 2)
+		if err := c.ReduceScatter(rsSend, rsRecv, counts, LONG, SUM); err != nil {
+			return err
+		}
+		for i := 0; i < 2; i++ {
+			idx := me*2 + i
+			want := int64(0)
+			for r := 0; r < p; r++ {
+				want += int64(r*100 + idx)
+			}
+			if rsRecv.Int(i) != want {
+				return fmt.Errorf("rank %d: reduce_scatter[%d] = %d, want %d", me, i, rsRecv.Int(i), want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestExscanBindings(t *testing.T) {
+	runBoth(t, 1, 4, func(m *MPI) error {
+		c := m.CommWorld()
+		me := c.Rank()
+		send := m.JVM().MustArray(jvm.Long, 2)
+		recv := m.JVM().MustArray(jvm.Long, 2)
+		send.SetInt(0, int64(me+1))
+		send.SetInt(1, int64((me+1)*10))
+		recv.Fill(-9)
+		if err := c.Exscan(send, recv, 2, LONG, SUM); err != nil {
+			return err
+		}
+		if me == 0 {
+			if recv.Int(0) != -9 || recv.Int(1) != -9 {
+				return fmt.Errorf("rank 0 exscan buffer modified: %d %d", recv.Int(0), recv.Int(1))
+			}
+			return nil
+		}
+		want := int64(me * (me + 1) / 2)
+		if recv.Int(0) != want || recv.Int(1) != want*10 {
+			return fmt.Errorf("rank %d: exscan = %d/%d, want %d/%d", me, recv.Int(0), recv.Int(1), want, want*10)
+		}
+		return nil
+	})
+}
+
+func TestWtime(t *testing.T) {
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		t0 := m.Wtime()
+		if err := m.CommWorld().Barrier(); err != nil {
+			return err
+		}
+		t1 := m.Wtime()
+		if t1 <= t0 {
+			return fmt.Errorf("Wtime did not advance across a barrier: %v -> %v", t0, t1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierBindings(t *testing.T) {
+	runBoth(t, 2, 2, func(m *MPI) error {
+		return m.CommWorld().Barrier()
+	})
+}
+
+func TestCommSplitDupBindings(t *testing.T) {
+	err := Run(mv2Config(2, 2), func(m *MPI) error {
+		c := m.CommWorld()
+		sub, err := c.Split(c.Rank()%2, 0)
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 2 {
+			return fmt.Errorf("split size %d", sub.Size())
+		}
+		arr := m.JVM().MustArray(jvm.Int, 4)
+		if sub.Rank() == 0 {
+			fillArray(arr, int64(c.Rank()%2))
+		}
+		if err := sub.Bcast(arr, 4, INT, 0); err != nil {
+			return err
+		}
+		if err := checkArray(arr, int64(c.Rank()%2)); err != nil {
+			return err
+		}
+		dup, err := sub.Dup()
+		if err != nil {
+			return err
+		}
+		return dup.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommCreateFromGroupBindings(t *testing.T) {
+	err := Run(mv2Config(1, 4), func(m *MPI) error {
+		c := m.CommWorld()
+		g := c.Group()
+		evens, err := g.Incl([]int{0, 2})
+		if err != nil {
+			return err
+		}
+		sub, err := c.Create(evens)
+		if err != nil {
+			return err
+		}
+		if c.Rank()%2 == 1 {
+			if sub != nil {
+				return fmt.Errorf("rank %d should be outside", c.Rank())
+			}
+			return nil
+		}
+		if sub.Size() != 2 || sub.Rank() != c.Rank()/2 {
+			return fmt.Errorf("rank %d: sub %d/%d", c.Rank(), sub.Rank(), sub.Size())
+		}
+		return sub.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import "fmt"
+
+// Vectored blocking collectives (§IV-D "including vector variants").
+// Counts and displacements are in dt elements, as in the Java API;
+// they are converted to wire bytes for the native layer.
+
+func scaleVec(counts, displs []int, esz int) (bcounts, bdispls []int) {
+	bcounts = make([]int, len(counts))
+	bdispls = make([]int, len(displs))
+	for i := range counts {
+		bcounts[i] = counts[i] * esz
+		bdispls[i] = displs[i] * esz
+	}
+	return
+}
+
+func vecTotal(counts, displs []int) (int, error) {
+	end := 0
+	for i := range counts {
+		if counts[i] < 0 || displs[i] < 0 {
+			return 0, fmt.Errorf("%w: negative count/displacement at %d", ErrCount, i)
+		}
+		if displs[i]+counts[i] > end {
+			end = displs[i] + counts[i]
+		}
+	}
+	return end, nil
+}
+
+// Gatherv collects sendCount elements from each rank into root's
+// recvBuf at per-rank element displacements.
+func (c *Comm) Gatherv(sendBuf any, sendCount int, recvBuf any, recvCounts, displs []int, dt Datatype, root int) error {
+	defer c.mpi.beginColl()()
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, sendCount, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	if c.Rank() != root {
+		return c.native.Gatherv(sraw, nil, nil, nil, root)
+	}
+	total, err := vecTotal(recvCounts, displs)
+	if err != nil {
+		return err
+	}
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, total, dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	bc, bd := scaleVec(recvCounts, displs, dt.Size())
+	if err := c.native.Gatherv(sraw, rraw, bc, bd, root); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// Scatterv distributes per-rank slices of root's sendBuf.
+func (c *Comm) Scatterv(sendBuf any, sendCounts, displs []int, recvBuf any, recvCount int, dt Datatype, root int) error {
+	defer c.mpi.beginColl()()
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, recvCount, dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	if c.Rank() != root {
+		if err := c.native.Scatterv(nil, nil, nil, rraw, root); err != nil {
+			return err
+		}
+		return finish()
+	}
+	total, err := vecTotal(sendCounts, displs)
+	if err != nil {
+		return err
+	}
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, total, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	bc, bd := scaleVec(sendCounts, displs, dt.Size())
+	if err := c.native.Scatterv(sraw, bc, bd, rraw, root); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// Allgatherv gathers variable-size contributions to every rank.
+func (c *Comm) Allgatherv(sendBuf any, sendCount int, recvBuf any, recvCounts, displs []int, dt Datatype) error {
+	defer c.mpi.beginColl()()
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, sendCount, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	total, err := vecTotal(recvCounts, displs)
+	if err != nil {
+		return err
+	}
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, total, dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	bc, bd := scaleVec(recvCounts, displs, dt.Size())
+	if err := c.native.Allgatherv(sraw, rraw, bc, bd); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// Alltoallv exchanges variable-size blocks between all ranks.
+func (c *Comm) Alltoallv(sendBuf any, sendCounts, sendDispls []int,
+	recvBuf any, recvCounts, recvDispls []int, dt Datatype) error {
+	defer c.mpi.beginColl()()
+	stotal, err := vecTotal(sendCounts, sendDispls)
+	if err != nil {
+		return err
+	}
+	rtotal, err := vecTotal(recvCounts, recvDispls)
+	if err != nil {
+		return err
+	}
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, stotal, dt)
+	if err != nil {
+		return err
+	}
+	defer sfree()
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, rtotal, dt)
+	if err != nil {
+		return err
+	}
+	defer rfree()
+	sc, sd := scaleVec(sendCounts, sendDispls, dt.Size())
+	rc, rd := scaleVec(recvCounts, recvDispls, dt.Size())
+	if err := c.native.Alltoallv(sraw, sc, sd, rraw, rc, rd); err != nil {
+		return err
+	}
+	return finish()
+}

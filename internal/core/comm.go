@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+
+	"mv2j/internal/jvm"
+	"mv2j/internal/nativempi"
+)
+
+// Comm wraps a native communicator behind the Java-bindings API. All
+// message methods accept either a jvm.Array or a *jvm.ByteBuffer as
+// their buffer, dispatching on the dynamic type exactly as the Java
+// bindings overload on Object.
+type Comm struct {
+	mpi    *MPI
+	native *nativempi.Comm
+}
+
+// Rank returns the calling process's rank in this communicator.
+func (c *Comm) Rank() int { return c.native.Rank() }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int { return c.native.Size() }
+
+// MPI returns the owning bindings environment.
+func (c *Comm) MPI() *MPI { return c.mpi }
+
+// Status describes a completed receive.
+type Status struct {
+	// Source is the sender's rank in this communicator.
+	Source int
+	// Tag is the matched tag.
+	Tag int
+	// Bytes is the wire payload length.
+	Bytes int
+}
+
+// Count returns the number of dt elements received (MPI_Get_count).
+func (s Status) Count(dt Datatype) (int, error) {
+	if s.Bytes%dt.Size() != 0 {
+		return 0, fmt.Errorf("%w: %d bytes is not a whole number of %v elements", ErrCount, s.Bytes, dt)
+	}
+	return s.Bytes / dt.Size(), nil
+}
+
+func fromNative(st nativempi.Status) Status {
+	return Status{Source: st.Source, Tag: st.Tag, Bytes: st.Bytes}
+}
+
+// Send performs a blocking send of count dt elements from buf.
+func (c *Comm) Send(buf any, count int, dt Datatype, dst, tag int) error {
+	return c.SendRange(buf, 0, count, dt, dst, tag)
+}
+
+// SendRange is MVAPICH2-J's offset extension (§IV-B): send count dt
+// elements starting at base-element offset of the array (the mpiJava
+// 1.2 offset argument), copying only the subset through the buffering
+// layer. The Open MPI-J flavor, whose API dropped the offset argument,
+// rejects non-zero offsets.
+func (c *Comm) SendRange(buf any, offset, count int, dt Datatype, dst, tag int) error {
+	if dst == ProcNull {
+		return nil // MPI_PROC_NULL: completes without communicating
+	}
+	if offset != 0 && c.mpi.flavor == OpenMPIJ {
+		return fmt.Errorf("%w: the Open MPI Java API has no offset argument", ErrUnsupported)
+	}
+	c.mpi.enterNative()
+	raw, free, err := c.mpi.sendStage(buf, offset, count, dt)
+	if err != nil {
+		return err
+	}
+	defer free()
+	return c.native.Send(raw, dst, tag)
+}
+
+// Recv performs a blocking receive of up to count dt elements into buf.
+func (c *Comm) Recv(buf any, count int, dt Datatype, src, tag int) (Status, error) {
+	return c.RecvRange(buf, 0, count, dt, src, tag)
+}
+
+// RecvRange is the receive side of the offset extension.
+func (c *Comm) RecvRange(buf any, offset, count int, dt Datatype, src, tag int) (Status, error) {
+	if src == ProcNull {
+		// MPI_PROC_NULL: an empty receive with source PROC_NULL.
+		return Status{Source: ProcNull, Tag: tag}, nil
+	}
+	if offset != 0 && c.mpi.flavor == OpenMPIJ {
+		return Status{}, fmt.Errorf("%w: the Open MPI Java API has no offset argument", ErrUnsupported)
+	}
+	c.mpi.enterNative()
+	raw, finish, free, err := c.mpi.recvStage(buf, offset, count, dt)
+	if err != nil {
+		return Status{}, err
+	}
+	defer free()
+	st, err := c.native.Recv(raw, src, tag)
+	if err != nil {
+		return fromNative(st), err
+	}
+	if err := finish(); err != nil {
+		return fromNative(st), err
+	}
+	return fromNative(st), nil
+}
+
+// Isend starts a non-blocking send. Under the Open MPI-J flavor, Java
+// arrays are rejected — the API gap that leaves the paper's bandwidth
+// plots without an "Open MPI-J arrays" series.
+func (c *Comm) Isend(buf any, count int, dt Datatype, dst, tag int) (*Request, error) {
+	if _, isArray := buf.(jvm.Array); isArray && c.mpi.flavor == OpenMPIJ {
+		return nil, fmt.Errorf("%w: Open MPI-J does not support Java arrays with non-blocking point-to-point", ErrUnsupported)
+	}
+	c.mpi.enterNative()
+	raw, free, err := c.mpi.sendStage(buf, 0, count, dt)
+	if err != nil {
+		return nil, err
+	}
+	req, err := c.native.Isend(raw, dst, tag)
+	if err != nil {
+		free()
+		return nil, err
+	}
+	return &Request{mpi: c.mpi, native: req, free: free}, nil
+}
+
+// Irecv starts a non-blocking receive, with the same Open MPI-J array
+// restriction as Isend.
+func (c *Comm) Irecv(buf any, count int, dt Datatype, src, tag int) (*Request, error) {
+	if _, isArray := buf.(jvm.Array); isArray && c.mpi.flavor == OpenMPIJ {
+		return nil, fmt.Errorf("%w: Open MPI-J does not support Java arrays with non-blocking point-to-point", ErrUnsupported)
+	}
+	c.mpi.enterNative()
+	raw, finish, free, err := c.mpi.recvStage(buf, 0, count, dt)
+	if err != nil {
+		return nil, err
+	}
+	req, err := c.native.Irecv(raw, src, tag)
+	if err != nil {
+		free()
+		return nil, err
+	}
+	return &Request{mpi: c.mpi, native: req, finish: finish, free: free}, nil
+}
+
+// Sendrecv exchanges messages without deadlock.
+func (c *Comm) Sendrecv(sendBuf any, sendCount int, sendType Datatype, dst, sendTag int,
+	recvBuf any, recvCount int, recvType Datatype, src, recvTag int) (Status, error) {
+	c.mpi.enterNative()
+	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, sendCount, sendType)
+	if err != nil {
+		return Status{}, err
+	}
+	defer sfree()
+	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, recvCount, recvType)
+	if err != nil {
+		return Status{}, err
+	}
+	defer rfree()
+	st, err := c.native.Sendrecv(sraw, dst, sendTag, rraw, src, recvTag)
+	if err != nil {
+		return fromNative(st), err
+	}
+	return fromNative(st), finish()
+}
+
+// Probe blocks until a matching message can be received and returns
+// its status.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	c.mpi.enterNative()
+	st, err := c.native.Probe(src, tag)
+	return fromNative(st), err
+}
+
+// Iprobe polls for a matching message.
+func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
+	c.mpi.enterNative()
+	st, ok, err := c.native.Iprobe(src, tag)
+	return fromNative(st), ok, err
+}
+
+// Dup creates a congruent communicator (MPI_Comm_dup).
+func (c *Comm) Dup() (*Comm, error) {
+	c.mpi.enterNative()
+	n, err := c.native.Dup()
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{mpi: c.mpi, native: n}, nil
+}
+
+// Split partitions the communicator (MPI_Comm_split). Color
+// nativempi.Undefined (-1) yields a nil communicator.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	c.mpi.enterNative()
+	n, err := c.native.Split(color, key)
+	if err != nil || n == nil {
+		return nil, err
+	}
+	return &Comm{mpi: c.mpi, native: n}, nil
+}
+
+// SplitType partitions by shared-memory locality
+// (MPI_Comm_split_type): one subcommunicator per node.
+func (c *Comm) SplitType(key int) (*Comm, error) {
+	c.mpi.enterNative()
+	n, err := c.native.SplitType(key)
+	if err != nil || n == nil {
+		return nil, err
+	}
+	return &Comm{mpi: c.mpi, native: n}, nil
+}
+
+// Create builds a communicator from a group (MPI_Comm_create).
+// Collective over c; callers outside the group receive nil.
+func (c *Comm) Create(g *Group) (*Comm, error) {
+	c.mpi.enterNative()
+	n, err := c.native.CreateFromGroup(g.ranks)
+	if err != nil || n == nil {
+		return nil, err
+	}
+	return &Comm{mpi: c.mpi, native: n}, nil
+}
+
+// Group returns the communicator's group (MPI_Comm_group): ranks are
+// expressed as this communicator's ranks, in order.
+func (c *Comm) Group() *Group {
+	ranks := make([]int, c.Size())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return &Group{ranks: ranks}
+}
+
+// Request is a non-blocking operation handle.
+type Request struct {
+	mpi    *MPI
+	native *nativempi.Request
+	finish func() error
+	free   func()
+	waited bool
+	status Status
+	err    error
+}
+
+// Wait blocks until the operation completes, unpacks any staged
+// receive, and releases staging resources.
+func (r *Request) Wait() (Status, error) {
+	if r == nil {
+		return Status{}, nativempi.ErrRequest
+	}
+	if r.waited {
+		return r.status, r.err
+	}
+	r.mpi.enterNative()
+	return r.waitNoCharge()
+}
+
+// waitNoCharge completes the request without charging a bindings call;
+// Waitall charges once for the whole batch, as the real waitAll is a
+// single JNI downcall.
+func (r *Request) waitNoCharge() (Status, error) {
+	st, err := r.native.Wait()
+	if err == nil && r.finish != nil {
+		err = r.finish()
+	}
+	if r.free != nil {
+		r.free()
+	}
+	r.finish, r.free = nil, nil
+	r.waited = true
+	r.status, r.err = fromNative(st), err
+	return r.status, r.err
+}
+
+// Test polls for completion; on completion it behaves like Wait.
+func (r *Request) Test() (Status, bool, error) {
+	if r == nil {
+		return Status{}, false, nativempi.ErrRequest
+	}
+	if r.waited {
+		return r.status, true, r.err
+	}
+	r.mpi.enterNative()
+	_, ok, _ := r.native.Test()
+	if !ok {
+		return Status{}, false, nil
+	}
+	st, err := r.waitNoCharge()
+	return st, true, err
+}
+
+// Waitall completes every request as one bindings call (the Java
+// waitAll is a single JNI downcall over the request array), returning
+// the first error.
+func Waitall(reqs []*Request) error {
+	var first error
+	charged := false
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if !charged {
+			r.mpi.enterNative()
+			charged = true
+		}
+		var err error
+		if r.waited {
+			err = r.err
+		} else {
+			_, err = r.waitNoCharge()
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,261 @@
+// Package core implements MVAPICH2-J: Java bindings for the (simulated)
+// native MVAPICH2 library, following the Open MPI Java bindings API —
+// the paper's primary contribution. The design goal, as in the paper,
+// is to keep the "Java" layer as minimal as possible: every MPI
+// primitive is one JNI downcall into the native runtime, plus the
+// buffer-management glue that the two user-visible buffer kinds need:
+//
+//   - direct ByteBuffers: a stable off-heap address is obtained through
+//     GetDirectBufferAddress and handed to the native library — zero
+//     copies (paper Fig. 4);
+//   - Java arrays: the payload is staged through the mpjbuf buffering
+//     layer's pool of direct ByteBuffers (paper Fig. 3) — one bulk copy
+//     on each side, but no per-message direct-buffer allocation and no
+//     GC hazard.
+//
+// A bindings Flavor selects MVAPICH2-J or the Open MPI-J behaviour the
+// paper compares against, including Open MPI-J's API gaps (no Java
+// arrays with non-blocking point-to-point) and its
+// Get<Type>ArrayElements copy-in/copy-out array path.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mv2j/internal/cluster"
+	"mv2j/internal/fabric"
+	"mv2j/internal/jni"
+	"mv2j/internal/jvm"
+	"mv2j/internal/mpjbuf"
+	"mv2j/internal/nativempi"
+	"mv2j/internal/trace"
+	"mv2j/internal/vtime"
+)
+
+// Errors specific to the bindings layer.
+var (
+	// ErrUnsupported marks operations a bindings flavor does not offer
+	// (e.g. Open MPI-J's non-blocking point-to-point with Java arrays,
+	// which is why the paper's bandwidth figures have no
+	// "Open MPI-J arrays" series).
+	ErrUnsupported = errors.New("core: operation not supported by these bindings")
+	// ErrBufferType reports a message buffer that is neither a
+	// jvm.Array nor a *jvm.ByteBuffer.
+	ErrBufferType = errors.New("core: buffer must be a jvm.Array or *jvm.ByteBuffer")
+	// ErrCount reports invalid counts/extents.
+	ErrCount = errors.New("core: invalid count")
+)
+
+// Wildcards, re-exported from the native layer.
+const (
+	AnySource = nativempi.AnySource
+	AnyTag    = nativempi.AnyTag
+)
+
+// Flavor selects the bindings implementation being simulated.
+type Flavor int
+
+const (
+	// MVAPICH2J is the paper's library: buffering-layer array staging,
+	// arrays allowed everywhere, offset extension available.
+	MVAPICH2J Flavor = iota
+	// OpenMPIJ reproduces the Open MPI Java bindings: arrays use JNI
+	// Get/Release<Type>ArrayElements (full copy in and out), and
+	// non-blocking point-to-point rejects arrays.
+	OpenMPIJ
+)
+
+func (f Flavor) String() string {
+	if f == OpenMPIJ {
+		return "OpenMPI-J"
+	}
+	return "MVAPICH2-J"
+}
+
+// bindingOverhead is the per-call software cost of the bindings layer
+// itself (argument checking, handle resolution) on top of the JNI
+// crossing. MVAPICH2-J's thinner layer is what gives it the smaller
+// Java overhead in the paper's Fig. 11.
+func (f Flavor) bindingOverhead() vtime.Duration {
+	if f == OpenMPIJ {
+		return vtime.Nanos(680)
+	}
+	return vtime.Nanos(520)
+}
+
+// Config describes one simulated job.
+type Config struct {
+	// Nodes and PPN shape the cluster (default 1x2).
+	Nodes, PPN int
+	// Mapping is the rank placement policy (default block).
+	Mapping cluster.Mapping
+	// Lib is the native library profile (default profile.MVAPICH2()
+	// must be passed explicitly by callers; zero value = generic).
+	Lib nativempi.Profile
+	// Flavor selects the bindings personality (default MVAPICH2J).
+	Flavor Flavor
+	// HeapSize/ArenaSize configure each rank's simulated JVM.
+	HeapSize, ArenaSize int
+	// Costs overrides the JVM access-cost model.
+	Costs *jvm.AccessCosts
+	// JNICosts overrides the JNI boundary cost model.
+	JNICosts *jni.Costs
+	// Intra/Inter override the fabric channels when non-nil.
+	Intra, Inter *fabric.Params
+	// UnpooledBuffers disables the mpjbuf pool (ablation: a fresh
+	// direct buffer is allocated and destroyed per array message).
+	UnpooledBuffers bool
+	// Trace, when non-nil, records every native communication event
+	// with virtual timestamps (see internal/trace).
+	Trace *trace.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.PPN == 0 {
+		c.PPN = 2
+	}
+	return c
+}
+
+// MPI is one rank's bindings environment: the object the SPMD main
+// receives, playing the role Java's static MPI class plays in the
+// Open MPI bindings.
+type MPI struct {
+	proc    *nativempi.Proc
+	machine *jvm.Machine
+	env     *jni.Env
+	pool    *mpjbuf.Pool
+	world   *Comm
+	flavor  Flavor
+
+	// collPool stages collective array payloads. The prototype's
+	// collective path (§IV-D) creates its staging direct buffer per
+	// call instead of borrowing from the point-to-point pool — the
+	// cost structure behind the paper's collective array factors
+	// (2.2x/1.62x) being much smaller than its buffer factors
+	// (6.2x/2.76x).
+	collPool *mpjbuf.Pool
+	// collStaging routes array staging to collPool while a collective
+	// call is in flight. Rank-confined, like everything in MPI.
+	collStaging bool
+}
+
+// Run launches the SPMD job: one goroutine per rank, each with its own
+// simulated JVM, JNI environment, and buffer pool (MPI.Init +
+// mpirun in one call). It returns when every rank's main returns.
+func Run(cfg Config, main func(mpi *MPI) error) error {
+	cfg = cfg.withDefaults()
+	topo := cluster.NewMapped(cfg.Nodes, cfg.PPN, cfg.Mapping)
+	intra, inter := fabric.FronteraShm(), fabric.FronteraIB()
+	if cfg.Intra != nil {
+		intra = *cfg.Intra
+	}
+	if cfg.Inter != nil {
+		inter = *cfg.Inter
+	}
+	world := nativempi.NewWorld(topo, fabric.New(topo, intra, inter), cfg.Lib)
+	world.SetRecorder(cfg.Trace)
+	return world.Run(func(p *nativempi.Proc) error {
+		machine := jvm.NewMachine(p.Clock(), jvm.Options{
+			HeapSize:  cfg.HeapSize,
+			ArenaSize: cfg.ArenaSize,
+			Costs:     cfg.Costs,
+		})
+		var env *jni.Env
+		if cfg.JNICosts != nil {
+			env = jni.NewWithCosts(machine, *cfg.JNICosts)
+		} else {
+			env = jni.New(machine)
+		}
+		var pool *mpjbuf.Pool
+		if cfg.UnpooledBuffers {
+			pool = mpjbuf.NewUnpooled(machine)
+		} else {
+			pool = mpjbuf.NewPool(machine)
+		}
+		mpi := &MPI{
+			proc:     p,
+			machine:  machine,
+			env:      env,
+			pool:     pool,
+			collPool: mpjbuf.NewUnpooled(machine),
+			flavor:   cfg.Flavor,
+		}
+		mpi.world = &Comm{mpi: mpi, native: p.CommWorld()}
+		return main(mpi)
+	})
+}
+
+// CommWorld returns this rank's MPI.COMM_WORLD.
+func (m *MPI) CommWorld() *Comm { return m.world }
+
+// JVM returns the rank's simulated JVM, used to allocate the Java
+// arrays and ByteBuffers that message calls accept.
+func (m *MPI) JVM() *jvm.Machine { return m.machine }
+
+// JNI returns the rank's JNI environment (exposed for the ablation
+// benchmarks that compare boundary strategies).
+func (m *MPI) JNI() *jni.Env { return m.env }
+
+// Pool returns the rank's mpjbuf buffer pool.
+func (m *MPI) Pool() *mpjbuf.Pool { return m.pool }
+
+// Flavor reports which bindings personality is running.
+func (m *MPI) Flavor() Flavor { return m.flavor }
+
+// Clock returns the rank's virtual clock (benchmark timing).
+func (m *MPI) Clock() *vtime.Clock { return m.proc.Clock() }
+
+// Proc exposes the native process, used by the "no Java layer"
+// baseline in the Fig. 11 overhead experiment.
+func (m *MPI) Proc() *nativempi.Proc { return m.proc }
+
+// Abort terminates the whole job (MPI_Abort): peers blocked in MPI
+// calls are woken and unwound, and Run reports the reason.
+func (m *MPI) Abort(reason string) {
+	m.proc.World().Abort(m.proc.Rank(), reason)
+}
+
+// Wtime returns the rank's virtual time in seconds — MPI_Wtime for
+// the simulated cluster (deterministic, unlike the real thing).
+func (m *MPI) Wtime() float64 {
+	return vtime.Duration(m.proc.Clock().Now()).Seconds()
+}
+
+// enterNative charges what one bindings call costs before reaching
+// native code: the bindings logic plus one JNI crossing.
+func (m *MPI) enterNative() {
+	m.machine.Charge(m.flavor.bindingOverhead())
+	m.env.CallNative()
+}
+
+// beginColl marks a collective call in flight: array staging uses the
+// per-call collective pool until the returned func runs.
+func (m *MPI) beginColl() func() {
+	m.enterNative()
+	m.collStaging = true
+	return func() { m.collStaging = false }
+}
+
+// stagePool picks the staging pool for the current call.
+func (m *MPI) stagePool() *mpjbuf.Pool {
+	if m.collStaging {
+		return m.collPool
+	}
+	return m.pool
+}
+
+// checkCount validates an element count against a buffer capacity.
+func checkCount(count, capacity int, what string) error {
+	if count < 0 {
+		return fmt.Errorf("%w: negative %s count %d", ErrCount, what, count)
+	}
+	if count > capacity {
+		return fmt.Errorf("%w: %s count %d exceeds buffer capacity %d", ErrCount, what, count, capacity)
+	}
+	return nil
+}

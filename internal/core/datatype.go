@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"mv2j/internal/jvm"
+)
+
+// Datatype describes the layout of one message element, mirroring the
+// MPI datatypes the bindings expose. Predefined basic types cover the
+// Java primitive kinds; Contiguous and Vector build derived types on
+// top. Derived types on Java arrays are packed/unpacked through the
+// buffering layer — one of the layer's design motivations (§IV-B).
+type Datatype struct {
+	base jvm.Kind
+	// shape
+	derived  bool
+	count    int // blocks per element
+	blocklen int // base elements per block
+	stride   int // base elements between block starts
+	// indexed layout (MPI_Type_indexed): per-block lengths and
+	// displacements in base elements; when set, count/blocklen/stride
+	// are ignored.
+	idxLens, idxDispls []int
+}
+
+// Predefined basic datatypes.
+var (
+	BYTE    = Datatype{base: jvm.Byte, count: 1, blocklen: 1, stride: 1}
+	BOOLEAN = Datatype{base: jvm.Boolean, count: 1, blocklen: 1, stride: 1}
+	CHAR    = Datatype{base: jvm.Char, count: 1, blocklen: 1, stride: 1}
+	SHORT   = Datatype{base: jvm.Short, count: 1, blocklen: 1, stride: 1}
+	INT     = Datatype{base: jvm.Int, count: 1, blocklen: 1, stride: 1}
+	LONG    = Datatype{base: jvm.Long, count: 1, blocklen: 1, stride: 1}
+	FLOAT   = Datatype{base: jvm.Float, count: 1, blocklen: 1, stride: 1}
+	DOUBLE  = Datatype{base: jvm.Double, count: 1, blocklen: 1, stride: 1}
+)
+
+// TypeFor returns the basic datatype for a primitive kind.
+func TypeFor(k jvm.Kind) Datatype {
+	return Datatype{base: k, count: 1, blocklen: 1, stride: 1}
+}
+
+// Contiguous builds a datatype of count consecutive base elements
+// (MPI_Type_contiguous).
+func Contiguous(base Datatype, count int) (Datatype, error) {
+	if count <= 0 {
+		return Datatype{}, fmt.Errorf("%w: contiguous count %d", ErrCount, count)
+	}
+	if base.derived {
+		return Datatype{}, fmt.Errorf("%w: nested derived types not supported", ErrUnsupported)
+	}
+	return Datatype{base: base.base, derived: true, count: count, blocklen: 1, stride: 1}, nil
+}
+
+// Vector builds a strided datatype (MPI_Type_vector): count blocks of
+// blocklen base elements, with block starts stride base elements
+// apart.
+func Vector(base Datatype, count, blocklen, stride int) (Datatype, error) {
+	if count <= 0 || blocklen <= 0 || stride < blocklen {
+		return Datatype{}, fmt.Errorf("%w: vector(count=%d, blocklen=%d, stride=%d)",
+			ErrCount, count, blocklen, stride)
+	}
+	if base.derived {
+		return Datatype{}, fmt.Errorf("%w: nested derived types not supported", ErrUnsupported)
+	}
+	return Datatype{base: base.base, derived: true, count: count, blocklen: blocklen, stride: stride}, nil
+}
+
+// Indexed builds an irregular datatype (MPI_Type_indexed): block i has
+// blocklens[i] base elements starting at base-element displacement
+// displs[i]. Blocks must be in strictly increasing, non-overlapping
+// order.
+func Indexed(base Datatype, blocklens, displs []int) (Datatype, error) {
+	if base.derived {
+		return Datatype{}, fmt.Errorf("%w: nested derived types not supported", ErrUnsupported)
+	}
+	if len(blocklens) == 0 || len(blocklens) != len(displs) {
+		return Datatype{}, fmt.Errorf("%w: indexed needs matching non-empty blocklens/displs", ErrCount)
+	}
+	end := -1
+	for i := range blocklens {
+		if blocklens[i] <= 0 || displs[i] < 0 {
+			return Datatype{}, fmt.Errorf("%w: indexed block %d (len=%d, displ=%d)", ErrCount, i, blocklens[i], displs[i])
+		}
+		if displs[i] <= end {
+			return Datatype{}, fmt.Errorf("%w: indexed blocks must be increasing and disjoint (block %d)", ErrCount, i)
+		}
+		end = displs[i] + blocklens[i] - 1
+	}
+	return Datatype{
+		base:      base.base,
+		derived:   true,
+		idxLens:   append([]int(nil), blocklens...),
+		idxDispls: append([]int(nil), displs...),
+	}, nil
+}
+
+// isIndexed reports the irregular layout.
+func (d Datatype) isIndexed() bool { return len(d.idxLens) > 0 }
+
+// blocks iterates the (displacement, length) block list of one
+// datatype element, in base elements.
+func (d Datatype) blocks(yield func(displ, length int) error) error {
+	if d.isIndexed() {
+		for i := range d.idxLens {
+			if err := yield(d.idxDispls[i], d.idxLens[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for blk := 0; blk < d.count; blk++ {
+		if err := yield(blk*d.stride, d.blocklen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Kind returns the base primitive kind.
+func (d Datatype) Kind() jvm.Kind { return d.base }
+
+// IsDerived reports whether the type is non-contiguous or composite.
+func (d Datatype) IsDerived() bool { return d.derived }
+
+// baseElems returns the number of base elements one datatype element
+// carries on the wire.
+func (d Datatype) baseElems() int {
+	if d.isIndexed() {
+		n := 0
+		for _, l := range d.idxLens {
+			n += l
+		}
+		return n
+	}
+	if d.derived {
+		return d.count * d.blocklen
+	}
+	return 1
+}
+
+// Size returns the wire bytes of one datatype element (MPI_Type_size).
+func (d Datatype) Size() int { return d.baseElems() * d.base.Size() }
+
+// Extent returns the span, in base elements, one datatype element
+// covers in the user buffer (MPI_Type_get_extent, in elements).
+func (d Datatype) Extent() int {
+	if d.isIndexed() {
+		last := len(d.idxLens) - 1
+		return d.idxDispls[last] + d.idxLens[last]
+	}
+	if !d.derived {
+		return 1
+	}
+	// Last block starts at (count-1)*stride and spans blocklen.
+	return (d.count-1)*d.stride + d.blocklen
+}
+
+// contiguous reports whether elements lie back-to-back in the user
+// buffer (no packing needed).
+func (d Datatype) contiguous() bool {
+	if d.isIndexed() {
+		return false
+	}
+	return !d.derived || d.stride == d.blocklen
+}
+
+func (d Datatype) String() string {
+	if d.isIndexed() {
+		return fmt.Sprintf("indexed<%v>(%d blocks)", d.base, len(d.idxLens))
+	}
+	if !d.derived {
+		return d.base.String()
+	}
+	return fmt.Sprintf("vector<%v>(count=%d, blocklen=%d, stride=%d)", d.base, d.count, d.blocklen, d.stride)
+}

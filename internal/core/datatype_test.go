@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mv2j/internal/jvm"
+)
+
+func TestIndexedShape(t *testing.T) {
+	idx, err := Indexed(INT, []int{2, 1, 3}, []int{0, 4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Size() != 6*4 {
+		t.Fatalf("Size = %d, want 24", idx.Size())
+	}
+	if idx.Extent() != 10 {
+		t.Fatalf("Extent = %d, want 10", idx.Extent())
+	}
+	if idx.contiguous() || !idx.IsDerived() {
+		t.Fatal("indexed must be derived and non-contiguous")
+	}
+	if idx.String() != "indexed<int>(3 blocks)" {
+		t.Fatalf("String = %q", idx.String())
+	}
+}
+
+func TestIndexedValidation(t *testing.T) {
+	cases := []struct {
+		lens, displs []int
+	}{
+		{nil, nil},
+		{[]int{1}, []int{0, 1}},
+		{[]int{0}, []int{0}},
+		{[]int{1, 1}, []int{0, 0}}, // overlapping
+		{[]int{2, 1}, []int{0, 1}}, // overlapping
+		{[]int{1, 1}, []int{3, 1}}, // decreasing
+		{[]int{1}, []int{-1}},      // negative displ
+	}
+	for i, c := range cases {
+		if _, err := Indexed(INT, c.lens, c.displs); err == nil {
+			t.Errorf("case %d: invalid indexed layout accepted", i)
+		}
+	}
+	vec, _ := Vector(INT, 2, 1, 2)
+	if _, err := Indexed(vec, []int{1}, []int{0}); err == nil {
+		t.Error("nested derived accepted")
+	}
+}
+
+func TestIndexedSendRecv(t *testing.T) {
+	// Send elements {0,1, 4, 7,8,9} of a 12-int array, receive them
+	// contiguously.
+	idx, err := Indexed(INT, []int{2, 1, 3}, []int{0, 4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(mv2Config(1, 2), func(m *MPI) error {
+		c := m.CommWorld()
+		if c.Rank() == 0 {
+			src := m.JVM().MustArray(jvm.Int, 12)
+			fillArray(src, 100)
+			return c.Send(src, 1, idx, 1, 0)
+		}
+		dst := m.JVM().MustArray(jvm.Int, 6)
+		if _, err := c.Recv(dst, 6, INT, 0, 0); err != nil {
+			return err
+		}
+		want := []int64{100, 101, 104, 107, 108, 109}
+		for i, w := range want {
+			if dst.Int(i) != w {
+				return fmt.Errorf("dst[%d] = %d, want %d", i, dst.Int(i), w)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedRecvScatters(t *testing.T) {
+	// Receive a contiguous message into an indexed layout: the gaps
+	// must keep their old contents.
+	idx, err := Indexed(SHORT, []int{1, 2}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(mv2Config(1, 2), func(m *MPI) error {
+		c := m.CommWorld()
+		if c.Rank() == 0 {
+			src := m.JVM().MustArray(jvm.Short, 3)
+			for i := 0; i < 3; i++ {
+				src.SetInt(i, int64(70+i))
+			}
+			return c.Send(src, 3, SHORT, 1, 0)
+		}
+		dst := m.JVM().MustArray(jvm.Short, 6)
+		dst.Fill(-1)
+		if _, err := c.Recv(dst, 1, idx, 0, 0); err != nil {
+			return err
+		}
+		want := []int64{-1, 70, -1, -1, 71, 72}
+		for i, w := range want {
+			if dst.Int(i) != w {
+				return fmt.Errorf("dst[%d] = %d, want %d", i, dst.Int(i), w)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedBothFlavors(t *testing.T) {
+	// The Open MPI-J array path packs derived types from the JNI copy;
+	// results must agree with the MVAPICH2-J buffering-layer path.
+	idx, err := Indexed(LONG, []int{1, 1}, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{mv2Config(1, 2), ompiConfig(1, 2)} {
+		cfg := cfg
+		err := Run(cfg, func(m *MPI) error {
+			c := m.CommWorld()
+			if c.Rank() == 0 {
+				src := m.JVM().MustArray(jvm.Long, 8)
+				fillArray(src, 0)
+				// Two indexed elements: {0,3} and {4,7}.
+				return c.Send(src, 2, idx, 1, 0)
+			}
+			dst := m.JVM().MustArray(jvm.Long, 4)
+			if _, err := c.Recv(dst, 4, LONG, 0, 0); err != nil {
+				return err
+			}
+			want := []int64{0, 3, 4, 7}
+			for i, w := range want {
+				if dst.Int(i) != w {
+					return fmt.Errorf("%v: dst[%d] = %d, want %d", cfg.Flavor, i, dst.Int(i), w)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: pack(unpack(x)) == x for random indexed layouts — the
+// round trip through the buffering layer loses nothing.
+func TestIndexedRoundTripProperty(t *testing.T) {
+	type layout struct {
+		lens, displs []int
+	}
+	mk := func(raw []uint8) layout {
+		var l layout
+		pos := 0
+		for _, r := range raw {
+			length := int(r%3) + 1
+			gap := int(r/64) % 3
+			l.lens = append(l.lens, length)
+			l.displs = append(l.displs, pos+gap)
+			pos += gap + length
+			if len(l.lens) == 4 {
+				break
+			}
+		}
+		if len(l.lens) == 0 {
+			l.lens, l.displs = []int{1}, []int{0}
+		}
+		return l
+	}
+	f := func(raw []uint8, seed int64) bool {
+		l := mk(raw)
+		idx, err := Indexed(BYTE, l.lens, l.displs)
+		if err != nil {
+			return false
+		}
+		ok := true
+		runErr := Run(mv2Config(1, 2), func(m *MPI) error {
+			c := m.CommWorld()
+			ext := idx.Extent()
+			if c.Rank() == 0 {
+				src := m.JVM().MustArray(jvm.Byte, ext)
+				for i := 0; i < ext; i++ {
+					src.SetInt(i, seed+int64(i))
+				}
+				return c.Send(src, 1, idx, 1, 0)
+			}
+			// Receive into the same layout; gaps stay zero.
+			dst := m.JVM().MustArray(jvm.Byte, ext)
+			if _, err := c.Recv(dst, 1, idx, 0, 0); err != nil {
+				return err
+			}
+			inBlock := make([]bool, ext)
+			for b := range l.lens {
+				for k := 0; k < l.lens[b]; k++ {
+					inBlock[l.displs[b]+k] = true
+				}
+			}
+			for i := 0; i < ext; i++ {
+				if inBlock[i] {
+					if dst.Int(i) != int64(int8(seed+int64(i))) {
+						ok = false
+					}
+				} else if dst.Int(i) != 0 {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return runErr == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

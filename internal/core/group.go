@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is an ordered set of communicator ranks (MPI_Group). Group
+// operations are pure local computations; only Comm.Create turns a
+// group back into communication state.
+type Group struct {
+	ranks []int
+}
+
+// NewGroup builds a group from explicit ranks. It rejects duplicates,
+// which MPI groups cannot contain.
+func NewGroup(ranks []int) (*Group, error) {
+	seen := map[int]bool{}
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		if r < 0 {
+			return nil, fmt.Errorf("%w: negative rank %d", ErrCount, r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("%w: duplicate rank %d", ErrCount, r)
+		}
+		seen[r] = true
+		out[i] = r
+	}
+	return &Group{ranks: out}, nil
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Ranks returns a copy of the member list.
+func (g *Group) Ranks() []int {
+	out := make([]int, len(g.ranks))
+	copy(out, g.ranks)
+	return out
+}
+
+// Rank returns the position of parent rank r in the group, or -1.
+func (g *Group) Rank(r int) int {
+	for i, x := range g.ranks {
+		if x == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// Incl returns the subgroup containing the listed members, in the
+// given order (MPI_Group_incl). Indices are positions in g.
+func (g *Group) Incl(indices []int) (*Group, error) {
+	out := make([]int, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(g.ranks) {
+			return nil, fmt.Errorf("%w: group index %d out of range [0,%d)", ErrCount, idx, len(g.ranks))
+		}
+		out[i] = g.ranks[idx]
+	}
+	return NewGroup(out)
+}
+
+// Excl returns the group minus the listed positions (MPI_Group_excl),
+// preserving order.
+func (g *Group) Excl(indices []int) (*Group, error) {
+	drop := map[int]bool{}
+	for _, idx := range indices {
+		if idx < 0 || idx >= len(g.ranks) {
+			return nil, fmt.Errorf("%w: group index %d out of range [0,%d)", ErrCount, idx, len(g.ranks))
+		}
+		drop[idx] = true
+	}
+	out := []int{}
+	for i, r := range g.ranks {
+		if !drop[i] {
+			out = append(out, r)
+		}
+	}
+	return &Group{ranks: out}, nil
+}
+
+// Union returns g ∪ other: members of g in order, then members of
+// other not already present (MPI_Group_union).
+func (g *Group) Union(other *Group) *Group {
+	seen := map[int]bool{}
+	out := []int{}
+	for _, r := range g.ranks {
+		seen[r] = true
+		out = append(out, r)
+	}
+	for _, r := range other.ranks {
+		if !seen[r] {
+			out = append(out, r)
+		}
+	}
+	return &Group{ranks: out}
+}
+
+// Intersection returns members of g also present in other, in g's
+// order (MPI_Group_intersection).
+func (g *Group) Intersection(other *Group) *Group {
+	in := map[int]bool{}
+	for _, r := range other.ranks {
+		in[r] = true
+	}
+	out := []int{}
+	for _, r := range g.ranks {
+		if in[r] {
+			out = append(out, r)
+		}
+	}
+	return &Group{ranks: out}
+}
+
+// Difference returns members of g not in other, in g's order
+// (MPI_Group_difference).
+func (g *Group) Difference(other *Group) *Group {
+	in := map[int]bool{}
+	for _, r := range other.ranks {
+		in[r] = true
+	}
+	out := []int{}
+	for _, r := range g.ranks {
+		if !in[r] {
+			out = append(out, r)
+		}
+	}
+	return &Group{ranks: out}
+}
+
+// Translate maps positions in g to positions in other
+// (MPI_Group_translate_ranks); absent members map to -1.
+func (g *Group) Translate(indices []int, other *Group) ([]int, error) {
+	out := make([]int, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(g.ranks) {
+			return nil, fmt.Errorf("%w: group index %d out of range [0,%d)", ErrCount, idx, len(g.ranks))
+		}
+		out[i] = other.Rank(g.ranks[idx])
+	}
+	return out, nil
+}
+
+// Equal reports whether both groups have identical members in
+// identical order (MPI_IDENT).
+func (g *Group) Equal(other *Group) bool {
+	if len(g.ranks) != len(other.ranks) {
+		return false
+	}
+	for i := range g.ranks {
+		if g.ranks[i] != other.ranks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Similar reports whether both groups have the same members in any
+// order (MPI_SIMILAR).
+func (g *Group) Similar(other *Group) bool {
+	if len(g.ranks) != len(other.ranks) {
+		return false
+	}
+	a := g.Ranks()
+	b := other.Ranks()
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustGroup(t *testing.T, ranks []int) *Group {
+	t.Helper()
+	g, err := NewGroup(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGroupBasics(t *testing.T) {
+	g := mustGroup(t, []int{3, 1, 4})
+	if g.Size() != 3 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	if g.Rank(4) != 2 || g.Rank(9) != -1 {
+		t.Fatal("Rank lookup wrong")
+	}
+	if _, err := NewGroup([]int{1, 1}); err == nil {
+		t.Fatal("duplicate ranks accepted")
+	}
+	if _, err := NewGroup([]int{-1}); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+}
+
+func TestGroupInclExcl(t *testing.T) {
+	g := mustGroup(t, []int{10, 20, 30, 40})
+	inc, err := g.Incl([]int{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Equal(mustGroup(t, []int{40, 10})) {
+		t.Fatalf("Incl = %v", inc.Ranks())
+	}
+	exc, err := g.Excl([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exc.Equal(mustGroup(t, []int{10, 40})) {
+		t.Fatalf("Excl = %v", exc.Ranks())
+	}
+	if _, err := g.Incl([]int{7}); err == nil {
+		t.Fatal("Incl out of range accepted")
+	}
+	if _, err := g.Excl([]int{-1}); err == nil {
+		t.Fatal("Excl out of range accepted")
+	}
+}
+
+func TestGroupSetOps(t *testing.T) {
+	a := mustGroup(t, []int{1, 2, 3})
+	b := mustGroup(t, []int{3, 4})
+	if got := a.Union(b).Ranks(); len(got) != 4 || got[3] != 4 {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := a.Intersection(b).Ranks(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Intersection = %v", got)
+	}
+	if got := a.Difference(b).Ranks(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Difference = %v", got)
+	}
+}
+
+func TestGroupTranslate(t *testing.T) {
+	a := mustGroup(t, []int{5, 6, 7})
+	b := mustGroup(t, []int{7, 5})
+	out, err := a.Translate([]int{0, 1, 2}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != -1 || out[2] != 0 {
+		t.Fatalf("Translate = %v", out)
+	}
+	if _, err := a.Translate([]int{5}, b); err == nil {
+		t.Fatal("Translate out of range accepted")
+	}
+}
+
+func TestGroupEqualSimilar(t *testing.T) {
+	a := mustGroup(t, []int{1, 2})
+	b := mustGroup(t, []int{2, 1})
+	if a.Equal(b) {
+		t.Fatal("order-insensitive Equal")
+	}
+	if !a.Similar(b) {
+		t.Fatal("Similar should ignore order")
+	}
+	if a.Similar(mustGroup(t, []int{1, 3})) {
+		t.Fatal("Similar with different members")
+	}
+}
+
+// Property: set-operation identities over arbitrary groups.
+func TestGroupAlgebraProperty(t *testing.T) {
+	mk := func(raw []uint8) *Group {
+		seen := map[int]bool{}
+		var ranks []int
+		for _, r := range raw {
+			v := int(r % 16)
+			if !seen[v] {
+				seen[v] = true
+				ranks = append(ranks, v)
+			}
+		}
+		g, _ := NewGroup(ranks)
+		return g
+	}
+	f := func(ra, rb []uint8) bool {
+		a, b := mk(ra), mk(rb)
+		u := a.Union(b)
+		i := a.Intersection(b)
+		d := a.Difference(b)
+		// |A∪B| = |A| + |B| - |A∩B|
+		if u.Size() != a.Size()+b.Size()-i.Size() {
+			return false
+		}
+		// A\B and A∩B partition A.
+		if d.Size()+i.Size() != a.Size() {
+			return false
+		}
+		// Difference ∩ B = ∅.
+		if d.Intersection(b).Size() != 0 {
+			return false
+		}
+		// A ∩ B ⊆ A and ⊆ B.
+		for _, r := range i.Ranks() {
+			if a.Rank(r) < 0 || b.Rank(r) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatatypeShapes(t *testing.T) {
+	if INT.Size() != 4 || DOUBLE.Size() != 8 || BYTE.Size() != 1 || CHAR.Size() != 2 {
+		t.Fatal("basic sizes wrong")
+	}
+	cont, err := Contiguous(INT, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cont.Size() != 20 || cont.Extent() != 5 || !cont.contiguous() {
+		t.Fatalf("contiguous shape wrong: size=%d extent=%d", cont.Size(), cont.Extent())
+	}
+	vec, err := Vector(DOUBLE, 3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Size() != 48 { // 3 blocks x 2 doubles
+		t.Fatalf("vector size %d", vec.Size())
+	}
+	if vec.Extent() != 10 { // 2*4 + 2
+		t.Fatalf("vector extent %d", vec.Extent())
+	}
+	if vec.contiguous() {
+		t.Fatal("strided vector reported contiguous")
+	}
+	if _, err := Vector(INT, 0, 1, 1); err == nil {
+		t.Fatal("invalid vector accepted")
+	}
+	if _, err := Vector(INT, 2, 3, 2); err == nil {
+		t.Fatal("stride < blocklen accepted")
+	}
+	if _, err := Contiguous(cont, 2); err == nil {
+		t.Fatal("nested derived accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"mv2j/internal/nativempi"
+)
+
+// InterComm is the bindings-level intercommunicator: point-to-point
+// messaging addressed by REMOTE-group ranks, plus Merge back to an
+// ordinary communicator for collectives.
+type InterComm struct {
+	mpi    *MPI
+	native *nativempi.InterComm
+}
+
+// CreateIntercomm connects this communicator's group with a remote
+// group over a bridge communicator (MPI_Intercomm_create). Collective
+// over c.
+func (c *Comm) CreateIntercomm(localLeader int, bridge *Comm, bridgeRemoteLeader, tag int) (*InterComm, error) {
+	c.mpi.enterNative()
+	if bridge == nil {
+		return nil, fmt.Errorf("%w: nil bridge communicator", ErrCount)
+	}
+	n, err := c.native.CreateIntercomm(localLeader, bridge.native, bridgeRemoteLeader, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &InterComm{mpi: c.mpi, native: n}, nil
+}
+
+// Rank returns the caller's rank in the local group.
+func (ic *InterComm) Rank() int { return ic.native.Rank() }
+
+// LocalSize and RemoteSize report the two group sizes.
+func (ic *InterComm) LocalSize() int  { return ic.native.LocalSize() }
+func (ic *InterComm) RemoteSize() int { return ic.native.RemoteSize() }
+
+// Send transmits count dt elements to a remote-group rank.
+func (ic *InterComm) Send(buf any, count int, dt Datatype, remoteRank, tag int) error {
+	ic.mpi.enterNative()
+	raw, free, err := ic.mpi.sendStage(buf, 0, count, dt)
+	if err != nil {
+		return err
+	}
+	defer free()
+	return ic.native.Send(raw, remoteRank, tag)
+}
+
+// Recv receives count dt elements from a remote-group rank.
+func (ic *InterComm) Recv(buf any, count int, dt Datatype, remoteRank, tag int) (Status, error) {
+	ic.mpi.enterNative()
+	raw, finish, free, err := ic.mpi.recvStage(buf, 0, count, dt)
+	if err != nil {
+		return Status{}, err
+	}
+	defer free()
+	st, err := ic.native.Recv(raw, remoteRank, tag)
+	if err != nil {
+		return fromNative(st), err
+	}
+	return fromNative(st), finish()
+}
+
+// Merge converts the intercommunicator into an ordinary communicator
+// (MPI_Intercomm_merge). Collective over both sides.
+func (ic *InterComm) Merge(high bool) (*Comm, error) {
+	ic.mpi.enterNative()
+	n, err := ic.native.Merge(high)
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{mpi: ic.mpi, native: n}, nil
+}

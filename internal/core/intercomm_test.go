@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mv2j/internal/jvm"
+)
+
+func TestIntercommBindings(t *testing.T) {
+	err := Run(mv2Config(2, 2), func(m *MPI) error {
+		world := m.CommWorld()
+		half := world.Size() / 2
+		color := 0
+		if world.Rank() >= half {
+			color = 1
+		}
+		local, err := world.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		remoteLeader := half
+		if color == 1 {
+			remoteLeader = 0
+		}
+		ic, err := local.CreateIntercomm(0, world, remoteLeader, 50)
+		if err != nil {
+			return err
+		}
+		if ic.LocalSize() != half || ic.RemoteSize() != half {
+			return fmt.Errorf("shape %d/%d", ic.LocalSize(), ic.RemoteSize())
+		}
+
+		// Exchange Java arrays across the groups.
+		me := ic.Rank()
+		out := m.JVM().MustArray(jvm.Int, 8)
+		in := m.JVM().MustArray(jvm.Int, 8)
+		fillArray(out, int64(world.Rank()*100))
+		if color == 0 {
+			if err := ic.Send(out, 8, INT, me, 1); err != nil {
+				return err
+			}
+			if _, err := ic.Recv(in, 8, INT, me, 1); err != nil {
+				return err
+			}
+		} else {
+			if _, err := ic.Recv(in, 8, INT, me, 1); err != nil {
+				return err
+			}
+			if err := ic.Send(out, 8, INT, me, 1); err != nil {
+				return err
+			}
+		}
+		peer := (world.Rank() + half) % world.Size()
+		if err := checkArray(in, int64(peer*100)); err != nil {
+			return fmt.Errorf("rank %d: %w", world.Rank(), err)
+		}
+
+		// Merge and run a collective over everyone.
+		merged, err := ic.Merge(color == 1)
+		if err != nil {
+			return err
+		}
+		send := m.JVM().MustArray(jvm.Long, 1)
+		recv := m.JVM().MustArray(jvm.Long, 1)
+		send.SetInt(0, 1)
+		if err := merged.Allreduce(send, recv, 1, LONG, SUM); err != nil {
+			return err
+		}
+		if recv.Int(0) != int64(world.Size()) {
+			return fmt.Errorf("merged allreduce = %d", recv.Int(0))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mv2j/internal/jvm"
+)
+
+func TestStatusCountBindings(t *testing.T) {
+	st := Status{Bytes: 24}
+	if n, err := st.Count(DOUBLE); err != nil || n != 3 {
+		t.Fatalf("Count(DOUBLE) = %d, %v", n, err)
+	}
+	st.Bytes = 25
+	if _, err := st.Count(DOUBLE); err == nil {
+		t.Fatal("non-multiple count accepted")
+	}
+}
+
+func TestFlavorStrings(t *testing.T) {
+	if MVAPICH2J.String() != "MVAPICH2-J" || OpenMPIJ.String() != "OpenMPI-J" {
+		t.Fatal("Flavor strings wrong")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		c := m.CommWorld()
+		if c.MPI() != m {
+			return fmt.Errorf("Comm.MPI() wrong")
+		}
+		if m.Flavor() != MVAPICH2J {
+			return fmt.Errorf("Flavor() wrong")
+		}
+		if m.JVM() == nil || m.JNI() == nil || m.Pool() == nil || m.Proc() == nil || m.Clock() == nil {
+			return fmt.Errorf("nil accessor")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeFor(t *testing.T) {
+	for _, k := range jvm.Kinds() {
+		dt := TypeFor(k)
+		if dt.Kind() != k || dt.IsDerived() || dt.Size() != k.Size() {
+			t.Fatalf("TypeFor(%v) wrong: %v", k, dt)
+		}
+	}
+}
+
+func TestAbortBindings(t *testing.T) {
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		if m.CommWorld().Rank() == 0 {
+			m.Abort("user abort")
+			return nil
+		}
+		arr := m.JVM().MustArray(jvm.Byte, 4)
+		_, err := m.CommWorld().Recv(arr, 4, BYTE, 0, 0) // never satisfied
+		return err
+	})
+	if err == nil {
+		t.Fatal("aborted job reported success")
+	}
+}
+
+func TestHeapBufferSendBothFlavors(t *testing.T) {
+	// Heap (non-direct) ByteBuffers go through the JVM-copy path in
+	// both flavors.
+	for _, cfg := range []Config{mv2Config(1, 2), ompiConfig(1, 2)} {
+		cfg := cfg
+		err := Run(cfg, func(m *MPI) error {
+			c := m.CommWorld()
+			buf, err := m.JVM().Allocate(128)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				for i := 0; i < 128; i++ {
+					buf.PutByteAt(i, byte(i^0x55))
+				}
+				return c.Send(buf, 128, BYTE, 1, 0)
+			}
+			if _, err := c.Recv(buf, 128, BYTE, 0, 0); err != nil {
+				return err
+			}
+			for i := 0; i < 128; i++ {
+				if buf.ByteAt(i) != byte(i^0x55) {
+					return fmt.Errorf("%v: heap buffer payload corrupted at %d", cfg.Flavor, i)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBufferPositionRespected(t *testing.T) {
+	// Sends read from the buffer's position, as the Java bindings do.
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		c := m.CommWorld()
+		buf := m.JVM().MustAllocateDirect(64)
+		if c.Rank() == 0 {
+			for i := 0; i < 64; i++ {
+				buf.PutByteAt(i, byte(i))
+			}
+			buf.SetPosition(16)
+			return c.Send(buf, 8, BYTE, 1, 0)
+		}
+		if _, err := c.Recv(buf, 8, BYTE, 0, 0); err != nil {
+			return err
+		}
+		for i := 0; i < 8; i++ {
+			if buf.ByteAt(i) != byte(16+i) {
+				return fmt.Errorf("position-relative send wrong at %d: %d", i, buf.ByteAt(i))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendBeyondBufferLimit(t *testing.T) {
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		c := m.CommWorld()
+		buf := m.JVM().MustAllocateDirect(16)
+		buf.SetPosition(12)
+		if err := c.Send(buf, 8, BYTE, 1-c.Rank(), 0); err == nil {
+			return fmt.Errorf("send past the limit accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mv2j/internal/jvm"
+)
+
+func TestPackUnpackContiguous(t *testing.T) {
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		src := m.JVM().MustArray(jvm.Int, 10)
+		fillArray(src, 3)
+		pkt := m.JVM().MustAllocateDirect(PackSize(10, INT))
+		if err := m.Pack(src, 0, 10, INT, pkt); err != nil {
+			return err
+		}
+		pkt.Flip()
+		dst := m.JVM().MustArray(jvm.Int, 10)
+		if err := m.Unpack(pkt, dst, 0, 10, INT); err != nil {
+			return err
+		}
+		return checkArray(dst, 3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackVectorUnpackContiguous(t *testing.T) {
+	// Pack a strided column, ship it as BYTEs, unpack densely — the
+	// Pack/Unpack counterpart of the vector-datatype send.
+	vec, err := Vector(DOUBLE, 4, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(mv2Config(1, 2), func(m *MPI) error {
+		c := m.CommWorld()
+		if c.Rank() == 0 {
+			mat := m.JVM().MustArray(jvm.Double, 16)
+			for i := 0; i < 16; i++ {
+				mat.SetFloat(i, float64(i))
+			}
+			pkt := m.JVM().MustAllocateDirect(PackSize(1, vec))
+			if err := m.Pack(mat, 2, 1, vec, pkt); err != nil { // column 2
+				return err
+			}
+			pkt.Flip()
+			return c.Send(pkt, PackSize(1, vec), BYTE, 1, 0)
+		}
+		pkt := m.JVM().MustAllocateDirect(PackSize(1, vec))
+		if _, err := c.Recv(pkt, PackSize(1, vec), BYTE, 0, 0); err != nil {
+			return err
+		}
+		col := m.JVM().MustArray(jvm.Double, 4)
+		if err := m.Unpack(pkt, col, 0, 4, DOUBLE); err != nil {
+			return err
+		}
+		for r := 0; r < 4; r++ {
+			if col.Float(r) != float64(r*4+2) {
+				return fmt.Errorf("col[%d] = %v", r, col.Float(r))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackMultipleTypesSequentially(t *testing.T) {
+	// Heterogeneous payload: ints then doubles in one packed message.
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		ints := m.JVM().MustArray(jvm.Int, 3)
+		dbls := m.JVM().MustArray(jvm.Double, 2)
+		fillArray(ints, 9)
+		dbls.SetFloat(0, 1.5)
+		dbls.SetFloat(1, -2.5)
+		pkt := m.JVM().MustAllocateDirect(PackSize(3, INT) + PackSize(2, DOUBLE))
+		if err := m.Pack(ints, 0, 3, INT, pkt); err != nil {
+			return err
+		}
+		if err := m.Pack(dbls, 0, 2, DOUBLE, pkt); err != nil {
+			return err
+		}
+		pkt.Flip()
+		outI := m.JVM().MustArray(jvm.Int, 3)
+		outD := m.JVM().MustArray(jvm.Double, 2)
+		if err := m.Unpack(pkt, outI, 0, 3, INT); err != nil {
+			return err
+		}
+		if err := m.Unpack(pkt, outD, 0, 2, DOUBLE); err != nil {
+			return err
+		}
+		if err := checkArray(outI, 9); err != nil {
+			return err
+		}
+		if outD.Float(0) != 1.5 || outD.Float(1) != -2.5 {
+			return fmt.Errorf("doubles corrupted: %v %v", outD.Float(0), outD.Float(1))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		arr := m.JVM().MustArray(jvm.Int, 4)
+		small := m.JVM().MustAllocateDirect(8)
+		if err := m.Pack(arr, 0, 4, INT, small); err == nil {
+			return fmt.Errorf("overflow pack accepted")
+		}
+		if err := m.Pack(arr, 0, 4, DOUBLE, m.JVM().MustAllocateDirect(64)); err == nil {
+			return fmt.Errorf("kind mismatch accepted")
+		}
+		pkt := m.JVM().MustAllocateDirect(8)
+		pkt.Flip() // empty
+		if err := m.Unpack(pkt, arr, 0, 4, INT); err == nil {
+			return fmt.Errorf("underflow unpack accepted")
+		}
+		if err := m.Pack("junk", 0, 1, BYTE, small); err == nil {
+			return fmt.Errorf("bad buffer type accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

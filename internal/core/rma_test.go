@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mv2j/internal/jvm"
+)
+
+func TestRMABindingsPutGet(t *testing.T) {
+	err := Run(mv2Config(2, 1), func(m *MPI) error {
+		c := m.CommWorld()
+		exposed := m.JVM().MustAllocateDirect(256)
+		win, err := c.WinCreate(exposed)
+		if err != nil {
+			return err
+		}
+		other := 1 - c.Rank()
+
+		// Put an int array into the peer's window.
+		vals := m.JVM().MustArray(jvm.Int, 8)
+		fillArray(vals, int64(100*(c.Rank()+1)))
+		if err := win.Put(vals, 8, INT, other, 4); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		// Window bytes 16..48 now hold the peer's ints (native layout).
+		exposed.SetOrder(jvm.LittleEndian)
+		for i := 0; i < 8; i++ {
+			want := int64(100*(other+1) + i)
+			if got := exposed.IntKindAt(jvm.Int, 16+4*i); got != want {
+				return fmt.Errorf("rank %d: window[%d] = %d, want %d", c.Rank(), i, got, want)
+			}
+		}
+
+		// Get the peer's window contents back.
+		dst := m.JVM().MustAllocateDirect(32)
+		if err := win.Get(dst, 8, INT, other, 4); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		dst.SetOrder(jvm.LittleEndian)
+		for i := 0; i < 8; i++ {
+			want := int64(100*(c.Rank()+1) + i) // what I put there earlier
+			if got := dst.IntKindAt(jvm.Int, 4*i); got != want {
+				return fmt.Errorf("rank %d: get[%d] = %d, want %d", c.Rank(), i, got, want)
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMABindingsAccumulate(t *testing.T) {
+	err := Run(mv2Config(1, 4), func(m *MPI) error {
+		c := m.CommWorld()
+		exposed := m.JVM().MustAllocateDirect(64)
+		win, err := c.WinCreate(exposed)
+		if err != nil {
+			return err
+		}
+		one := m.JVM().MustArray(jvm.Long, 1)
+		one.SetInt(0, int64(c.Rank()+1))
+		if err := win.Accumulate(one, 1, LONG, SUM, 0, 0); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			exposed.SetOrder(jvm.LittleEndian)
+			if got := exposed.IntKindAt(jvm.Long, 0); got != 10 {
+				return fmt.Errorf("accumulated %d, want 10", got)
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAWindowRequiresDirectBuffer(t *testing.T) {
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		c := m.CommWorld()
+		heap, err := m.JVM().Allocate(64)
+		if err != nil {
+			return err
+		}
+		if _, err := c.WinCreate(heap); !errors.Is(err, ErrUnsupported) {
+			return fmt.Errorf("heap-buffer window: err=%v, want ErrUnsupported", err)
+		}
+		// All ranks must fail identically, and since WinCreate bailed
+		// before any collective call, no cleanup synchronisation is
+		// needed.
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAGetRequiresDirectOrigin(t *testing.T) {
+	err := Run(mv2Config(1, 2), func(m *MPI) error {
+		c := m.CommWorld()
+		win, err := c.WinCreate(m.JVM().MustAllocateDirect(64))
+		if err != nil {
+			return err
+		}
+		arr := m.JVM().MustArray(jvm.Int, 4)
+		if err := win.Get(arr, 4, INT, 1-c.Rank(), 0); !errors.Is(err, ErrUnsupported) {
+			return fmt.Errorf("array get: err=%v, want ErrUnsupported", err)
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mv2j/internal/jvm"
+)
+
+// TestCorrectnessUnderGCPressure runs message traffic on a tiny heap,
+// forcing collections (which MOVE the arrays) between and during
+// communication epochs. Payload integrity across compactions is the
+// whole point of the copy-based JNI discipline.
+func TestCorrectnessUnderGCPressure(t *testing.T) {
+	cfg := mv2Config(1, 2)
+	cfg.HeapSize = 256 << 10 // 256 KiB: tiny
+	cfg.ArenaSize = 1 << 20
+	err := Run(cfg, func(m *MPI) error {
+		c := m.CommWorld()
+		const n = 1024
+		keeper := m.JVM().MustArray(jvm.Int, n) // survives all collections
+		if c.Rank() == 0 {
+			fillArray(keeper, 7)
+		}
+		for round := 0; round < 30; round++ {
+			// Churn the heap so allocation pressure forces GC; the
+			// keeper array's payload must move and stay intact.
+			garbage, err := m.JVM().NewArray(jvm.Byte, 100<<10)
+			if err != nil {
+				return err
+			}
+			garbage.Discard()
+			if c.Rank() == 0 {
+				if err := c.Send(keeper, n, INT, 1, round); err != nil {
+					return err
+				}
+			} else {
+				got := m.JVM().MustArray(jvm.Int, n)
+				if _, err := c.Recv(got, n, INT, 0, round); err != nil {
+					return err
+				}
+				if err := checkArray(got, 7); err != nil {
+					return fmt.Errorf("round %d: %w", round, err)
+				}
+				got.Discard()
+			}
+		}
+		if m.JVM().Stats().Collections == 0 {
+			return fmt.Errorf("rank %d: no collections ran — stress test vacuous", c.Rank())
+		}
+		if err := checkArrayIfRoot(c, keeper); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkArrayIfRoot(c *Comm, a jvm.Array) error {
+	if c.Rank() != 0 {
+		return nil
+	}
+	return checkArray(a, 7)
+}
+
+// TestHeapExhaustionSurfacesCleanly: an allocation that cannot fit
+// must surface jvm.ErrOutOfMemory through the bindings, not corrupt
+// state or hang the peer.
+func TestHeapExhaustionSurfacesCleanly(t *testing.T) {
+	cfg := mv2Config(1, 2)
+	cfg.HeapSize = 64 << 10
+	err := Run(cfg, func(m *MPI) error {
+		if _, err := m.JVM().NewArray(jvm.Byte, 1<<20); !errors.Is(err, jvm.ErrOutOfMemory) {
+			return fmt.Errorf("huge allocation: err=%v, want ErrOutOfMemory", err)
+		}
+		// The job continues normally afterwards.
+		return m.CommWorld().Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArenaExhaustionInStaging: when the direct arena cannot stage an
+// array message, the send fails with a descriptive error on the
+// CALLING rank (both ranks here, so the job still terminates).
+func TestArenaExhaustionInStaging(t *testing.T) {
+	cfg := mv2Config(1, 2)
+	cfg.HeapSize = 8 << 20
+	cfg.ArenaSize = 4 << 10 // too small to stage 16 KiB
+	err := Run(cfg, func(m *MPI) error {
+		c := m.CommWorld()
+		arr := m.JVM().MustArray(jvm.Byte, 16<<10)
+		err := c.Send(arr, 16<<10, BYTE, 1-c.Rank(), 0)
+		if !errors.Is(err, jvm.ErrOutOfMemory) {
+			return fmt.Errorf("staging into a full arena: err=%v, want ErrOutOfMemory", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolReuseAcrossManyMessages: thousands of messages must not grow
+// the arena beyond the pool's working set (no leaks in the staging
+// path).
+func TestPoolReuseAcrossManyMessages(t *testing.T) {
+	cfg := mv2Config(1, 2)
+	err := Run(cfg, func(m *MPI) error {
+		c := m.CommWorld()
+		arr := m.JVM().MustArray(jvm.Byte, 2048)
+		for i := 0; i < 500; i++ {
+			if c.Rank() == 0 {
+				if err := c.Send(arr, 2048, BYTE, 1, 0); err != nil {
+					return err
+				}
+			} else {
+				if _, err := c.Recv(arr, 2048, BYTE, 0, 0); err != nil {
+					return err
+				}
+			}
+		}
+		st := m.Pool().Stats()
+		if st.Allocated > 4 {
+			return fmt.Errorf("rank %d: pool allocated %d buffers for a steady 2KB stream", c.Rank(), st.Allocated)
+		}
+		if st.Hits < 400 {
+			return fmt.Errorf("rank %d: only %d pool hits across 500 messages", c.Rank(), st.Hits)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirectBufferSurvivesGCDuringComm: direct buffers keep their
+// address across collections even while in flight.
+func TestDirectBufferSurvivesGCDuringComm(t *testing.T) {
+	cfg := mv2Config(1, 2)
+	cfg.HeapSize = 128 << 10
+	err := Run(cfg, func(m *MPI) error {
+		c := m.CommWorld()
+		buf := m.JVM().MustAllocateDirect(4096)
+		addr := buf.Address()
+		for round := 0; round < 10; round++ {
+			junk, err := m.JVM().NewArray(jvm.Byte, 64<<10)
+			if err != nil {
+				return err
+			}
+			junk.Discard()
+			if c.Rank() == 0 {
+				for i := 0; i < 64; i++ {
+					buf.PutByteAt(i, byte(round*64+i))
+				}
+				if err := c.Send(buf, 64, BYTE, 1, 0); err != nil {
+					return err
+				}
+			} else {
+				if _, err := c.Recv(buf, 64, BYTE, 0, 0); err != nil {
+					return err
+				}
+				for i := 0; i < 64; i++ {
+					if buf.ByteAt(i) != byte(round*64+i) {
+						return fmt.Errorf("round %d: direct buffer corrupted", round)
+					}
+				}
+			}
+		}
+		if buf.Address() != addr {
+			return fmt.Errorf("direct buffer moved: %d -> %d", addr, buf.Address())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mv2j/internal/jvm"
+	"mv2j/internal/trace"
+)
+
+func TestTraceRecordsEndToEnd(t *testing.T) {
+	rec := trace.New(0)
+	cfg := mv2Config(2, 1)
+	cfg.Trace = rec
+	err := Run(cfg, func(m *MPI) error {
+		c := m.CommWorld()
+		arr := m.JVM().MustArray(jvm.Int, 16)
+		if c.Rank() == 0 {
+			if err := c.Send(arr, 16, INT, 1, 0); err != nil {
+				return err
+			}
+		} else {
+			if _, err := c.Recv(arr, 16, INT, 0, 0); err != nil {
+				return err
+			}
+		}
+		if err := c.Bcast(arr, 16, INT, 0); err != nil {
+			return err
+		}
+		win, err := c.WinCreate(m.JVM().MustAllocateDirect(64))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := win.Put(arr, 4, INT, 1, 0); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := rec.Summary()
+	if sum[trace.KindSend].Count == 0 {
+		t.Fatal("no send events recorded")
+	}
+	if sum[trace.KindRecv].Count == 0 {
+		t.Fatal("no recv events recorded")
+	}
+	if sum[trace.KindColl].Count == 0 {
+		t.Fatal("no collective events recorded")
+	}
+	if sum[trace.KindRMA].Count != 1 {
+		t.Fatalf("RMA events = %d, want 1 put", sum[trace.KindRMA].Count)
+	}
+	// The user send moved 64 bytes at least once.
+	if sum[trace.KindSend].Bytes < 64 {
+		t.Fatalf("send bytes = %d", sum[trace.KindSend].Bytes)
+	}
+	// Events carry sane virtual spans.
+	for _, ev := range rec.Events() {
+		if ev.End < ev.Start {
+			t.Fatalf("event ends before it starts: %+v", ev)
+		}
+	}
+	var sb strings.Builder
+	if err := rec.Timeline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "bcast") {
+		t.Fatal("timeline missing the bcast span")
+	}
+}
+
+func TestNoTraceNoOverhead(t *testing.T) {
+	// Without a recorder the run must behave identically (deterministic
+	// virtual time unchanged by hook presence).
+	lat := func(rec *trace.Recorder) float64 {
+		cfg := mv2Config(2, 1)
+		cfg.Trace = rec
+		var us float64
+		err := Run(cfg, func(m *MPI) error {
+			c := m.CommWorld()
+			arr := m.JVM().MustArray(jvm.Byte, 512)
+			for i := 0; i < 10; i++ {
+				if c.Rank() == 0 {
+					if err := c.Send(arr, 512, BYTE, 1, 0); err != nil {
+						return err
+					}
+					if _, err := c.Recv(arr, 512, BYTE, 1, 0); err != nil {
+						return err
+					}
+				} else {
+					if _, err := c.Recv(arr, 512, BYTE, 0, 0); err != nil {
+						return err
+					}
+					if err := c.Send(arr, 512, BYTE, 0, 0); err != nil {
+						return err
+					}
+				}
+			}
+			if c.Rank() == 0 {
+				us = float64(m.Clock().Now())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return us
+	}
+	if lat(nil) != lat(trace.New(0)) {
+		t.Fatal("tracing changed virtual time")
+	}
+}

@@ -1,0 +1,150 @@
+// Package fabric models the communication channels of the simulated
+// cluster with a LogGP-style cost structure: a one-way latency α, a
+// per-byte cost β = 1/bandwidth, and per-message CPU overheads o_s/o_r
+// at the sender and receiver. Two channel classes exist, matching what
+// the paper's evaluation distinguishes: intra-node shared memory and an
+// inter-node InfiniBand-like network (TACC Frontera hosts HDR
+// InfiniBand; its per-link large-message bandwidth is ~12.5 GB/s and
+// native small-message latency is ~1 µs).
+//
+// The fabric is pure cost model: it computes durations. Actual data
+// movement and message ordering live in internal/nativempi.
+package fabric
+
+import (
+	"fmt"
+
+	"mv2j/internal/cluster"
+	"mv2j/internal/vtime"
+)
+
+// Params describes one channel class.
+type Params struct {
+	// Name labels the channel in traces ("shm", "ib").
+	Name string
+	// Latency is the one-way wire/transport latency α.
+	Latency vtime.Duration
+	// Bandwidth is the sustained per-link rate in bytes/second (1/β).
+	Bandwidth float64
+	// SendOverhead is CPU time charged at the sender per message (o_s).
+	SendOverhead vtime.Duration
+	// RecvOverhead is CPU time charged at the receiver per message (o_r).
+	RecvOverhead vtime.Duration
+	// EagerThreshold is the message size (bytes) at or below which the
+	// eager protocol is used; larger messages use rendezvous. Library
+	// profiles may override it.
+	EagerThreshold int
+	// RndvHandshake is the extra cost of the RTS/CTS exchange that the
+	// rendezvous protocol pays before moving payload.
+	RndvHandshake vtime.Duration
+}
+
+// TransferTime returns the wire time for an n-byte payload on this
+// channel: α + n·β. CPU overheads are charged separately by the
+// runtime so that overlap (non-blocking operations) is modeled
+// correctly.
+func (p Params) TransferTime(n int) vtime.Duration {
+	return p.Latency + vtime.PerByte(n, p.Bandwidth)
+}
+
+// SerializeTime returns the time the sender's injection resource (NIC
+// or memory port) is busy with an n-byte payload: n·β. Successive
+// messages from one rank serialize on this resource, which is what
+// caps the bandwidth benchmark at the link rate.
+func (p Params) SerializeTime(n int) vtime.Duration {
+	return vtime.PerByte(n, p.Bandwidth)
+}
+
+// Validate reports a descriptive error for nonsensical parameters.
+func (p Params) Validate() error {
+	if p.Latency < 0 {
+		return fmt.Errorf("fabric %q: negative latency %v", p.Name, p.Latency)
+	}
+	if p.Bandwidth <= 0 {
+		return fmt.Errorf("fabric %q: non-positive bandwidth %g", p.Name, p.Bandwidth)
+	}
+	if p.SendOverhead < 0 || p.RecvOverhead < 0 {
+		return fmt.Errorf("fabric %q: negative overhead", p.Name)
+	}
+	if p.EagerThreshold < 0 {
+		return fmt.Errorf("fabric %q: negative eager threshold %d", p.Name, p.EagerThreshold)
+	}
+	return nil
+}
+
+// FronteraShm returns the intra-node shared-memory channel parameters,
+// calibrated so that native intra-node small-message latency lands in
+// the few-hundred-nanosecond range real CLX nodes show.
+func FronteraShm() Params {
+	return Params{
+		Name:           "shm",
+		Latency:        vtime.Nanos(120),
+		Bandwidth:      16e9, // ~16 GB/s effective per-pair copy bandwidth
+		SendOverhead:   vtime.Nanos(60),
+		RecvOverhead:   vtime.Nanos(60),
+		EagerThreshold: 8192,
+		RndvHandshake:  vtime.Nanos(250),
+	}
+}
+
+// FronteraIB returns the inter-node InfiniBand channel parameters
+// (HDR-class link): ~1 µs end-to-end small-message latency and
+// ~12.5 GB/s sustained bandwidth.
+func FronteraIB() Params {
+	return Params{
+		Name:           "ib",
+		Latency:        vtime.Nanos(750),
+		Bandwidth:      12.5e9,
+		SendOverhead:   vtime.Nanos(120),
+		RecvOverhead:   vtime.Nanos(120),
+		EagerThreshold: 16384,
+		RndvHandshake:  vtime.Nanos(1600),
+	}
+}
+
+// Fabric binds channel parameters to a topology.
+type Fabric struct {
+	topo  *cluster.Topology
+	intra Params
+	inter Params
+}
+
+// New builds a fabric over topo. It panics on invalid parameters; a
+// bad cost model would silently corrupt every measurement downstream.
+func New(topo *cluster.Topology, intra, inter Params) *Fabric {
+	if topo == nil {
+		panic("fabric: nil topology")
+	}
+	if err := intra.Validate(); err != nil {
+		panic(err)
+	}
+	if err := inter.Validate(); err != nil {
+		panic(err)
+	}
+	return &Fabric{topo: topo, intra: intra, inter: inter}
+}
+
+// Default builds a Frontera-like fabric over topo.
+func Default(topo *cluster.Topology) *Fabric {
+	return New(topo, FronteraShm(), FronteraIB())
+}
+
+// Topology returns the topology this fabric spans.
+func (f *Fabric) Topology() *cluster.Topology { return f.topo }
+
+// Intra returns the intra-node channel parameters.
+func (f *Fabric) Intra() Params { return f.intra }
+
+// Inter returns the inter-node channel parameters.
+func (f *Fabric) Inter() Params { return f.inter }
+
+// Channel returns the parameters governing src→dst traffic.
+func (f *Fabric) Channel(src, dst int) Params {
+	if f.topo.SameNode(src, dst) {
+		return f.intra
+	}
+	return f.inter
+}
+
+// IsIntra reports whether src→dst is an intra-node path.
+func (f *Fabric) IsIntra(src, dst int) bool { return f.topo.SameNode(src, dst) }

@@ -1,0 +1,129 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mv2j/internal/cluster"
+	"mv2j/internal/vtime"
+)
+
+func TestTransferTime(t *testing.T) {
+	p := Params{Name: "x", Latency: vtime.Microsecond, Bandwidth: 1e9}
+	// 1000 bytes at 1 GB/s = 1 us; plus 1 us latency = 2 us.
+	if got := p.TransferTime(1000); got != 2*vtime.Microsecond {
+		t.Fatalf("TransferTime = %v, want 2us", got)
+	}
+	if got := p.TransferTime(0); got != vtime.Microsecond {
+		t.Fatalf("TransferTime(0) = %v, want latency only", got)
+	}
+}
+
+func TestSerializeTime(t *testing.T) {
+	p := Params{Name: "x", Latency: vtime.Microsecond, Bandwidth: 1e9}
+	if got := p.SerializeTime(2000); got != 2*vtime.Microsecond {
+		t.Fatalf("SerializeTime = %v, want 2us", got)
+	}
+	if p.SerializeTime(0) != 0 {
+		t.Fatal("SerializeTime(0) != 0")
+	}
+}
+
+func TestChannelSelection(t *testing.T) {
+	topo := cluster.New(2, 2) // ranks 0,1 on node 0; 2,3 on node 1
+	f := Default(topo)
+	if f.Channel(0, 1).Name != "shm" {
+		t.Fatal("same-node pair should use shm channel")
+	}
+	if f.Channel(0, 2).Name != "ib" {
+		t.Fatal("cross-node pair should use ib channel")
+	}
+	if !f.IsIntra(0, 1) || f.IsIntra(1, 2) {
+		t.Fatal("IsIntra wrong")
+	}
+}
+
+func TestPresetSanity(t *testing.T) {
+	shm, ib := FronteraShm(), FronteraIB()
+	if err := shm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ib.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if shm.Latency >= ib.Latency {
+		t.Fatal("shared memory must have lower latency than the network")
+	}
+	if shm.Bandwidth <= ib.Bandwidth {
+		t.Fatal("shared memory should have higher bandwidth than one IB link")
+	}
+	// Native small-message inter-node latency (α + overheads) should be
+	// around 1 µs — the ballpark Fig. 11 reports.
+	oneByte := ib.TransferTime(1) + ib.SendOverhead + ib.RecvOverhead
+	if oneByte < vtime.Micros(0.5) || oneByte > vtime.Micros(2.0) {
+		t.Fatalf("native IB 1-byte cost %v outside [0.5us, 2us]", oneByte)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Name: "a", Latency: -1, Bandwidth: 1},
+		{Name: "b", Latency: 1, Bandwidth: 0},
+		{Name: "c", Latency: 1, Bandwidth: 1, SendOverhead: -1},
+		{Name: "d", Latency: 1, Bandwidth: 1, RecvOverhead: -1},
+		{Name: "e", Latency: 1, Bandwidth: 1, EagerThreshold: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%q) accepted invalid params", p.Name)
+		}
+	}
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	topo := cluster.New(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid params did not panic")
+		}
+	}()
+	New(topo, Params{Name: "bad", Bandwidth: -1}, FronteraIB())
+}
+
+func TestNewPanicsOnNilTopology(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil topo) did not panic")
+		}
+	}()
+	New(nil, FronteraShm(), FronteraIB())
+}
+
+// Property: TransferTime is monotonic in message size and always at
+// least the latency floor.
+func TestTransferMonotonicProperty(t *testing.T) {
+	p := FronteraIB()
+	f := func(a, b uint32) bool {
+		x, y := int(a%(1<<24)), int(b%(1<<24))
+		if x > y {
+			x, y = y, x
+		}
+		tx, ty := p.TransferTime(x), p.TransferTime(y)
+		return tx <= ty && tx >= p.Latency
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TransferTime = Latency + SerializeTime for all sizes.
+func TestTransferDecompositionProperty(t *testing.T) {
+	p := FronteraShm()
+	f := func(a uint32) bool {
+		n := int(a % (1 << 24))
+		return p.TransferTime(n) == p.Latency+p.SerializeTime(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+package jvm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mv2j/internal/vtime"
+)
+
+func TestDirectBufferStableAddress(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	bb := m.MustAllocateDirect(128)
+	addr := bb.Address()
+	if addr < 0 {
+		t.Fatal("direct buffer must have a native address")
+	}
+	// Force a collection; the direct buffer must not move.
+	a := m.MustArray(Byte, 512)
+	a.Discard()
+	if err := m.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Address() != addr {
+		t.Fatal("GC moved a direct buffer — they must be stable")
+	}
+}
+
+func TestHeapBufferHasNoAddress(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	bb, err := m.Allocate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.IsDirect() {
+		t.Fatal("Allocate produced a direct buffer")
+	}
+	if bb.Address() != -1 {
+		t.Fatal("heap buffer must report no native address (JNI returns NULL)")
+	}
+}
+
+func TestHeapBufferMovesUnderGC(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	junk := m.MustArray(Byte, 256)
+	bb, err := m.Allocate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb.PutByteAt(0, 0x5A)
+	raw1 := bb.RawBytes()
+	junk.Discard()
+	if err := m.GC(); err != nil {
+		t.Fatal(err)
+	}
+	// Content preserved, but the old raw view is stale: the payload
+	// slid to a lower offset.
+	if bb.ByteAt(0) != 0x5A {
+		t.Fatal("heap buffer contents lost in compaction")
+	}
+	raw2 := bb.RawBytes()
+	if &raw1[0] == &raw2[0] {
+		t.Fatal("heap buffer did not move; compaction expected to relocate it")
+	}
+}
+
+func TestBufferPositionLimitSemantics(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	b := m.MustAllocateDirect(16)
+	if b.Position() != 0 || b.Limit() != 16 || b.Capacity() != 16 || b.Remaining() != 16 {
+		t.Fatal("fresh buffer state wrong")
+	}
+	b.PutByte(1)
+	b.PutByte(2)
+	if b.Position() != 2 || b.Remaining() != 14 {
+		t.Fatalf("relative put did not advance: pos=%d", b.Position())
+	}
+	b.Flip()
+	if b.Position() != 0 || b.Limit() != 2 {
+		t.Fatalf("Flip: pos=%d limit=%d", b.Position(), b.Limit())
+	}
+	if b.GetByte() != 1 || b.GetByte() != 2 {
+		t.Fatal("read-back after flip wrong")
+	}
+	b.Rewind()
+	if b.Position() != 0 || b.Limit() != 2 {
+		t.Fatal("Rewind changed the limit")
+	}
+	b.Clear()
+	if b.Position() != 0 || b.Limit() != 16 {
+		t.Fatal("Clear did not restore write state")
+	}
+}
+
+func TestBufferMarkReset(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	b := m.MustAllocateDirect(8)
+	b.PutByte(9)
+	b.Mark()
+	b.PutByte(8)
+	b.ResetToMark()
+	if b.Position() != 1 {
+		t.Fatalf("ResetToMark: pos=%d, want 1", b.Position())
+	}
+	b.SetPosition(0) // moving before the mark discards it
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ResetToMark with discarded mark did not panic")
+			}
+		}()
+		b.ResetToMark()
+	}()
+}
+
+func TestBufferOrder(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	b := m.MustAllocateDirect(8)
+	if b.Order() != BigEndian {
+		t.Fatal("fresh ByteBuffer must default to big-endian, as in Java")
+	}
+	b.PutIntKindAt(Int, 0, 0x01020304)
+	if b.ByteAt(0) != 0x01 || b.ByteAt(3) != 0x04 {
+		t.Fatal("big-endian layout wrong")
+	}
+	b.SetOrder(LittleEndian)
+	b.PutIntKindAt(Int, 4, 0x01020304)
+	if b.ByteAt(4) != 0x04 || b.ByteAt(7) != 0x01 {
+		t.Fatal("little-endian layout wrong")
+	}
+	// Reading back with the mismatched order must byte-swap.
+	b.SetOrder(BigEndian)
+	if got := b.IntKindAt(Int, 4); got != 0x04030201 {
+		t.Fatalf("cross-order read = %#x, want 0x04030201", got)
+	}
+}
+
+func TestBufferTypedRoundTrip(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	b := m.MustAllocateDirect(64)
+	b.PutIntKind(Short, -1234)
+	b.PutIntKind(Long, 1<<40)
+	b.PutFloatKind(Double, 2.75)
+	b.PutFloatKind(Float, -0.5)
+	b.Flip()
+	if b.IntKind(Short) != -1234 || b.IntKind(Long) != 1<<40 {
+		t.Fatal("integral round trip failed")
+	}
+	if b.FloatKind(Double) != 2.75 || b.FloatKind(Float) != -0.5 {
+		t.Fatal("float round trip failed")
+	}
+}
+
+func TestBufferOverflowPanics(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	b := m.MustAllocateDirect(4)
+	for _, f := range []func(){
+		func() { b.PutIntKindAt(Long, 0, 1) }, // 8 bytes into cap 4
+		func() { b.PutByteAt(4, 1) },
+		func() { b.PutByteAt(-1, 1) },
+		func() { b.SetPosition(5) },
+		func() { b.SetLimit(5) },
+		func() { b.PutBytes(make([]byte, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("overflow access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBufferArrayBulkTransfer(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	a := m.MustArray(Int, 8)
+	for i := 0; i < 8; i++ {
+		a.SetInt(i, int64(i*3))
+	}
+	b := m.MustAllocateDirect(64)
+	b.PutArray(a, 2, 4) // elements 2..5
+	b.Flip()
+	out := m.MustArray(Int, 8)
+	b.GetArray(out, 1, 4)
+	for i := 0; i < 4; i++ {
+		if out.Int(1+i) != int64((2+i)*3) {
+			t.Fatalf("bulk transfer mismatch at %d: %d", i, out.Int(1+i))
+		}
+	}
+}
+
+func TestBufferBulkIsCheaperThanElementwise(t *testing.T) {
+	clock := vtime.NewClock()
+	m := NewMachine(clock, Options{HeapSize: 1 << 20, ArenaSize: 1 << 20})
+	a := m.MustArray(Byte, 4096)
+	b := m.MustAllocateDirect(4096)
+
+	t0 := clock.Now()
+	b.PutArray(a, 0, 4096)
+	bulk := clock.Now().Sub(t0)
+
+	b.Clear()
+	t1 := clock.Now()
+	for i := 0; i < 4096; i++ {
+		b.PutByte(0)
+	}
+	elementwise := clock.Now().Sub(t1)
+
+	if bulk*10 > elementwise {
+		t.Fatalf("bulk put (%v) should be >10x cheaper than elementwise (%v)", bulk, elementwise)
+	}
+}
+
+func TestDirectBufferFreeReleasesArena(t *testing.T) {
+	m := newTestMachine(t, 1<<12, 1<<12)
+	b1 := m.MustAllocateDirect(2048)
+	b2 := m.MustAllocateDirect(2048)
+	if _, err := m.AllocateDirect(1024); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatal("arena should be exhausted")
+	}
+	b1.Free()
+	b2.Free()
+	if m.DirectUsed() != 0 {
+		t.Fatalf("DirectUsed = %d after frees", m.DirectUsed())
+	}
+	// Coalescing must allow a full-arena allocation again.
+	if _, err := m.AllocateDirect(4096); err != nil {
+		t.Fatalf("arena did not coalesce: %v", err)
+	}
+}
+
+func TestAllocateDirectInvalidSize(t *testing.T) {
+	m := newTestMachine(t, 1<<12, 1<<12)
+	if _, err := m.AllocateDirect(0); err == nil {
+		t.Fatal("AllocateDirect(0) must fail")
+	}
+	if _, err := m.AllocateDirect(-4); err == nil {
+		t.Fatal("AllocateDirect(-4) must fail")
+	}
+}
+
+func TestDirectAllocationIsCostly(t *testing.T) {
+	clock := vtime.NewClock()
+	m := NewMachine(clock, Options{HeapSize: 1 << 20, ArenaSize: 1 << 20})
+	t0 := clock.Now()
+	m.MustAllocateDirect(64)
+	direct := clock.Now().Sub(t0)
+	t1 := clock.Now()
+	if _, err := m.NewArray(Byte, 64); err != nil {
+		t.Fatal(err)
+	}
+	heap := clock.Now().Sub(t1)
+	if direct < 5*heap {
+		t.Fatalf("direct allocation (%v) should be much costlier than heap (%v)", direct, heap)
+	}
+}
+
+// Property: typed put/get round-trips through a buffer for any value,
+// in both byte orders.
+func TestBufferRoundTripProperty(t *testing.T) {
+	m := newTestMachine(t, 1<<20, 1<<20)
+	b := m.MustAllocateDirect(16)
+	f := func(v int64, little bool, kindSel uint8) bool {
+		kinds := []Kind{Byte, Char, Short, Int, Long}
+		k := kinds[int(kindSel)%len(kinds)]
+		if little {
+			b.SetOrder(LittleEndian)
+		} else {
+			b.SetOrder(BigEndian)
+		}
+		b.PutIntKindAt(k, 0, v)
+		got := b.IntKindAt(k, 0)
+		want := bitsToInt(k, intToBits(k, v))
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arena alloc/release in arbitrary orders never corrupts the
+// free list (allocations never overlap, full release restores capacity).
+func TestArenaProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := newArena(1 << 16)
+		type blk struct{ off, size int }
+		var blocks []blk
+		for _, s := range sizes {
+			n := int(s%2048) + 1
+			off, err := a.alloc(n)
+			if err != nil {
+				break
+			}
+			for _, b := range blocks {
+				if off < b.off+b.size && b.off < off+n {
+					return false // overlap
+				}
+			}
+			blocks = append(blocks, blk{off, n})
+		}
+		// Release in reverse-insertion order for odd counts, forward for
+		// even, to exercise both coalescing directions.
+		if len(blocks)%2 == 0 {
+			for _, b := range blocks {
+				a.release(b.off, b.size)
+			}
+		} else {
+			for i := len(blocks) - 1; i >= 0; i-- {
+				a.release(blocks[i].off, blocks[i].size)
+			}
+		}
+		if a.used != 0 {
+			return false
+		}
+		off, err := a.alloc(1 << 16)
+		return err == nil && off == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

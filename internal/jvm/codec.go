@@ -1,0 +1,100 @@
+package jvm
+
+import "math"
+
+// putBits stores the low size bytes of bits at b[off:], in big- or
+// little-endian order. getBits is its inverse. These are the single
+// encode/decode points shared by arrays (always native/little-endian)
+// and ByteBuffers (which honour their configured ByteOrder, defaulting
+// to big-endian as in Java).
+func putBits(b []byte, off, size int, bits uint64, big bool) {
+	if big {
+		for i := 0; i < size; i++ {
+			b[off+i] = byte(bits >> (8 * (size - 1 - i)))
+		}
+		return
+	}
+	for i := 0; i < size; i++ {
+		b[off+i] = byte(bits >> (8 * i))
+	}
+}
+
+func getBits(b []byte, off, size int, big bool) uint64 {
+	var bits uint64
+	if big {
+		for i := 0; i < size; i++ {
+			bits = bits<<8 | uint64(b[off+i])
+		}
+		return bits
+	}
+	for i := size - 1; i >= 0; i-- {
+		bits = bits<<8 | uint64(b[off+i])
+	}
+	return bits
+}
+
+// intToBits narrows v to the kind's width. Char is unsigned (UTF-16
+// code unit); the other integral kinds are two's-complement.
+func intToBits(k Kind, v int64) uint64 {
+	switch k {
+	case Byte, Boolean:
+		return uint64(uint8(v))
+	case Char, Short:
+		return uint64(uint16(v))
+	case Int:
+		return uint64(uint32(v))
+	case Long:
+		return uint64(v)
+	default:
+		panic("jvm: intToBits on floating kind " + k.String())
+	}
+}
+
+// bitsToInt widens stored bits back to int64 with Java semantics:
+// byte/short are sign-extended, char is zero-extended, boolean is 0/1.
+func bitsToInt(k Kind, bits uint64) int64 {
+	switch k {
+	case Byte:
+		return int64(int8(bits))
+	case Boolean:
+		if bits&1 != 0 {
+			return 1
+		}
+		return 0
+	case Char:
+		return int64(uint16(bits))
+	case Short:
+		return int64(int16(bits))
+	case Int:
+		return int64(int32(bits))
+	case Long:
+		return int64(bits)
+	default:
+		panic("jvm: bitsToInt on floating kind " + k.String())
+	}
+}
+
+func floatToBits(k Kind, v float64) uint64 {
+	switch k {
+	case Float:
+		return uint64(math.Float32bits(float32(v)))
+	case Double:
+		return math.Float64bits(v)
+	default:
+		panic("jvm: floatToBits on integral kind " + k.String())
+	}
+}
+
+func bitsToFloat(k Kind, bits uint64) float64 {
+	switch k {
+	case Float:
+		return float64(math.Float32frombits(uint32(bits)))
+	case Double:
+		return math.Float64frombits(bits)
+	default:
+		panic("jvm: bitsToFloat on integral kind " + k.String())
+	}
+}
+
+// IsFloating reports whether k is float or double.
+func (k Kind) IsFloating() bool { return k == Float || k == Double }

@@ -1,0 +1,136 @@
+package jvm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: putBits/getBits round-trip for every width and both
+// orders, masking to the width.
+func TestBitsRoundTripProperty(t *testing.T) {
+	f := func(bits uint64, widthSel uint8, big bool, offRaw uint8) bool {
+		widths := []int{1, 2, 4, 8}
+		w := widths[int(widthSel)%len(widths)]
+		off := int(offRaw % 8)
+		buf := make([]byte, 16)
+		putBits(buf, off, w, bits, big)
+		got := getBits(buf, off, w, big)
+		var mask uint64
+		if w == 8 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << (8 * w)) - 1
+		}
+		return got == bits&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: big- and little-endian encodings of the same value are
+// byte-reversals of each other.
+func TestEndianMirrorProperty(t *testing.T) {
+	f := func(bits uint64, widthSel uint8) bool {
+		widths := []int{2, 4, 8}
+		w := widths[int(widthSel)%len(widths)]
+		le := make([]byte, w)
+		be := make([]byte, w)
+		putBits(le, 0, w, bits, false)
+		putBits(be, 0, w, bits, true)
+		for i := 0; i < w; i++ {
+			if le[i] != be[w-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: int narrowing/widening obeys Java semantics for all kinds.
+func TestIntNarrowWidenProperty(t *testing.T) {
+	f := func(v int64, kindSel uint8) bool {
+		kinds := []Kind{Byte, Boolean, Char, Short, Int, Long}
+		k := kinds[int(kindSel)%len(kinds)]
+		got := bitsToInt(k, intToBits(k, v))
+		var want int64
+		switch k {
+		case Byte:
+			want = int64(int8(v))
+		case Boolean:
+			want = v & 1
+		case Char:
+			want = int64(uint16(v))
+		case Short:
+			want = int64(int16(v))
+		case Int:
+			want = int64(int32(v))
+		case Long:
+			want = v
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: float bits round-trip exactly for doubles; floats
+// round-trip through their float32 projection.
+func TestFloatBitsProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if v != v { // NaN payloads are not preserved through float64->float32
+			return true
+		}
+		if bitsToFloat(Double, floatToBits(Double, v)) != v {
+			return false
+		}
+		f32 := float64(float32(v))
+		return bitsToFloat(Float, floatToBits(Float, v)) == f32 || f32 != f32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecPanicsOnKindMisuse(t *testing.T) {
+	for _, f := range []func(){
+		func() { intToBits(Double, 1) },
+		func() { bitsToInt(Float, 0) },
+		func() { floatToBits(Int, 1) },
+		func() { bitsToFloat(Long, 0) },
+		func() { Kind(42).Size() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("kind misuse did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKindsEnumeration(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != int(numKinds) {
+		t.Fatalf("Kinds() has %d entries, want %d", len(ks), int(numKinds))
+	}
+	seen := map[Kind]bool{}
+	for _, k := range ks {
+		if seen[k] {
+			t.Fatalf("duplicate kind %v", k)
+		}
+		seen[k] = true
+		if k.Size() <= 0 || k.Size() > 8 {
+			t.Fatalf("%v has size %d", k, k.Size())
+		}
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", int(k))
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package jvm simulates the parts of a Java Virtual Machine that the
+// paper's design hinges on: a managed heap whose objects are moved by a
+// compacting garbage collector (so raw pointers into it go stale),
+// primitive arrays with fast element access, and NIO ByteBuffers —
+// heap-allocated ones that are movable like any object, and direct ones
+// whose storage lives off-heap at a stable address.
+//
+// Real bytes are stored and really read back; only the *cost* of each
+// access is modeled, charged to the owning rank's virtual clock.
+package jvm
+
+import "fmt"
+
+// Kind enumerates Java's primitive component types.
+type Kind int
+
+const (
+	Byte Kind = iota
+	Boolean
+	Char
+	Short
+	Int
+	Long
+	Float
+	Double
+	numKinds
+)
+
+// Size returns the component size in bytes, matching Java's layout
+// (boolean arrays use one byte per element; char is UTF-16, 2 bytes).
+func (k Kind) Size() int {
+	switch k {
+	case Byte, Boolean:
+		return 1
+	case Char, Short:
+		return 2
+	case Int, Float:
+		return 4
+	case Long, Double:
+		return 8
+	default:
+		panic(fmt.Sprintf("jvm: invalid kind %d", int(k)))
+	}
+}
+
+func (k Kind) String() string {
+	switch k {
+	case Byte:
+		return "byte"
+	case Boolean:
+		return "boolean"
+	case Char:
+		return "char"
+	case Short:
+		return "short"
+	case Int:
+		return "int"
+	case Long:
+		return "long"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds returns all primitive kinds, in declaration order. Handy for
+// table-driven tests and for the mpjbuf section-header round trips.
+func Kinds() []Kind {
+	return []Kind{Byte, Boolean, Char, Short, Int, Long, Float, Double}
+}

@@ -1,0 +1,106 @@
+package jvm
+
+import "testing"
+
+func TestDuplicateSharesStorageIndependentCursor(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	b := m.MustAllocateDirect(32)
+	b.PutByte(1)
+	d := b.Duplicate()
+	if d.Position() != b.Position() || d.Capacity() != 32 {
+		t.Fatalf("duplicate cursor: pos=%d cap=%d", d.Position(), d.Capacity())
+	}
+	d.PutByte(2) // writes at position 1 through the duplicate
+	if b.ByteAt(1) != 2 {
+		t.Fatal("duplicate does not share storage")
+	}
+	d.SetPosition(0)
+	if b.Position() != 1 {
+		t.Fatal("duplicate cursor is not independent")
+	}
+	if d.Order() != BigEndian {
+		t.Fatal("duplicate must reset to big-endian")
+	}
+}
+
+func TestSliceView(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	b := m.MustAllocateDirect(32)
+	for i := 0; i < 32; i++ {
+		b.PutByteAt(i, byte(i))
+	}
+	b.SetPosition(8)
+	b.SetLimit(20)
+	s := b.Slice()
+	if s.Capacity() != 12 || s.Position() != 0 || s.Limit() != 12 {
+		t.Fatalf("slice shape: cap=%d pos=%d lim=%d", s.Capacity(), s.Position(), s.Limit())
+	}
+	if s.ByteAt(0) != 8 || s.ByteAt(11) != 19 {
+		t.Fatalf("slice window wrong: %d %d", s.ByteAt(0), s.ByteAt(11))
+	}
+	s.PutByteAt(0, 0xEE)
+	if b.ByteAt(8) != 0xEE {
+		t.Fatal("slice writes must land in the parent storage")
+	}
+	// Slice addresses shift with the view.
+	if s.Address() != b.Address()+8 {
+		t.Fatalf("slice address %d, parent %d", s.Address(), b.Address())
+	}
+	// Bounds confine the view.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("slice out-of-window access did not panic")
+			}
+		}()
+		s.PutByteAt(12, 1)
+	}()
+}
+
+func TestSliceOfHeapBuffer(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	b, err := m.Allocate(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.PutByteAt(5, 42)
+	b.SetPosition(4)
+	s := b.Slice()
+	if s.ByteAt(1) != 42 {
+		t.Fatalf("heap slice sees %d", s.ByteAt(1))
+	}
+	// Heap slices stay correct across a compaction.
+	junk := m.MustArray(Byte, 128)
+	junk.Discard()
+	if err := m.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ByteAt(1) != 42 {
+		t.Fatal("heap slice lost its window after GC")
+	}
+}
+
+func TestFreeOnViewPanics(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	b := m.MustAllocateDirect(8)
+	d := b.Duplicate()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free on a view did not panic")
+		}
+	}()
+	d.Free()
+}
+
+func TestTypedViewOverSlice(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	b := m.MustAllocateDirect(24)
+	b.SetPosition(8)
+	s := b.Slice()
+	iv := s.AsIntBuffer()
+	iv.PutIntAt(0, 77)
+	b.SetOrder(BigEndian)
+	if got := b.IntKindAt(Int, 8); got != 77 {
+		t.Fatalf("typed view over slice wrote to %d", got)
+	}
+}

@@ -1,0 +1,148 @@
+package jvm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypedViewBasics(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	bb := m.MustAllocateDirect(64)
+	iv := bb.AsIntBuffer()
+	if iv.Capacity() != 16 || iv.Limit() != 16 || iv.Position() != 0 || iv.Kind() != Int {
+		t.Fatalf("view shape wrong: cap=%d", iv.Capacity())
+	}
+	iv.PutInt(11)
+	iv.PutInt(-22)
+	if iv.Position() != 2 || iv.Remaining() != 14 {
+		t.Fatalf("relative put: pos=%d", iv.Position())
+	}
+	iv.Flip()
+	if iv.Int() != 11 || iv.Int() != -22 {
+		t.Fatal("round trip failed")
+	}
+	iv.Clear()
+	if iv.Limit() != 16 || iv.Position() != 0 {
+		t.Fatal("Clear wrong")
+	}
+}
+
+func TestTypedViewStartsAtPosition(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	bb := m.MustAllocateDirect(32)
+	bb.SetPosition(8)
+	lv := bb.AsLongBuffer() // covers bytes 8..32: 3 longs
+	if lv.Capacity() != 3 {
+		t.Fatalf("view capacity %d, want 3", lv.Capacity())
+	}
+	lv.PutIntAt(0, 0x1122334455667788)
+	// Element 0 of the view lives at byte 8 of the backing buffer.
+	if got := bb.IntKindAt(Long, 8); got != 0x1122334455667788 {
+		t.Fatalf("backing bytes = %#x", got)
+	}
+}
+
+func TestTypedViewSharesStorage(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	bb := m.MustAllocateDirect(16)
+	iv := bb.AsIntBuffer()
+	bb.PutIntKindAt(Int, 4, 99) // write through the byte buffer
+	if got := iv.IntAt(1); got != 99 {
+		t.Fatalf("view did not see backing write: %d", got)
+	}
+}
+
+func TestTypedViewOrderFixedAtCreation(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	bb := m.MustAllocateDirect(8)
+	bb.SetOrder(LittleEndian)
+	iv := bb.AsIntBuffer() // little-endian view
+	bb.SetOrder(BigEndian) // later changes do not affect the view
+	iv.PutIntAt(0, 0x01020304)
+	if bb.ByteAt(0) != 0x04 {
+		t.Fatal("view must keep the order it was created with")
+	}
+}
+
+func TestTypedViewFloat(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	bb := m.MustAllocateDirect(32)
+	dv := bb.AsDoubleBuffer()
+	dv.PutFloat(2.5)
+	dv.PutFloat(-0.125)
+	dv.Flip()
+	if dv.Float() != 2.5 || dv.Float() != -0.125 {
+		t.Fatal("double view round trip failed")
+	}
+	fv := bb.AsFloatBuffer()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PutInt on float view did not panic")
+			}
+		}()
+		fv.PutInt(1)
+	}()
+}
+
+func TestTypedViewBulkTransfer(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	for _, order := range []ByteOrder{LittleEndian, BigEndian} {
+		bb := m.MustAllocateDirect(64)
+		bb.SetOrder(order)
+		iv := bb.AsIntBuffer()
+		src := m.MustArray(Int, 8)
+		for i := 0; i < 8; i++ {
+			src.SetInt(i, int64(i*i-3))
+		}
+		iv.PutArray(src, 0, 8)
+		iv.Flip()
+		dst := m.MustArray(Int, 8)
+		iv.GetArray(dst, 0, 8)
+		for i := 0; i < 8; i++ {
+			if dst.Int(i) != int64(i*i-3) {
+				t.Fatalf("order %v: bulk[%d] = %d", order, i, dst.Int(i))
+			}
+		}
+	}
+}
+
+func TestTypedViewBoundsPanics(t *testing.T) {
+	m := newTestMachine(t, 1<<16, 1<<16)
+	bb := m.MustAllocateDirect(8)
+	iv := bb.AsIntBuffer() // 2 ints
+	arr := m.MustArray(Int, 4)
+	for _, f := range []func(){
+		func() { iv.PutIntAt(2, 1) },
+		func() { iv.PutIntAt(-1, 1) },
+		func() { _ = iv.IntAt(5) },
+		func() { iv.PutArray(arr, 0, 3) },
+		func() { iv.SetPosition(3) },
+		func() { iv.PutArray(m.MustArray(Long, 2), 0, 1) }, // kind mismatch
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("view bounds violation did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: view accesses agree with equivalent ByteBuffer accesses
+// for any value and index.
+func TestTypedViewAgreesWithByteBufferProperty(t *testing.T) {
+	m := newTestMachine(t, 1<<20, 1<<20)
+	bb := m.MustAllocateDirect(256)
+	iv := bb.AsIntBuffer()
+	f := func(idxRaw uint8, val int64) bool {
+		i := int(idxRaw) % iv.Capacity()
+		iv.PutIntAt(i, val)
+		return bb.IntKindAt(Int, 4*i) == bitsToInt(Int, intToBits(Int, val))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+package mpjbuf
+
+import (
+	"errors"
+	"fmt"
+
+	"mv2j/internal/jvm"
+)
+
+// Errors reported by the buffering layer.
+var (
+	ErrFreed        = errors.New("mpjbuf: buffer already freed")
+	ErrNotCommitted = errors.New("mpjbuf: read before commit")
+	ErrSectionType  = errors.New("mpjbuf: section type mismatch")
+	ErrShortBuffer  = errors.New("mpjbuf: message exceeds buffer capacity")
+)
+
+// headerBytes is the encoded size of a section header:
+// [kind:1][flags:1][reserved:2][count:4].
+const headerBytes = 8
+
+// Buffer is the mpjbuf.Buffer of Listing 1: a staging area backed by a
+// pooled direct ByteBuffer. Data from one or more Java arrays is
+// written into it (each group optionally preceded by a section
+// header), the buffer is committed, its raw storage is handed to the
+// native library, and the receiver reads arrays back out.
+//
+// A Buffer without sections carries raw elements only, which keeps the
+// wire format identical to a direct-ByteBuffer send — arrays and
+// buffers interoperate on the two ends of one message.
+type Buffer struct {
+	pool *Pool
+	bb   *jvm.ByteBuffer
+
+	freed       bool
+	committed   bool
+	sectionOpen bool
+	sectionHdr  int // header offset of the open section
+	sectionEls  int // elements written into the open section
+	sectionSize int // soft cap on elements per section (0 = unlimited)
+}
+
+func newBuffer(p *Pool, bb *jvm.ByteBuffer) *Buffer {
+	return &Buffer{pool: p, bb: bb}
+}
+
+// Capacity returns the byte capacity of the backing direct buffer.
+func (b *Buffer) Capacity() int { return b.bb.Capacity() }
+
+// SetEncoding selects the byte order used for section headers and
+// per-element accessors. Bulk array payloads are always raw
+// native-layout copies: on a homogeneous cluster the two ends agree,
+// and this keeps an array message byte-identical to a direct-buffer
+// message.
+func (b *Buffer) SetEncoding(o jvm.ByteOrder) { b.bb.SetOrder(o) }
+
+// Encoding returns the byte order in effect.
+func (b *Buffer) Encoding() jvm.ByteOrder { return b.bb.Order() }
+
+// SetSectionSize caps the number of elements per section; Write starts
+// a fresh section (same kind) when the cap is exceeded. Zero disables
+// the cap.
+func (b *Buffer) SetSectionSize(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("mpjbuf: negative section size %d", n))
+	}
+	b.sectionSize = n
+}
+
+// SectionSize returns the element cap per section.
+func (b *Buffer) SectionSize() int { return b.sectionSize }
+
+func (b *Buffer) ensureWritable() error {
+	if b.freed {
+		return ErrFreed
+	}
+	if b.committed {
+		return errors.New("mpjbuf: write after commit (Clear first)")
+	}
+	return nil
+}
+
+// PutSectionHeader closes the open section, if any, and starts a new
+// section of the given kind. The element count is patched into the
+// header when the section closes.
+func (b *Buffer) PutSectionHeader(k jvm.Kind) error {
+	if err := b.ensureWritable(); err != nil {
+		return err
+	}
+	b.closeSection()
+	if b.bb.Remaining() < headerBytes {
+		return fmt.Errorf("%w: no room for section header", ErrShortBuffer)
+	}
+	b.sectionHdr = b.bb.Position()
+	b.sectionOpen = true
+	b.sectionEls = 0
+	b.bb.PutIntKindAt(jvm.Byte, b.sectionHdr, int64(k))
+	b.bb.SetPosition(b.sectionHdr + headerBytes)
+	return nil
+}
+
+func (b *Buffer) closeSection() {
+	if !b.sectionOpen {
+		return
+	}
+	b.bb.PutIntKindAt(jvm.Int, b.sectionHdr+4, int64(b.sectionEls))
+	b.sectionOpen = false
+}
+
+// Write appends numEls elements of source, starting at srcOff, to the
+// buffer — the Listing-1 write(type[] source, int srcOff, int numEls).
+// The copy is a single bulk transfer (this staging copy is step 2 of
+// the paper's Fig. 3). Inside a section, the section's kind must match
+// the array's.
+func (b *Buffer) Write(source jvm.Array, srcOff, numEls int) error {
+	if err := b.ensureWritable(); err != nil {
+		return err
+	}
+	if numEls < 0 {
+		return fmt.Errorf("mpjbuf: negative element count %d", numEls)
+	}
+	if b.sectionOpen {
+		if kind := jvm.Kind(b.bb.IntKindAt(jvm.Byte, b.sectionHdr)); kind != source.Kind() {
+			return fmt.Errorf("%w: section is %v, array is %v", ErrSectionType, kind, source.Kind())
+		}
+		if b.sectionSize > 0 && b.sectionEls+numEls > b.sectionSize {
+			// Split across sections of the same kind.
+			room := b.sectionSize - b.sectionEls
+			if room > 0 {
+				if err := b.writeRaw(source, srcOff, room); err != nil {
+					return err
+				}
+				b.sectionEls += room
+				srcOff += room
+				numEls -= room
+			}
+			if err := b.PutSectionHeader(source.Kind()); err != nil {
+				return err
+			}
+			return b.Write(source, srcOff, numEls)
+		}
+	}
+	if err := b.writeRaw(source, srcOff, numEls); err != nil {
+		return err
+	}
+	if b.sectionOpen {
+		b.sectionEls += numEls
+	}
+	return nil
+}
+
+func (b *Buffer) writeRaw(source jvm.Array, srcOff, numEls int) error {
+	nb := numEls * source.Kind().Size()
+	if b.bb.Remaining() < nb {
+		return fmt.Errorf("%w: need %d bytes, have %d", ErrShortBuffer, nb, b.bb.Remaining())
+	}
+	b.bb.PutArray(source, srcOff, numEls)
+	return nil
+}
+
+// Commit closes the open section and flips the buffer for reading /
+// transmission. After Commit, Raw covers exactly the message payload.
+func (b *Buffer) Commit() error {
+	if b.freed {
+		return ErrFreed
+	}
+	if b.committed {
+		return nil
+	}
+	b.closeSection()
+	b.bb.Flip()
+	b.committed = true
+	return nil
+}
+
+// GetSectionHeader consumes a section header at the read position and
+// returns its kind and element count.
+func (b *Buffer) GetSectionHeader() (jvm.Kind, int, error) {
+	if b.freed {
+		return 0, 0, ErrFreed
+	}
+	if !b.committed {
+		return 0, 0, ErrNotCommitted
+	}
+	if b.bb.Remaining() < headerBytes {
+		return 0, 0, fmt.Errorf("mpjbuf: truncated section header (%d bytes left)", b.bb.Remaining())
+	}
+	pos := b.bb.Position()
+	kind := jvm.Kind(b.bb.IntKindAt(jvm.Byte, pos))
+	count := int(b.bb.IntKindAt(jvm.Int, pos+4))
+	if kind < 0 || int(kind) >= len(jvm.Kinds()) {
+		return 0, 0, fmt.Errorf("mpjbuf: corrupt section kind %d", int(kind))
+	}
+	b.bb.SetPosition(pos + headerBytes)
+	return kind, count, nil
+}
+
+// Read copies numEls elements from the read position into dest at
+// dstOff — the Listing-1 read(type[] dest, int dstOff, int numEls).
+func (b *Buffer) Read(dest jvm.Array, dstOff, numEls int) error {
+	if b.freed {
+		return ErrFreed
+	}
+	if !b.committed {
+		return ErrNotCommitted
+	}
+	nb := numEls * dest.Kind().Size()
+	if b.bb.Remaining() < nb {
+		return fmt.Errorf("mpjbuf: short read: need %d bytes, have %d", nb, b.bb.Remaining())
+	}
+	b.bb.GetArray(dest, dstOff, numEls)
+	return nil
+}
+
+// Raw exposes the committed payload bytes (stable storage: the backing
+// buffer is direct). The native layer transmits or fills exactly this
+// region. Before Commit it covers the written prefix.
+func (b *Buffer) Raw() []byte {
+	if b.committed {
+		return b.bb.RawBytes()[:b.bb.Limit()]
+	}
+	return b.bb.RawBytes()[:b.bb.Position()]
+}
+
+// RawCapacity exposes the full backing storage, for receives that land
+// network bytes into the buffer before SetIncoming.
+func (b *Buffer) RawCapacity() []byte { return b.bb.RawBytes() }
+
+// SetIncoming marks n bytes of the backing storage as a received,
+// committed message ready for Read/GetSectionHeader.
+func (b *Buffer) SetIncoming(n int) error {
+	if b.freed {
+		return ErrFreed
+	}
+	if n < 0 || n > b.bb.Capacity() {
+		return fmt.Errorf("mpjbuf: incoming length %d outside [0,%d]", n, b.bb.Capacity())
+	}
+	b.bb.Clear()
+	b.bb.SetLimit(n)
+	b.committed = true
+	b.sectionOpen = false
+	return nil
+}
+
+// Clear resets the buffer for writing a fresh message, keeping the
+// storage.
+func (b *Buffer) Clear() error {
+	if b.freed {
+		return ErrFreed
+	}
+	b.bb.Clear()
+	b.committed = false
+	b.sectionOpen = false
+	b.sectionEls = 0
+	return nil
+}
+
+// Free returns the storage to the pool. The Buffer is dead afterwards.
+func (b *Buffer) Free() {
+	if b.freed {
+		return
+	}
+	b.freed = true
+	b.pool.put(b.bb)
+	b.bb = nil
+}

@@ -1,0 +1,97 @@
+package mpjbuf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mv2j/internal/jvm"
+)
+
+func TestCorruptSectionHeaderDetected(t *testing.T) {
+	p, _ := newPool(t)
+	b, err := p.Get(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Free()
+	// Land garbage as an incoming message: kind byte 0xFF is invalid.
+	raw := b.RawCapacity()
+	raw[0] = 0xFF
+	if err := b.SetIncoming(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.GetSectionHeader(); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt kind accepted: %v", err)
+	}
+}
+
+func TestTruncatedSectionHeaderDetected(t *testing.T) {
+	p, _ := newPool(t)
+	b, err := p.Get(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Free()
+	if err := b.SetIncoming(4); err != nil { // shorter than a header
+		t.Fatal(err)
+	}
+	if _, _, err := b.GetSectionHeader(); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestShortReadDetected(t *testing.T) {
+	p, m := newPool(t)
+	b, err := p.Get(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Free()
+	arr := m.MustArray(jvm.Int, 2)
+	if err := b.Write(arr, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	big := m.MustArray(jvm.Int, 16)
+	if err := b.Read(big, 0, 16); err == nil {
+		t.Fatal("read past the payload accepted")
+	}
+}
+
+func TestWriteNegativeCount(t *testing.T) {
+	p, m := newPool(t)
+	b, _ := p.Get(64)
+	defer b.Free()
+	arr := m.MustArray(jvm.Int, 2)
+	if err := b.Write(arr, 0, -1); err == nil {
+		t.Fatal("negative element count accepted")
+	}
+}
+
+func TestSectionHeaderNoRoom(t *testing.T) {
+	p, m := newPool(t)
+	b, _ := p.Get(256) // min class
+	defer b.Free()
+	arr := m.MustArray(jvm.Byte, 252)
+	if err := b.Write(arr, 0, 252); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutSectionHeader(jvm.Int); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("header into 4 remaining bytes: %v", err)
+	}
+}
+
+func TestNegativeSectionSizePanics(t *testing.T) {
+	p, _ := newPool(t)
+	b, _ := p.Get(64)
+	defer b.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative section size did not panic")
+		}
+	}()
+	b.SetSectionSize(-1)
+}

@@ -1,0 +1,96 @@
+package mpjbuf
+
+import (
+	"testing"
+
+	"mv2j/internal/jvm"
+	"mv2j/internal/vtime"
+)
+
+// FuzzIncomingMessage feeds arbitrary bytes to the receive-side parser
+// (SetIncoming + GetSectionHeader/Read loop): corrupt wire data must
+// produce errors, never panics or out-of-bounds access.
+func FuzzIncomingMessage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 2, 0, 0, 0, 1, 2})                   // byte section, count 2
+	f.Add([]byte{4, 0, 0, 0, 255, 255, 255, 255})                 // int section, absurd count
+	f.Add([]byte{255, 1, 2, 3, 4, 5, 6, 7})                       // invalid kind
+	f.Add([]byte{5, 0, 0, 0, 1, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8}) // long section
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		m := jvm.NewMachine(vtime.NewClock(), jvm.Options{HeapSize: 1 << 20, ArenaSize: 1 << 20})
+		p := NewPool(m)
+		b, err := p.Get(len(wire) + 1)
+		if err != nil {
+			t.Skip()
+		}
+		defer b.Free()
+		copy(b.RawCapacity(), wire)
+		if err := b.SetIncoming(len(wire)); err != nil {
+			return
+		}
+		// Parse as a section stream until anything fails.
+		for i := 0; i < 64; i++ {
+			kind, count, err := b.GetSectionHeader()
+			if err != nil {
+				return // detected corruption: fine
+			}
+			if count < 0 {
+				return // negative counts surface at Read below; bound them here
+			}
+			if count > 1<<16 {
+				return
+			}
+			dst, err := m.NewArray(kind, count)
+			if err != nil {
+				return
+			}
+			if err := b.Read(dst, 0, count); err != nil {
+				return
+			}
+			dst.Discard()
+		}
+	})
+}
+
+// FuzzWriteReadRoundTrip: arbitrary payload split points must
+// round-trip exactly.
+func FuzzWriteReadRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint8(1))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, splitRaw uint8) {
+		if len(data) == 0 || len(data) > 1<<12 {
+			t.Skip()
+		}
+		m := jvm.NewMachine(vtime.NewClock(), jvm.Options{HeapSize: 1 << 20, ArenaSize: 1 << 20})
+		p := NewPool(m)
+		src := m.MustArray(jvm.Byte, len(data))
+		src.CopyInBytes(0, data)
+		b, err := p.Get(len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Free()
+		split := int(splitRaw) % len(data)
+		if err := b.Write(src, 0, split); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Write(src, split, len(data)-split); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		dst := m.MustArray(jvm.Byte, len(data))
+		if err := b.Read(dst, 0, len(data)); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, len(data))
+		dst.CopyOutBytes(0, out)
+		for i := range data {
+			if out[i] != data[i] {
+				t.Fatalf("round trip mismatch at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+// Package mpjbuf implements the buffering layer of MVAPICH2-J
+// (paper §IV-A), inspired by MPJ Express: a dynamically maintained pool
+// of direct ByteBuffers used as bounce buffers when communicating Java
+// arrays, so that a direct buffer is not created — an expensive
+// operation — every time an array message is sent.
+//
+// A Buffer wraps one pooled direct ByteBuffer and offers the Listing-1
+// interface: typed write/read against Java arrays, section headers for
+// multi-array (derived-datatype) messages, configurable encoding, and
+// commit/clear/free lifecycle.
+package mpjbuf
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mv2j/internal/jvm"
+	"mv2j/internal/vtime"
+)
+
+// minClass is the smallest pooled buffer size. Requests below it are
+// rounded up; tiny MPI messages dominate latency benchmarks and should
+// all hit one class.
+const minClass = 256
+
+// Pool bookkeeping costs: a hit still pays free-list pop plus buffer
+// state reset, and Free pays the park. These fixed costs (together
+// with the two staging copies) are the array path's small-message
+// penalty — and what direct-buffer users avoid.
+const (
+	getCost  = 165 * vtime.Nanosecond
+	freeCost = 80 * vtime.Nanosecond
+)
+
+// PoolStats counts pool activity.
+type PoolStats struct {
+	Gets      int64
+	Hits      int64
+	Misses    int64
+	Frees     int64
+	Allocated int64 // direct buffers created
+	HeldBytes int64 // bytes parked in free lists
+}
+
+// Pool is a per-rank pool of direct ByteBuffers in power-of-two size
+// classes. It is goroutine-confined, like everything owned by a rank.
+type Pool struct {
+	m       *jvm.Machine
+	classes map[int][]*jvm.ByteBuffer
+	stats   PoolStats
+	// disabled turns the pool into a pass-through that allocates and
+	// frees a direct buffer per message — the behaviour the layer
+	// exists to avoid, kept for the ablation benchmark.
+	disabled bool
+	// maxHeldPerClass bounds parked buffers per class; beyond it,
+	// freed buffers are truly released.
+	maxHeldPerClass int
+}
+
+// NewPool creates a pool over machine m.
+func NewPool(m *jvm.Machine) *Pool {
+	if m == nil {
+		panic("mpjbuf: nil machine")
+	}
+	return &Pool{m: m, classes: map[int][]*jvm.ByteBuffer{}, maxHeldPerClass: 16}
+}
+
+// NewUnpooled creates a pass-through "pool" that allocates a fresh
+// direct buffer per Get and destroys it on Free. Used by the ablation
+// benchmarks to quantify what the buffering layer saves.
+func NewUnpooled(m *jvm.Machine) *Pool {
+	p := NewPool(m)
+	p.disabled = true
+	return p
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// classFor rounds n up to the pooled size class.
+func classFor(n int) int {
+	if n <= minClass {
+		return minClass
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Get returns a Buffer whose capacity is at least n bytes.
+func (p *Pool) Get(n int) (*Buffer, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpjbuf: invalid buffer request %d", n)
+	}
+	p.stats.Gets++
+	p.m.Charge(getCost)
+	cls := classFor(n)
+	if !p.disabled {
+		if free := p.classes[cls]; len(free) > 0 {
+			bb := free[len(free)-1]
+			p.classes[cls] = free[:len(free)-1]
+			p.stats.Hits++
+			p.stats.HeldBytes -= int64(cls)
+			bb.Clear()
+			return newBuffer(p, bb), nil
+		}
+	}
+	p.stats.Misses++
+	bb, err := p.m.AllocateDirect(cls)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.Allocated++
+	return newBuffer(p, bb), nil
+}
+
+// put parks (or destroys) a buffer's storage on Free.
+func (p *Pool) put(bb *jvm.ByteBuffer) {
+	p.stats.Frees++
+	p.m.Charge(freeCost)
+	cls := bb.Capacity()
+	if p.disabled || len(p.classes[cls]) >= p.maxHeldPerClass {
+		bb.Free()
+		return
+	}
+	p.classes[cls] = append(p.classes[cls], bb)
+	p.stats.HeldBytes += int64(cls)
+}
+
+// Drain releases every parked buffer back to the arena.
+func (p *Pool) Drain() {
+	for cls, free := range p.classes {
+		for _, bb := range free {
+			bb.Free()
+		}
+		p.stats.HeldBytes -= int64(cls) * int64(len(free))
+		delete(p.classes, cls)
+	}
+}

@@ -1,0 +1,107 @@
+package nativempi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFailedRankAbortsBlockedPeers: a rank erroring out of the SPMD
+// body must wake peers stuck in blocking MPI calls — the whole job
+// fails instead of hanging.
+func TestFailedRankAbortsBlockedPeers(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		w := testWorld(1, 3)
+		done <- w.Run(func(pr *Proc) error {
+			c := pr.CommWorld()
+			if pr.Rank() == 2 {
+				return errTestFailure
+			}
+			// Ranks 0 and 1 wait on a barrier rank 2 never joins.
+			return c.Barrier()
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("job with a failed rank reported success")
+		}
+		if !strings.Contains(err.Error(), "aborted by rank 2") {
+			t.Fatalf("peers not aborted: %v", err)
+		}
+		if !strings.Contains(err.Error(), errTestFailure.Error()) {
+			t.Fatalf("original failure lost: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("job hung despite the abort mechanism")
+	}
+}
+
+var errTestFailure = errTest("deliberate failure")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+// TestPanicAbortsBlockedPeers: a panicking rank likewise tears the job
+// down.
+func TestPanicAbortsBlockedPeers(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		w := testWorld(1, 2)
+		done <- w.Run(func(pr *Proc) error {
+			if pr.Rank() == 1 {
+				panic("kaboom")
+			}
+			buf := make([]byte, 8)
+			_, err := pr.CommWorld().Recv(buf, 1, 0) // never satisfied
+			return err
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("panic not propagated: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("job hung on a peer panic")
+	}
+}
+
+// TestExplicitAbort: MPI_Abort semantics through World.Abort.
+func TestExplicitAbort(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		w := testWorld(1, 2)
+		done <- w.Run(func(pr *Proc) error {
+			if pr.Rank() == 0 {
+				pr.World().Abort(0, "operator abort")
+				return nil
+			}
+			buf := make([]byte, 8)
+			_, err := pr.CommWorld().Recv(buf, 0, 0)
+			return err
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "operator abort") {
+			t.Fatalf("explicit abort not delivered: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("job hung on explicit abort")
+	}
+}
+
+// TestCleanJobUnaffectedByAbortMachinery: normal completion stays
+// error-free.
+func TestCleanJobUnaffectedByAbortMachinery(t *testing.T) {
+	w := testWorld(2, 2)
+	err := w.Run(func(pr *Proc) error {
+		return pr.CommWorld().Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

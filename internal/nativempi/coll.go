@@ -1,0 +1,458 @@
+package nativempi
+
+import (
+	"fmt"
+	"mv2j/internal/jvm"
+
+	"mv2j/internal/vtime"
+)
+
+// Collective implementations. Every algorithm is built from the same
+// point-to-point engine on the communicator's collective context, so
+// virtual time propagates through the real message dependency graph —
+// the latency of a bcast IS the critical path of its tree.
+//
+// One rolling tag per collective invocation separates successive
+// collectives; within one invocation, per-(src,dst) FIFO ordering makes
+// multi-step exchanges unambiguous.
+
+func (c *Comm) collTag() int {
+	c.collSeq++
+	return c.collSeq
+}
+
+// csend/crecv are blocking sends/receives on the collective context.
+func (c *Comm) csend(buf []byte, dst, tag int) error {
+	req := c.p.isendOn(buf, c.group[dst], tag, sendOpts{ctx: c.collCtx, coll: true})
+	_, err := req.Wait()
+	return err
+}
+
+func (c *Comm) crecv(buf []byte, src, tag int) error {
+	req := c.p.irecvOn(buf, c.group[src], tag, sendOpts{ctx: c.collCtx, coll: true})
+	_, err := req.Wait()
+	return err
+}
+
+func (c *Comm) cisend(buf []byte, dst, tag int) *Request {
+	return c.p.isendOn(buf, c.group[dst], tag, sendOpts{ctx: c.collCtx, coll: true})
+}
+
+func (c *Comm) cirecv(buf []byte, src, tag int) *Request {
+	return c.p.irecvOn(buf, c.group[src], tag, sendOpts{ctx: c.collCtx, coll: true})
+}
+
+func (c *Comm) csendrecv(sendBuf []byte, dst int, recvBuf []byte, src, tag int) error {
+	rreq := c.cirecv(recvBuf, src, tag)
+	sreq := c.cisend(sendBuf, dst, tag)
+	if _, err := sreq.Wait(); err != nil {
+		return err
+	}
+	_, err := rreq.Wait()
+	return err
+}
+
+// chargeCompute charges local reduction/copy work of n bytes.
+func (c *Comm) chargeCompute(n int) {
+	c.p.clock.Advance(vtime.PerByte(n, c.p.w.prof.ReduceBandwidth))
+}
+
+// Bcast broadcasts root's buf to every rank (in place), using the
+// profile-selected algorithm.
+func (c *Comm) Bcast(buf []byte, root int) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	defer c.collSpan("bcast", len(buf))()
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	tag := c.collTag()
+	switch c.p.w.prof.SelectBcast(len(buf), p) {
+	case BcastBinomial:
+		return c.bcastKnomial(buf, root, tag, 2)
+	case BcastKnomial:
+		return c.bcastKnomial(buf, root, tag, c.p.w.prof.KnomialRadix)
+	case BcastScatterAllgather:
+		return c.bcastScatterAllgather(buf, root, tag)
+	case BcastBinaryTree:
+		return c.bcastBinaryTree(buf, root, tag)
+	case BcastFlat:
+		return c.bcastFlat(buf, root, tag)
+	case BcastShmAware:
+		// Wide fan-out amortises per-message overhead for small
+		// payloads; for large ones sequential full-payload sends at
+		// the tree nodes dominate, so the radix drops to binomial —
+		// mirroring MVAPICH2's size-tuned knomial radix.
+		k := c.p.w.prof.KnomialRadix
+		if len(buf) > 8192 {
+			k = 2
+		}
+		return c.bcastShmAware(buf, root, tag, k)
+	case BcastChain:
+		return c.bcastChain(buf, root, tag)
+	default:
+		return fmt.Errorf("nativempi: unknown bcast algorithm")
+	}
+}
+
+// bcastKnomial runs a k-ary tree broadcast rooted at root; k=2 is the
+// classic binomial tree.
+func (c *Comm) bcastKnomial(buf []byte, root, tag, k int) error {
+	p := c.Size()
+	v := (c.myRank - root + p) % p // virtual rank: root becomes 0
+
+	// Receive phase: find the level of my lowest non-zero base-k digit.
+	mask := 1
+	for mask < p && v%(mask*k) == 0 {
+		mask *= k
+	}
+	if v != 0 {
+		parent := ((v - v%(mask*k)) + root) % p
+		if err := c.crecv(buf, parent, tag); err != nil {
+			return err
+		}
+	}
+	// Send phase: serve subtrees below my level, widest first.
+	for m := mask / k; m >= 1; m /= k {
+		for j := 1; j < k; j++ {
+			child := v + j*m
+			if child < p {
+				if err := c.csend(buf, (child+root)%p, tag); err != nil {
+					return err
+				}
+			}
+		}
+		if m == 1 {
+			break
+		}
+	}
+	return nil
+}
+
+// bcastBinaryTree forwards the full payload down a non-segmented
+// binary tree — the cheap-to-implement algorithm whose n·log(p) bytes
+// per path hurt at large sizes.
+func (c *Comm) bcastBinaryTree(buf []byte, root, tag int) error {
+	p := c.Size()
+	v := (c.myRank - root + p) % p
+	if v != 0 {
+		parent := ((v-1)/2 + root) % p
+		if err := c.crecv(buf, parent, tag); err != nil {
+			return err
+		}
+	}
+	for _, child := range []int{2*v + 1, 2*v + 2} {
+		if child < p {
+			if err := c.csend(buf, (child+root)%p, tag); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bcastChain forwards the payload rank-to-rank down one chain.
+func (c *Comm) bcastChain(buf []byte, root, tag int) error {
+	p := c.Size()
+	v := (c.myRank - root + p) % p
+	if v > 0 {
+		if err := c.crecv(buf, (v-1+root)%p, tag); err != nil {
+			return err
+		}
+	}
+	if v < p-1 {
+		return c.csend(buf, (v+1+root)%p, tag)
+	}
+	return nil
+}
+
+// bcastFlat has the root send to every other rank in turn.
+func (c *Comm) bcastFlat(buf []byte, root, tag int) error {
+	if c.myRank != root {
+		return c.crecv(buf, root, tag)
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if err := c.csend(buf, r, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chunkRange returns the byte range of chunk i when n bytes are split
+// into p near-equal chunks.
+func chunkRange(n, p, i int) (lo, hi int) {
+	lo = i * n / p
+	hi = (i + 1) * n / p
+	return
+}
+
+// bcastScatterAllgather is the van de Geijn large-message broadcast:
+// a binomial scatter of chunks followed by a ring allgather, moving
+// ~2n bytes per rank instead of n per tree level.
+func (c *Comm) bcastScatterAllgather(buf []byte, root, tag int) error {
+	p := c.Size()
+	n := len(buf)
+	v := (c.myRank - root + p) % p
+	ringTag := c.collTag()
+
+	// Binomial scatter over virtual ranks: the owner of range [lo,hi)
+	// (vrank lo) holds the bytes of chunks lo..hi-1 and hands the top
+	// half to vrank mid at each level.
+	lo, hi := 0, p
+	for hi-lo > 1 {
+		mid := (lo + hi + 1) / 2
+		bLo, _ := chunkRange(n, p, mid)
+		_, bHi := chunkRange(n, p, hi-1)
+		if v < mid {
+			if v == lo && bHi > bLo {
+				if err := c.csend(buf[bLo:bHi], (mid+root)%p, tag); err != nil {
+					return err
+				}
+			}
+			hi = mid
+		} else {
+			if v == mid && bHi > bLo {
+				if err := c.crecv(buf[bLo:bHi], (lo+root)%p, tag); err != nil {
+					return err
+				}
+			}
+			lo = mid
+		}
+	}
+
+	// Ring allgather of the chunks.
+	right := ((v+1)%p + root) % p
+	left := ((v-1+p)%p + root) % p
+	for s := 0; s < p-1; s++ {
+		sendChunk := (v - s + p) % p
+		recvChunk := (v - s - 1 + p) % p
+		sLo, sHi := chunkRange(n, p, sendChunk)
+		rLo, rHi := chunkRange(n, p, recvChunk)
+		if err := c.csendrecv(buf[sLo:sHi], right, buf[rLo:rHi], left, ringTag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reduce combines every rank's sendBuf with op into recvBuf at root.
+// recvBuf may be nil on non-root ranks.
+func (c *Comm) Reduce(sendBuf, recvBuf []byte, kind jvm.Kind, op Op, root int) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	defer c.collSpan("reduce", len(sendBuf))()
+	n := len(sendBuf)
+	if c.myRank == root && len(recvBuf) != n {
+		return fmt.Errorf("%w: reduce recv buffer %d != send %d", ErrCount, len(recvBuf), n)
+	}
+	tag := c.collTag()
+	switch c.p.w.prof.SelectReduce(n, c.Size()) {
+	case ReduceLinear:
+		return c.reduceLinear(sendBuf, recvBuf, kind, op, root, tag)
+	default:
+		return c.reduceBinomial(sendBuf, recvBuf, kind, op, root, tag)
+	}
+}
+
+func (c *Comm) reduceBinomial(sendBuf, recvBuf []byte, kind jvm.Kind, op Op, root, tag int) error {
+	p := c.Size()
+	n := len(sendBuf)
+	v := (c.myRank - root + p) % p
+	acc := make([]byte, n)
+	copy(acc, sendBuf)
+	scratch := make([]byte, n)
+	for mask := 1; mask < p; mask <<= 1 {
+		if v&mask != 0 {
+			parent := ((v ^ mask) + root) % p
+			return c.csend(acc, parent, tag)
+		}
+		partner := v + mask
+		if partner < p {
+			if err := c.crecv(scratch, (partner+root)%p, tag); err != nil {
+				return err
+			}
+			if err := reduceInto(acc, scratch, kind, op); err != nil {
+				return err
+			}
+			c.chargeCompute(n)
+		}
+	}
+	copy(recvBuf, acc)
+	return nil
+}
+
+func (c *Comm) reduceLinear(sendBuf, recvBuf []byte, kind jvm.Kind, op Op, root, tag int) error {
+	if c.myRank != root {
+		return c.csend(sendBuf, root, tag)
+	}
+	n := len(sendBuf)
+	copy(recvBuf, sendBuf)
+	scratch := make([]byte, n)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if err := c.crecv(scratch, r, tag); err != nil {
+			return err
+		}
+		if err := reduceInto(recvBuf, scratch, kind, op); err != nil {
+			return err
+		}
+		c.chargeCompute(n)
+	}
+	return nil
+}
+
+// Allreduce combines every rank's sendBuf into every rank's recvBuf.
+func (c *Comm) Allreduce(sendBuf, recvBuf []byte, kind jvm.Kind, op Op) error {
+	defer c.collSpan("allreduce", len(sendBuf))()
+	n := len(sendBuf)
+	if len(recvBuf) != n {
+		return fmt.Errorf("%w: allreduce recv buffer %d != send %d", ErrCount, len(recvBuf), n)
+	}
+	if c.Size() == 1 {
+		copy(recvBuf, sendBuf)
+		return nil
+	}
+	switch c.p.w.prof.SelectAllreduce(n, c.Size()) {
+	case AllreduceRabenseifner:
+		return c.allreduceRing(sendBuf, recvBuf, kind, op)
+	case AllreduceReduceBcast:
+		if err := c.Reduce(sendBuf, recvBuf, kind, op, 0); err != nil {
+			return err
+		}
+		return c.Bcast(recvBuf, 0)
+	case AllreduceShmAware:
+		return c.allreduceShmAware(sendBuf, recvBuf, kind, op, c.p.w.prof.KnomialRadix)
+	default:
+		return c.allreduceRecursiveDoubling(sendBuf, recvBuf, kind, op)
+	}
+}
+
+// allreduceRecursiveDoubling exchanges-and-combines over log2 steps,
+// with the standard fold-in/fold-out handling for non-power-of-two
+// sizes.
+func (c *Comm) allreduceRecursiveDoubling(sendBuf, recvBuf []byte, kind jvm.Kind, op Op) error {
+	p := c.Size()
+	n := len(sendBuf)
+	tag := c.collTag()
+	copy(recvBuf, sendBuf)
+	scratch := make([]byte, n)
+
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	rem := p - pof2
+
+	// Fold-in: the first 2*rem ranks pair up; odd ranks hand their
+	// vector to the even partner and sit out.
+	var v int // rank within the power-of-two group, -1 if sitting out
+	switch {
+	case c.myRank < 2*rem && c.myRank%2 != 0:
+		if err := c.csend(recvBuf, c.myRank-1, tag); err != nil {
+			return err
+		}
+		v = -1
+	case c.myRank < 2*rem:
+		if err := c.crecv(scratch, c.myRank+1, tag); err != nil {
+			return err
+		}
+		if err := reduceInto(recvBuf, scratch, kind, op); err != nil {
+			return err
+		}
+		c.chargeCompute(n)
+		v = c.myRank / 2
+	default:
+		v = c.myRank - rem
+	}
+
+	if v >= 0 {
+		toReal := func(vr int) int {
+			if vr < rem {
+				return vr * 2
+			}
+			return vr + rem
+		}
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partner := toReal(v ^ mask)
+			if err := c.csendrecv(recvBuf, partner, scratch, partner, tag); err != nil {
+				return err
+			}
+			if err := reduceInto(recvBuf, scratch, kind, op); err != nil {
+				return err
+			}
+			c.chargeCompute(n)
+		}
+	}
+
+	// Fold-out: even partners return the result to the odd ranks.
+	if c.myRank < 2*rem {
+		if c.myRank%2 == 0 {
+			return c.csend(recvBuf, c.myRank+1, tag)
+		}
+		return c.crecv(recvBuf, c.myRank-1, tag)
+	}
+	return nil
+}
+
+// allreduceRing is the bandwidth-optimal large-message algorithm:
+// a ring reduce-scatter followed by a ring allgather (the composition
+// Rabenseifner's algorithm reduces to on a ring), moving ~2n bytes per
+// rank regardless of p.
+func (c *Comm) allreduceRing(sendBuf, recvBuf []byte, kind jvm.Kind, op Op) error {
+	p := c.Size()
+	n := len(sendBuf)
+	// Element-aligned chunking so reductions see whole elements.
+	esz := kind.Size()
+	if n%esz != 0 {
+		return fmt.Errorf("%w: %d bytes not a multiple of %v", ErrCount, n, kind)
+	}
+	tagRS := c.collTag()
+	tagAG := c.collTag()
+	copy(recvBuf, sendBuf)
+	elems := n / esz
+	chunk := func(i int) (int, int) {
+		lo := i * elems / p * esz
+		hi := (i + 1) * elems / p * esz
+		return lo, hi
+	}
+	right := (c.myRank + 1) % p
+	left := (c.myRank - 1 + p) % p
+	scratch := make([]byte, n)
+
+	// Reduce-scatter: after p-1 steps, rank r owns the fully reduced
+	// chunk (r+1)%p.
+	for s := 0; s < p-1; s++ {
+		sendChunk := (c.myRank - s + p) % p
+		recvChunk := (c.myRank - s - 1 + p) % p
+		sLo, sHi := chunk(sendChunk)
+		rLo, rHi := chunk(recvChunk)
+		if err := c.csendrecv(recvBuf[sLo:sHi], right, scratch[rLo:rHi], left, tagRS); err != nil {
+			return err
+		}
+		if err := reduceInto(recvBuf[rLo:rHi], scratch[rLo:rHi], kind, op); err != nil {
+			return err
+		}
+		c.chargeCompute(rHi - rLo)
+	}
+
+	// Allgather the reduced chunks around the ring.
+	for s := 0; s < p-1; s++ {
+		sendChunk := (c.myRank + 1 - s + p) % p
+		recvChunk := (c.myRank - s + p) % p
+		sLo, sHi := chunk(sendChunk)
+		rLo, rHi := chunk(recvChunk)
+		if err := c.csendrecv(recvBuf[sLo:sHi], right, recvBuf[rLo:rHi], left, tagAG); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package nativempi
+
+import (
+	"fmt"
+	"testing"
+
+	"mv2j/internal/jvm"
+)
+
+func TestScanCorrectness(t *testing.T) {
+	for _, shape := range [][2]int{{1, 1}, {1, 4}, {2, 3}, {1, 7}} {
+		w := testWorld(shape[0], shape[1])
+		err := w.Run(func(pr *Proc) error {
+			c := pr.CommWorld()
+			const elems = 5
+			vals := make([]int64, elems)
+			for i := range vals {
+				vals[i] = int64((pr.Rank() + 1) * (i + 1))
+			}
+			send := encodeInts(vals)
+			recv := make([]byte, len(send))
+			if err := c.Scan(send, recv, jvm.Long, OpSum); err != nil {
+				return err
+			}
+			got := decodeInts(recv)
+			for i := range got {
+				want := int64(0)
+				for r := 0; r <= pr.Rank(); r++ {
+					want += int64((r + 1) * (i + 1))
+				}
+				if got[i] != want {
+					return fmt.Errorf("rank %d: scan[%d] = %d, want %d", pr.Rank(), i, got[i], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+	}
+}
+
+func TestScanMaxOp(t *testing.T) {
+	w := testWorld(1, 5)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		// Values zig-zag so the running max is interesting: 3,1,4,1,5.
+		vals := []int64{3, 1, 4, 1, 5}
+		send := encodeInts([]int64{vals[pr.Rank()]})
+		recv := make([]byte, 8)
+		if err := c.Scan(send, recv, jvm.Long, OpMax); err != nil {
+			return err
+		}
+		want := []int64{3, 3, 4, 4, 5}[pr.Rank()]
+		if got := decodeInts(recv)[0]; got != want {
+			return fmt.Errorf("rank %d: scan max = %d, want %d", pr.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExscanCorrectness(t *testing.T) {
+	for _, shape := range [][2]int{{1, 2}, {1, 5}, {2, 4}} {
+		w := testWorld(shape[0], shape[1])
+		err := w.Run(func(pr *Proc) error {
+			c := pr.CommWorld()
+			send := encodeInts([]int64{int64(pr.Rank() + 1), int64(10 * (pr.Rank() + 1))})
+			recv := encodeInts([]int64{-7, -7}) // sentinel: rank 0 keeps it
+			if err := c.Exscan(send, recv, jvm.Long, OpSum); err != nil {
+				return err
+			}
+			got := decodeInts(recv)
+			if pr.Rank() == 0 {
+				if got[0] != -7 || got[1] != -7 {
+					return fmt.Errorf("rank 0 exscan buffer must be untouched, got %v", got)
+				}
+				return nil
+			}
+			r := pr.Rank()
+			want0 := int64(r * (r + 1) / 2)
+			if got[0] != want0 || got[1] != want0*10 {
+				return fmt.Errorf("rank %d: exscan = %v, want [%d %d]", r, got, want0, want0*10)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+	}
+}
+
+func TestScanValidation(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		if err := c.Scan(make([]byte, 8), make([]byte, 4), jvm.Long, OpSum); err == nil {
+			return fmt.Errorf("mismatched scan buffers accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterUniform(t *testing.T) {
+	for _, shape := range [][2]int{{1, 4}, {2, 3}} {
+		w := testWorld(shape[0], shape[1])
+		err := w.Run(func(pr *Proc) error {
+			c := pr.CommWorld()
+			p := c.Size()
+			const elems = 3 // per block
+			counts := make([]int, p)
+			for r := range counts {
+				counts[r] = elems * 8
+			}
+			vals := make([]int64, elems*p)
+			for i := range vals {
+				vals[i] = int64(pr.Rank()*1000 + i)
+			}
+			send := encodeInts(vals)
+			recv := make([]byte, elems*8)
+			if err := c.ReduceScatter(send, recv, counts, jvm.Long, OpSum); err != nil {
+				return err
+			}
+			got := decodeInts(recv)
+			for i := range got {
+				idx := pr.Rank()*elems + i
+				want := int64(0)
+				for r := 0; r < p; r++ {
+					want += int64(r*1000 + idx)
+				}
+				if got[i] != want {
+					return fmt.Errorf("rank %d: reduce_scatter[%d] = %d, want %d", pr.Rank(), i, got[i], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+	}
+}
+
+func TestReduceScatterIrregular(t *testing.T) {
+	w := testWorld(1, 3)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		// Blocks of 1, 2, 3 longs.
+		counts := []int{8, 16, 24}
+		vals := make([]int64, 6)
+		for i := range vals {
+			vals[i] = int64(pr.Rank() + i)
+		}
+		send := encodeInts(vals)
+		recv := make([]byte, counts[pr.Rank()])
+		if err := c.ReduceScatter(send, recv, counts, jvm.Long, OpSum); err != nil {
+			return err
+		}
+		got := decodeInts(recv)
+		base := []int{0, 1, 3}[pr.Rank()]
+		for i := range got {
+			want := int64(3*(base+i)) + 3 // sum over ranks 0..2 of (r + idx)
+			if got[i] != want {
+				return fmt.Errorf("rank %d: irregular rs[%d] = %d, want %d", pr.Rank(), i, got[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterValidation(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		if err := c.ReduceScatter(make([]byte, 16), make([]byte, 8), []int{8}, jvm.Long, OpSum); err == nil {
+			return fmt.Errorf("short counts accepted")
+		}
+		if err := c.ReduceScatter(make([]byte, 12), make([]byte, 8), []int{8, 8}, jvm.Long, OpSum); err == nil {
+			return fmt.Errorf("bad send size accepted")
+		}
+		if err := c.ReduceScatter(make([]byte, 16), make([]byte, 4), []int{8, 8}, jvm.Long, OpSum); err == nil {
+			return fmt.Errorf("bad recv size accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

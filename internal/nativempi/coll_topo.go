@@ -1,0 +1,236 @@
+package nativempi
+
+import "mv2j/internal/jvm"
+
+// Topology-aware (shared-memory-leader-based) collectives — the
+// algorithms behind MVAPICH2's collective advantage on multi-node
+// runs: stage inter-node traffic through one leader rank per node, so
+// the expensive network carries O(nodes) messages while the cheap
+// intra-node channel fans out within each node.
+
+// nodePlan partitions a communicator's members by node.
+type nodePlan struct {
+	// myNodeMembers lists comm ranks on the caller's node, in comm
+	// order; myNodeIdx is the caller's position among them.
+	myNodeMembers []int
+	// leaders holds one comm rank per node (the lowest comm rank on
+	// the node), ordered by node id.
+	leaders []int
+}
+
+func (c *Comm) planNodes() nodePlan {
+	topo := c.p.w.topo
+	myNode := topo.NodeOf(c.group[c.myRank])
+	leaderOf := map[int]int{} // node -> lowest comm rank
+	var pl nodePlan
+	var nodes []int
+	for r, wr := range c.group {
+		n := topo.NodeOf(wr)
+		if _, ok := leaderOf[n]; !ok {
+			leaderOf[n] = r
+			nodes = append(nodes, n)
+		}
+		if n == myNode {
+			pl.myNodeMembers = append(pl.myNodeMembers, r)
+		}
+	}
+	// nodes were appended in comm-rank order, which is deterministic
+	// and identical on every member.
+	for _, n := range nodes {
+		pl.leaders = append(pl.leaders, leaderOf[n])
+	}
+	return pl
+}
+
+func indexOf(list []int, v int) int {
+	for i, x := range list {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// bcastKnomialSubset broadcasts buf over the comm ranks in members,
+// rooted at members[rootIdx], with a k-ary tree. Only members call it.
+func (c *Comm) bcastKnomialSubset(buf []byte, members []int, rootIdx, tag, k int) error {
+	m := len(members)
+	if m <= 1 {
+		return nil
+	}
+	my := indexOf(members, c.myRank)
+	v := (my - rootIdx + m) % m
+	mask := 1
+	for mask < m && v%(mask*k) == 0 {
+		mask *= k
+	}
+	if v != 0 {
+		parent := members[((v-v%(mask*k))+rootIdx)%m]
+		if err := c.crecv(buf, parent, tag); err != nil {
+			return err
+		}
+	}
+	for mm := mask / k; mm >= 1; mm /= k {
+		for j := 1; j < k; j++ {
+			child := v + j*mm
+			if child < m {
+				if err := c.csend(buf, members[(child+rootIdx)%m], tag); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reduceBinomialSubset reduces members' acc vectors onto
+// members[rootIdx]; on return the root's acc holds the combined value.
+func (c *Comm) reduceBinomialSubset(acc []byte, members []int, rootIdx, tag int, kind jvm.Kind, op Op) error {
+	m := len(members)
+	if m <= 1 {
+		return nil
+	}
+	my := indexOf(members, c.myRank)
+	v := (my - rootIdx + m) % m
+	scratch := make([]byte, len(acc))
+	for mask := 1; mask < m; mask <<= 1 {
+		if v&mask != 0 {
+			parent := members[((v^mask)+rootIdx)%m]
+			return c.csend(acc, parent, tag)
+		}
+		partner := v + mask
+		if partner < m {
+			if err := c.crecv(scratch, members[(partner+rootIdx)%m], tag); err != nil {
+				return err
+			}
+			if err := reduceInto(acc, scratch, kind, op); err != nil {
+				return err
+			}
+			c.chargeCompute(len(acc))
+		}
+	}
+	return nil
+}
+
+// allreduceRecDblSubset runs recursive doubling over members (with the
+// standard non-power-of-two fold); every member ends with the combined
+// vector in acc.
+func (c *Comm) allreduceRecDblSubset(acc []byte, members []int, tag int, kind jvm.Kind, op Op) error {
+	m := len(members)
+	if m <= 1 {
+		return nil
+	}
+	my := indexOf(members, c.myRank)
+	scratch := make([]byte, len(acc))
+	pof2 := 1
+	for pof2*2 <= m {
+		pof2 *= 2
+	}
+	rem := m - pof2
+	v := -1
+	switch {
+	case my < 2*rem && my%2 != 0:
+		if err := c.csend(acc, members[my-1], tag); err != nil {
+			return err
+		}
+	case my < 2*rem:
+		if err := c.crecv(scratch, members[my+1], tag); err != nil {
+			return err
+		}
+		if err := reduceInto(acc, scratch, kind, op); err != nil {
+			return err
+		}
+		c.chargeCompute(len(acc))
+		v = my / 2
+	default:
+		v = my - rem
+	}
+	if v >= 0 {
+		toReal := func(vr int) int {
+			if vr < rem {
+				return vr * 2
+			}
+			return vr + rem
+		}
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partner := members[toReal(v^mask)]
+			if err := c.csendrecv(acc, partner, scratch, partner, tag); err != nil {
+				return err
+			}
+			if err := reduceInto(acc, scratch, kind, op); err != nil {
+				return err
+			}
+			c.chargeCompute(len(acc))
+		}
+	}
+	if my < 2*rem {
+		if my%2 == 0 {
+			return c.csend(acc, members[my+1], tag)
+		}
+		return c.crecv(acc, members[my-1], tag)
+	}
+	return nil
+}
+
+// bcastShmAware is the two-level broadcast: root hands the payload to
+// its node leader set (k-nomial over the network), then each leader
+// fans out over shared memory.
+func (c *Comm) bcastShmAware(buf []byte, root, tag, k int) error {
+	pl := c.planNodes()
+	// Use the root itself as its node's representative in the leader
+	// phase, so the payload starts the inter-node phase immediately.
+	rootNode := c.p.w.topo.NodeOf(c.group[root])
+	leaders := make([]int, len(pl.leaders))
+	copy(leaders, pl.leaders)
+	rootLeaderIdx := -1
+	for i, l := range leaders {
+		if c.p.w.topo.NodeOf(c.group[l]) == rootNode {
+			leaders[i] = root
+			rootLeaderIdx = i
+		}
+	}
+	myLeader := leaders[0]
+	for _, l := range leaders {
+		if c.p.w.topo.NodeOf(c.group[l]) == c.p.w.topo.NodeOf(c.group[c.myRank]) {
+			myLeader = l
+		}
+	}
+	// Phase 1: inter-node, leaders only.
+	if indexOf(leaders, c.myRank) >= 0 {
+		if err := c.bcastKnomialSubset(buf, leaders, rootLeaderIdx, tag, k); err != nil {
+			return err
+		}
+	}
+	// Phase 2: intra-node fan-out from each node's representative.
+	members := pl.myNodeMembers
+	// The representative may be the root (on the root's node) rather
+	// than the lowest rank.
+	repIdx := indexOf(members, myLeader)
+	if repIdx < 0 {
+		// Root is this node's representative but not its lowest rank:
+		// member list still contains it (it is on this node).
+		repIdx = indexOf(members, root)
+	}
+	return c.bcastKnomialSubset(buf, members, repIdx, tag, k)
+}
+
+// allreduceShmAware combines three phases: an intra-node reduce onto
+// each node leader (shared memory), a recursive-doubling allreduce
+// among leaders (network), and an intra-node broadcast.
+func (c *Comm) allreduceShmAware(sendBuf, recvBuf []byte, kind jvm.Kind, op Op, k int) error {
+	pl := c.planNodes()
+	copy(recvBuf, sendBuf)
+	tag1 := c.collTag()
+	tag2 := c.collTag()
+	tag3 := c.collTag()
+	members := pl.myNodeMembers
+	if err := c.reduceBinomialSubset(recvBuf, members, 0, tag1, kind, op); err != nil {
+		return err
+	}
+	if c.myRank == members[0] {
+		if err := c.allreduceRecDblSubset(recvBuf, pl.leaders, tag2, kind, op); err != nil {
+			return err
+		}
+	}
+	return c.bcastKnomialSubset(recvBuf, members, 0, tag3, k)
+}

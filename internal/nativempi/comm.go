@@ -1,0 +1,163 @@
+package nativempi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Communicator management. New context ids must be agreed by all
+// members, so creation is collective: rank 0 of the parent reserves
+// ids from the world-wide counter and broadcasts them.
+
+// Undefined is the color value for MPI_UNDEFINED in Split: the caller
+// gets no new communicator.
+const Undefined = -1
+
+func putI32(b []byte, off int, v int32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+func getI32(b []byte, off int) int32 {
+	return int32(b[off]) | int32(b[off+1])<<8 | int32(b[off+2])<<16 | int32(b[off+3])<<24
+}
+
+// allocCtxCollective reserves n context ids, agreed across the
+// communicator.
+func (c *Comm) allocCtxCollective(n int32) (int32, error) {
+	buf := make([]byte, 4)
+	if c.myRank == 0 {
+		putI32(buf, 0, c.p.w.allocCtx(n))
+	}
+	if err := c.Bcast(buf, 0); err != nil {
+		return 0, err
+	}
+	return getI32(buf, 0), nil
+}
+
+// Dup creates a congruent communicator with fresh contexts
+// (MPI_Comm_dup).
+func (c *Comm) Dup() (*Comm, error) {
+	base, err := c.allocCtxCollective(2)
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{
+		p:       c.p,
+		group:   c.Group(),
+		myRank:  c.myRank,
+		ptCtx:   base,
+		collCtx: base + 1,
+	}, nil
+}
+
+// Split partitions the communicator by color; within each color, new
+// ranks are ordered by (key, old rank) — MPI_Comm_split semantics.
+// Callers passing color Undefined receive (nil, nil).
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	p := c.Size()
+	// Gather everyone's (color, key) and broadcast the table, so each
+	// rank computes the identical partition locally.
+	mine := make([]byte, 8)
+	putI32(mine, 0, int32(color))
+	putI32(mine, 4, int32(key))
+	table := make([]byte, 8*p)
+	if err := c.Gather(mine, table, 0); err != nil {
+		return nil, err
+	}
+	if err := c.Bcast(table, 0); err != nil {
+		return nil, err
+	}
+
+	colors := make([]int, p)
+	keys := make([]int, p)
+	distinct := []int{}
+	seen := map[int]bool{}
+	for r := 0; r < p; r++ {
+		colors[r] = int(getI32(table, 8*r))
+		keys[r] = int(getI32(table, 8*r+4))
+		if colors[r] >= 0 && !seen[colors[r]] {
+			seen[colors[r]] = true
+			distinct = append(distinct, colors[r])
+		}
+	}
+	sort.Ints(distinct)
+
+	// One collective allocation covers every new communicator: two
+	// contexts per distinct color, assigned in sorted color order.
+	base, err := c.allocCtxCollective(int32(2 * len(distinct)))
+	if err != nil {
+		return nil, err
+	}
+	if color == Undefined {
+		return nil, nil
+	}
+	if color < 0 {
+		return nil, fmt.Errorf("nativempi: negative color %d (use Undefined)", color)
+	}
+
+	idx := sort.SearchInts(distinct, color)
+	members := []int{}
+	for r := 0; r < p; r++ {
+		if colors[r] == color {
+			members = append(members, r)
+		}
+	}
+	sort.SliceStable(members, func(i, j int) bool {
+		if keys[members[i]] != keys[members[j]] {
+			return keys[members[i]] < keys[members[j]]
+		}
+		return members[i] < members[j]
+	})
+	group := make([]int, len(members))
+	myRank := -1
+	for i, r := range members {
+		group[i] = c.group[r]
+		if r == c.myRank {
+			myRank = i
+		}
+	}
+	return &Comm{
+		p:       c.p,
+		group:   group,
+		myRank:  myRank,
+		ptCtx:   base + int32(2*idx),
+		collCtx: base + int32(2*idx) + 1,
+	}, nil
+}
+
+// SplitType partitions the communicator by hardware locality
+// (MPI_Comm_split_type with MPI_COMM_TYPE_SHARED): each node's ranks
+// form one shared-memory subcommunicator, ordered by key then rank.
+func (c *Comm) SplitType(key int) (*Comm, error) {
+	return c.Split(c.p.w.topo.NodeOf(c.group[c.myRank]), key)
+}
+
+// CreateFromGroup builds a communicator over an explicit list of
+// parent ranks. Collective over the parent; ranks outside the group
+// must still call it (they receive nil), matching MPI_Comm_create.
+func (c *Comm) CreateFromGroup(parentRanks []int) (*Comm, error) {
+	for _, r := range parentRanks {
+		if err := c.checkRank(r); err != nil {
+			return nil, err
+		}
+	}
+	base, err := c.allocCtxCollective(2)
+	if err != nil {
+		return nil, err
+	}
+	group := make([]int, len(parentRanks))
+	myRank := -1
+	for i, r := range parentRanks {
+		group[i] = c.group[r]
+		if r == c.myRank {
+			myRank = i
+		}
+	}
+	if myRank < 0 {
+		return nil, nil
+	}
+	return &Comm{p: c.p, group: group, myRank: myRank, ptCtx: base, collCtx: base + 1}, nil
+}

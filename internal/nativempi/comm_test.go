@@ -1,0 +1,263 @@
+package nativempi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestDup(t *testing.T) {
+	w := testWorld(2, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		dup, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		if dup.Rank() != c.Rank() || dup.Size() != c.Size() {
+			return fmt.Errorf("dup shape wrong: %d/%d", dup.Rank(), dup.Size())
+		}
+		// Traffic on the two communicators must not cross-match, even
+		// with identical (src, tag): send on dup, then on world, and
+		// receive world-first.
+		if pr.Rank() == 0 {
+			if err := dup.Send([]byte{0xDD}, 1, 0); err != nil {
+				return err
+			}
+			if err := c.Send([]byte{0xEE}, 1, 0); err != nil {
+				return err
+			}
+			return nil
+		}
+		if pr.Rank() == 1 {
+			buf := make([]byte, 1)
+			if _, err := c.Recv(buf, 0, 0); err != nil {
+				return err
+			}
+			if buf[0] != 0xEE {
+				return fmt.Errorf("world recv got dup traffic: %#x", buf[0])
+			}
+			if _, err := dup.Recv(buf, 0, 0); err != nil {
+				return err
+			}
+			if buf[0] != 0xDD {
+				return fmt.Errorf("dup recv got %#x", buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitByParity(t *testing.T) {
+	w := testWorld(2, 3) // 6 ranks
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		color := pr.Rank() % 2
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if sub == nil {
+			return fmt.Errorf("rank %d got nil subcomm", pr.Rank())
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("subcomm size %d, want 3", sub.Size())
+		}
+		if want := pr.Rank() / 2; sub.Rank() != want {
+			return fmt.Errorf("rank %d: sub rank %d, want %d", pr.Rank(), sub.Rank(), want)
+		}
+		// A collective inside the subcomm sees only its members.
+		buf := make([]byte, 8)
+		if sub.Rank() == 0 {
+			copy(buf, pattern(8, byte(color+1)))
+		}
+		if err := sub.Bcast(buf, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, pattern(8, byte(color+1))) {
+			return fmt.Errorf("rank %d: subcomm bcast leaked across colors", pr.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyReordersRanks(t *testing.T) {
+	w := testWorld(1, 4)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		// One color; keys reverse the order.
+		sub, err := c.Split(0, c.Size()-pr.Rank())
+		if err != nil {
+			return err
+		}
+		if want := c.Size() - 1 - pr.Rank(); sub.Rank() != want {
+			return fmt.Errorf("rank %d: sub rank %d, want %d", pr.Rank(), sub.Rank(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitUndefined(t *testing.T) {
+	w := testWorld(1, 4)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		color := Undefined
+		if pr.Rank() < 2 {
+			color = 0
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if pr.Rank() < 2 {
+			if sub == nil || sub.Size() != 2 {
+				return fmt.Errorf("rank %d: expected 2-rank subcomm", pr.Rank())
+			}
+			return sub.Barrier()
+		}
+		if sub != nil {
+			return fmt.Errorf("rank %d: Undefined color must yield nil comm", pr.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateFromGroup(t *testing.T) {
+	w := testWorld(1, 5)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		sub, err := c.CreateFromGroup([]int{4, 1, 3})
+		if err != nil {
+			return err
+		}
+		inGroup := pr.Rank() == 4 || pr.Rank() == 1 || pr.Rank() == 3
+		if !inGroup {
+			if sub != nil {
+				return fmt.Errorf("rank %d should be outside the group", pr.Rank())
+			}
+			return nil
+		}
+		// Group order defines ranks: 4->0, 1->1, 3->2.
+		want := map[int]int{4: 0, 1: 1, 3: 2}[pr.Rank()]
+		if sub.Rank() != want {
+			return fmt.Errorf("rank %d: group rank %d, want %d", pr.Rank(), sub.Rank(), want)
+		}
+		if sub.WorldRank(0) != 4 {
+			return fmt.Errorf("WorldRank(0) = %d", sub.WorldRank(0))
+		}
+		// Point-to-point within the subcomm with status translation.
+		if sub.Rank() == 0 {
+			return sub.Send([]byte{7}, 2, 0)
+		}
+		if sub.Rank() == 2 {
+			buf := make([]byte, 1)
+			st, err := sub.Recv(buf, 0, 0)
+			if err != nil {
+				return err
+			}
+			if st.Source != 0 {
+				return fmt.Errorf("status source %d, want comm rank 0", st.Source)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitTypeShared(t *testing.T) {
+	w := testWorld(3, 4)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		node, err := c.SplitType(0)
+		if err != nil {
+			return err
+		}
+		if node.Size() != 4 {
+			return fmt.Errorf("node comm size %d, want 4", node.Size())
+		}
+		want := w.Topology().LocalRank(pr.Rank())
+		if node.Rank() != want {
+			return fmt.Errorf("rank %d: node rank %d, want %d", pr.Rank(), node.Rank(), want)
+		}
+		// Every member must really share the node.
+		for _, wr := range node.Group() {
+			if !w.Topology().SameNode(wr, pr.Rank()) {
+				return fmt.Errorf("rank %d grouped with off-node rank %d", pr.Rank(), wr)
+			}
+		}
+		return node.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedSplit(t *testing.T) {
+	// Split a split: node-local communicators out of parity comms.
+	w := testWorld(2, 4)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		sub, err := c.Split(pr.Rank()%2, 0)
+		if err != nil {
+			return err
+		}
+		node := w.Topology().NodeOf(pr.Rank())
+		sub2, err := sub.Split(node, 0)
+		if err != nil {
+			return err
+		}
+		if sub2.Size() != 2 {
+			return fmt.Errorf("nested split size %d, want 2", sub2.Size())
+		}
+		return sub2.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldRankBounds(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		if pr.Rank() != 0 {
+			return nil
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("WorldRank out of range did not panic")
+			}
+		}()
+		pr.CommWorld().WorldRank(5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesPanics(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		if pr.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run swallowed a rank panic")
+	}
+}

@@ -1,0 +1,195 @@
+package nativempi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestProbeRendezvousReportsFullSize(t *testing.T) {
+	// Probing an RTS must report the advertised payload size even
+	// though no data has moved yet.
+	w := testWorld(2, 1)
+	const n = 1 << 20
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		if pr.Rank() == 0 {
+			return c.Send(pattern(n, 1), 1, 5)
+		}
+		st, err := c.Probe(0, 5)
+		if err != nil {
+			return err
+		}
+		if st.Bytes != n {
+			return fmt.Errorf("probe of rendezvous reported %d bytes, want %d", st.Bytes, n)
+		}
+		buf := make([]byte, n)
+		if _, err := c.Recv(buf, 0, 5); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, pattern(n, 1)) {
+			return fmt.Errorf("payload corrupted after probe")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRendezvousTruncation(t *testing.T) {
+	// A rendezvous message into a short buffer reports MPI_ERR_TRUNCATE
+	// and still completes the protocol (no hang).
+	w := testWorld(2, 1)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		if pr.Rank() == 0 {
+			return c.Send(make([]byte, 1<<20), 1, 0)
+		}
+		buf := make([]byte, 1024)
+		_, err := c.Recv(buf, 0, 0)
+		if !errors.Is(err, ErrTruncated) {
+			return fmt.Errorf("rendezvous truncation: err=%v, want ErrTruncated", err)
+		}
+		return nil
+	})
+	// Rank 1 returns nil (it asserted the truncation); the job must
+	// not report an error.
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnyTagMatchesFirstArrival(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		if pr.Rank() == 0 {
+			if err := c.Send([]byte{1}, 1, 42); err != nil {
+				return err
+			}
+			return c.Send([]byte{2}, 1, 43)
+		}
+		buf := make([]byte, 1)
+		st, err := c.Recv(buf, 0, AnyTag)
+		if err != nil {
+			return err
+		}
+		if st.Tag != 42 || buf[0] != 1 {
+			return fmt.Errorf("AnyTag matched tag %d value %d; FIFO requires 42/1", st.Tag, buf[0])
+		}
+		st, err = c.Recv(buf, 0, AnyTag)
+		if err != nil {
+			return err
+		}
+		if st.Tag != 43 || buf[0] != 2 {
+			return fmt.Errorf("second AnyTag matched %d/%d", st.Tag, buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestPollsWithoutBlocking(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		if pr.Rank() == 0 {
+			// Delay (in virtual terms nothing; in real terms let rank 1
+			// poll a bit first), then send.
+			return c.Send([]byte{9}, 1, 0)
+		}
+		buf := make([]byte, 1)
+		req, err := c.Irecv(buf, 0, 0)
+		if err != nil {
+			return err
+		}
+		for {
+			st, done, err := req.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				if st.Bytes != 1 || buf[0] != 9 {
+					return fmt.Errorf("Test completion wrong: %+v %d", st, buf[0])
+				}
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	// Eager self-send: post the receive first (nonblocking), then
+	// send; both must complete.
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		if pr.Rank() != 0 {
+			return nil
+		}
+		c := pr.CommWorld()
+		in := make([]byte, 16)
+		rreq, err := c.Irecv(in, 0, 7)
+		if err != nil {
+			return err
+		}
+		if err := c.Send(pattern(16, 3), 0, 7); err != nil {
+			return err
+		}
+		if _, err := rreq.Wait(); err != nil {
+			return err
+		}
+		if !bytes.Equal(in, pattern(16, 3)) {
+			return fmt.Errorf("self-send payload corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxClockReflectsSlowestRank(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		if pr.Rank() == 1 {
+			pr.Clock().Advance(1 << 30)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxClock() < 1<<30 {
+		t.Fatalf("MaxClock = %v", w.MaxClock())
+	}
+}
+
+func TestWorldAccessors(t *testing.T) {
+	w := testWorld(2, 3)
+	if w.Size() != 6 || w.Topology().Nodes() != 2 || w.Fabric() == nil {
+		t.Fatal("world accessors wrong")
+	}
+	if w.Profile().Name == "" {
+		t.Fatal("profile not normalized")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Proc out of range did not panic")
+		}
+	}()
+	w.Proc(9)
+}
+
+func TestStatusCountErrors(t *testing.T) {
+	st := Status{Bytes: 10}
+	if _, err := st.Count(kindInt()); err == nil {
+		t.Fatal("10 bytes of int accepted")
+	}
+}

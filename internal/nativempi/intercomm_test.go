@@ -1,0 +1,202 @@
+package nativempi
+
+import (
+	"bytes"
+	"fmt"
+	"mv2j/internal/jvm"
+	"testing"
+)
+
+// splitHalves partitions the world into two intracommunicators and
+// builds an intercommunicator between them over the world bridge.
+func splitHalves(pr *Proc) (*Comm, *InterComm, error) {
+	world := pr.CommWorld()
+	half := world.Size() / 2
+	color := 0
+	if pr.Rank() >= half {
+		color = 1
+	}
+	local, err := world.Split(color, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	remoteLeader := half // world rank of group 1's leader
+	if color == 1 {
+		remoteLeader = 0
+	}
+	ic, err := local.CreateIntercomm(0, world, remoteLeader, 99)
+	if err != nil {
+		return nil, nil, err
+	}
+	return local, ic, nil
+}
+
+func TestIntercommCreateAndShape(t *testing.T) {
+	w := testWorld(2, 3) // 6 ranks -> two groups of 3
+	err := w.Run(func(pr *Proc) error {
+		_, ic, err := splitHalves(pr)
+		if err != nil {
+			return err
+		}
+		if ic.LocalSize() != 3 || ic.RemoteSize() != 3 {
+			return fmt.Errorf("intercomm shape %d/%d", ic.LocalSize(), ic.RemoteSize())
+		}
+		if ic.Rank() != pr.Rank()%3 {
+			return fmt.Errorf("local rank %d, want %d", ic.Rank(), pr.Rank()%3)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntercommPointToPoint(t *testing.T) {
+	w := testWorld(2, 2) // groups of 2
+	err := w.Run(func(pr *Proc) error {
+		_, ic, err := splitHalves(pr)
+		if err != nil {
+			return err
+		}
+		me := ic.Rank()
+		// Pairwise exchange with the same-ranked member of the peer
+		// group, addressed by REMOTE rank.
+		out := pattern(64, byte(pr.Rank()+1))
+		in := make([]byte, 64)
+		lowSide := pr.Rank() < 2
+		if lowSide {
+			if err := ic.Send(out, me, 7); err != nil {
+				return err
+			}
+			st, err := ic.Recv(in, me, 7)
+			if err != nil {
+				return err
+			}
+			if st.Source != me {
+				return fmt.Errorf("status source %d, want remote rank %d", st.Source, me)
+			}
+		} else {
+			if _, err := ic.Recv(in, me, 7); err != nil {
+				return err
+			}
+			if err := ic.Send(out, me, 7); err != nil {
+				return err
+			}
+		}
+		peerWorld := (pr.Rank() + 2) % 4
+		if !bytes.Equal(in, pattern(64, byte(peerWorld+1))) {
+			return fmt.Errorf("rank %d: intercomm payload corrupted", pr.Rank())
+		}
+		// Remote-rank validation.
+		if err := ic.Send(out, 5, 0); err == nil {
+			return fmt.Errorf("out-of-range remote rank accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntercommTrafficIsolated(t *testing.T) {
+	// Intercomm traffic must not cross-match with world traffic that
+	// uses identical (src, tag).
+	w := testWorld(1, 4)
+	err := w.Run(func(pr *Proc) error {
+		world := pr.CommWorld()
+		_, ic, err := splitHalves(pr)
+		if err != nil {
+			return err
+		}
+		if pr.Rank() == 0 {
+			// World message first, then intercomm message, same tag,
+			// same (world) destination 2 = remote rank 0.
+			if err := world.Send([]byte{0xAA}, 2, 3); err != nil {
+				return err
+			}
+			if err := ic.Send([]byte{0xBB}, 0, 3); err != nil {
+				return err
+			}
+		}
+		if pr.Rank() == 2 {
+			buf := make([]byte, 1)
+			// Receive intercomm FIRST: must get 0xBB even though the
+			// world message arrived earlier.
+			if _, err := ic.Recv(buf, 0, 3); err != nil {
+				return err
+			}
+			if buf[0] != 0xBB {
+				return fmt.Errorf("intercomm recv got world traffic: %#x", buf[0])
+			}
+			if _, err := world.Recv(buf, 0, 3); err != nil {
+				return err
+			}
+			if buf[0] != 0xAA {
+				return fmt.Errorf("world recv got %#x", buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntercommMerge(t *testing.T) {
+	w := testWorld(2, 2)
+	err := w.Run(func(pr *Proc) error {
+		_, ic, err := splitHalves(pr)
+		if err != nil {
+			return err
+		}
+		// Low group stays low.
+		high := pr.Rank() >= 2
+		merged, err := ic.Merge(high)
+		if err != nil {
+			return err
+		}
+		if merged.Size() != 4 {
+			return fmt.Errorf("merged size %d", merged.Size())
+		}
+		if merged.Rank() != pr.Rank() {
+			return fmt.Errorf("merged rank %d, want %d (low group first)", merged.Rank(), pr.Rank())
+		}
+		// The merged communicator is a full intracommunicator:
+		// collectives work.
+		buf := encodeInts([]int64{int64(pr.Rank())})
+		out := make([]byte, 8)
+		if err := merged.Allreduce(buf, out, jvm.Long, OpSum); err != nil {
+			return err
+		}
+		if got := decodeInts(out)[0]; got != 6 {
+			return fmt.Errorf("merged allreduce = %d, want 6", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntercommMergeBothHigh(t *testing.T) {
+	// Equal flags: ordering falls back to leader world ranks (group 0
+	// first).
+	w := testWorld(1, 4)
+	err := w.Run(func(pr *Proc) error {
+		_, ic, err := splitHalves(pr)
+		if err != nil {
+			return err
+		}
+		merged, err := ic.Merge(true)
+		if err != nil {
+			return err
+		}
+		if merged.Rank() != pr.Rank() {
+			return fmt.Errorf("merged rank %d, want %d", merged.Rank(), pr.Rank())
+		}
+		return merged.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

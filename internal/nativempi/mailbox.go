@@ -1,0 +1,52 @@
+package nativempi
+
+import "sync"
+
+// mailbox is an unbounded MPSC queue of packets. Senders never block —
+// essential, because a blocking transport would introduce artificial
+// deadlocks the real (buffered, flow-controlled) network does not have.
+// The owning rank pops packets inside its MPI calls, which is exactly
+// the software-progress model of a polling MPI library.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []*packet
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push enqueues p and wakes the owner if it is blocked in pop.
+func (m *mailbox) push(p *packet) {
+	m.mu.Lock()
+	m.q = append(m.q, p)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// tryPop dequeues the oldest packet without blocking.
+func (m *mailbox) tryPop() (*packet, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	p := m.q[0]
+	m.q = m.q[1:]
+	return p, true
+}
+
+// pop dequeues the oldest packet, blocking until one is available.
+func (m *mailbox) pop() *packet {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 {
+		m.cond.Wait()
+	}
+	p := m.q[0]
+	m.q = m.q[1:]
+	return p
+}

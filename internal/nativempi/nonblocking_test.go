@@ -1,0 +1,301 @@
+package nativempi
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mv2j/internal/jvm"
+	"mv2j/internal/vtime"
+)
+
+func TestIbcastCorrectness(t *testing.T) {
+	for _, shape := range [][2]int{{1, 4}, {2, 3}, {2, 4}} {
+		w := testWorld(shape[0], shape[1])
+		want := pattern(512, 5)
+		err := w.Run(func(p *Proc) error {
+			c := p.CommWorld()
+			buf := make([]byte, 512)
+			if p.Rank() == 0 {
+				copy(buf, want)
+			}
+			req, err := c.Ibcast(buf, 0)
+			if err != nil {
+				return err
+			}
+			if err := req.Wait(); err != nil {
+				return err
+			}
+			if !bytes.Equal(buf, want) {
+				return fmt.Errorf("rank %d: ibcast payload wrong", p.Rank())
+			}
+			// Waiting again is a no-op.
+			return req.Wait()
+		})
+		if err != nil {
+			t.Fatalf("%dx%d: %v", shape[0], shape[1], err)
+		}
+	}
+}
+
+func TestIallreduceCorrectness(t *testing.T) {
+	for _, shape := range [][2]int{{1, 4}, {2, 3}, {1, 7}} {
+		w := testWorld(shape[0], shape[1])
+		err := w.Run(func(pr *Proc) error {
+			c := pr.CommWorld()
+			p := c.Size()
+			send := encodeInts([]int64{int64(pr.Rank()), int64(pr.Rank() * 10)})
+			recv := make([]byte, len(send))
+			req, err := c.Iallreduce(send, recv, jvm.Long, OpSum)
+			if err != nil {
+				return err
+			}
+			if err := req.Wait(); err != nil {
+				return err
+			}
+			got := decodeInts(recv)
+			wantA := int64(p * (p - 1) / 2)
+			if got[0] != wantA || got[1] != wantA*10 {
+				return fmt.Errorf("rank %d: iallreduce = %v, want [%d %d]", pr.Rank(), got, wantA, wantA*10)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%dx%d: %v", shape[0], shape[1], err)
+		}
+	}
+}
+
+func TestIreduceCorrectness(t *testing.T) {
+	w := testWorld(2, 3)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		send := encodeInts([]int64{int64(pr.Rank() + 1)})
+		var recv []byte
+		if pr.Rank() == 2 {
+			recv = make([]byte, 8)
+		}
+		req, err := c.Ireduce(send, recv, jvm.Long, OpProd, 2)
+		if err != nil {
+			return err
+		}
+		if err := req.Wait(); err != nil {
+			return err
+		}
+		if pr.Rank() == 2 {
+			if got := decodeInts(recv)[0]; got != 720 { // 6!
+				return fmt.Errorf("ireduce = %d, want 720", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIallgatherCorrectness(t *testing.T) {
+	w := testWorld(2, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		p := c.Size()
+		const n = 16
+		recv := make([]byte, n*p)
+		req, err := c.Iallgather(pattern(n, byte(pr.Rank())), recv)
+		if err != nil {
+			return err
+		}
+		if err := req.Wait(); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			if !bytes.Equal(recv[r*n:(r+1)*n], pattern(n, byte(r))) {
+				return fmt.Errorf("rank %d: iallgather block %d corrupted", pr.Rank(), r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIbarrierSynchronises(t *testing.T) {
+	w := testWorld(2, 2)
+	err := w.Run(func(pr *Proc) error {
+		if pr.Rank() == 3 {
+			pr.Clock().Advance(vtime.Micros(321))
+		}
+		req, err := pr.CommWorld().Ibarrier()
+		if err != nil {
+			return err
+		}
+		if err := req.Wait(); err != nil {
+			return err
+		}
+		if pr.Clock().Now() < vtime.Time(vtime.Micros(321)) {
+			return fmt.Errorf("rank %d passed the ibarrier before the last arrival", pr.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonBlockingOverlapsCompute(t *testing.T) {
+	// The point of non-blocking collectives: compute inserted between
+	// initiation and Wait hides the communication. A receiving rank
+	// that computes while its (eager) message is in flight pays
+	// max(compute, arrival), not compute + arrival. The payload stays
+	// below the eager thresholds: a rendezvous transfer cannot overlap
+	// without software progress, which is its own test below.
+	const computeUs = 80.0
+	run := func(overlap bool) vtime.Duration {
+		w := testWorld(2, 2)
+		var total vtime.Duration
+		err := w.Run(func(pr *Proc) error {
+			c := pr.CommWorld()
+			buf := make([]byte, 4096)
+			sw := vtime.StartStopwatch(pr.Clock())
+			compute := func() {
+				if pr.Rank() == 2 { // a direct child on the remote node
+					pr.Clock().Advance(vtime.Micros(computeUs))
+				}
+			}
+			if overlap {
+				req, err := c.Ibcast(buf, 0)
+				if err != nil {
+					return err
+				}
+				compute()
+				if err := req.Wait(); err != nil {
+					return err
+				}
+			} else {
+				if err := c.Bcast(buf, 0); err != nil {
+					return err
+				}
+				compute()
+			}
+			if pr.Rank() == 2 {
+				total = sw.Elapsed()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	overlapped := run(true)
+	serial := run(false)
+	if overlapped.Micros() > serial.Micros()-1 {
+		t.Fatalf("ibcast+compute (%v) must clearly beat bcast;compute (%v) on the computing rank",
+			overlapped, serial)
+	}
+}
+
+func TestSoftwareProgressSemantics(t *testing.T) {
+	// A middle-of-tree rank that computes before waiting delays its
+	// subtree: software progress, no progress thread. Rank 0 is the
+	// root of the binomial tree over 4 ranks (children 2 and 1; rank 2
+	// serves rank 3).
+	stallRank2 := func(stallUs float64) vtime.Time {
+		w := testWorld(1, 4)
+		var leafDone vtime.Time
+		err := w.Run(func(pr *Proc) error {
+			c := pr.CommWorld()
+			buf := make([]byte, 4096)
+			req, err := c.Ibcast(buf, 0)
+			if err != nil {
+				return err
+			}
+			if pr.Rank() == 2 {
+				pr.Clock().Advance(vtime.Micros(stallUs))
+			}
+			if err := req.Wait(); err != nil {
+				return err
+			}
+			if pr.Rank() == 3 {
+				leafDone = pr.Clock().Now()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return leafDone
+	}
+	prompt := stallRank2(0)
+	delayed := stallRank2(200)
+	if delayed < prompt.Add(vtime.Micros(150)) {
+		t.Fatalf("rank 3 finished at %v despite its parent stalling (prompt: %v); schedules must progress only in Test/Wait",
+			delayed, prompt)
+	}
+}
+
+func TestCollRequestTestPolling(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		buf := make([]byte, 128)
+		req, err := c.Ibcast(buf, 0)
+		if err != nil {
+			return err
+		}
+		// Poll until done; must terminate. The peer's packet arrival
+		// is a host-scheduling race, so yield between polls.
+		for i := 0; ; i++ {
+			done, err := req.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+			if i > 1_000_000 {
+				return fmt.Errorf("rank %d: Test never completed", pr.Rank())
+			}
+			runtime.Gosched()
+		}
+		if !req.Done() {
+			return fmt.Errorf("Done() false after completion")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilCollRequest(t *testing.T) {
+	var r *CollRequest
+	if err := r.Wait(); err == nil {
+		t.Fatal("nil Wait must error")
+	}
+	if _, err := r.Test(); err == nil {
+		t.Fatal("nil Test must error")
+	}
+	if r.Done() {
+		t.Fatal("nil Done must be false")
+	}
+}
+
+func TestIallreduceValidation(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		if _, err := c.Iallreduce(make([]byte, 8), make([]byte, 4), jvm.Long, OpSum); err == nil {
+			return fmt.Errorf("mismatched iallreduce buffers accepted")
+		}
+		if _, err := c.Ibcast(nil, 7); err == nil {
+			return fmt.Errorf("invalid ibcast root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

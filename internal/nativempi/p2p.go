@@ -1,0 +1,369 @@
+package nativempi
+
+import (
+	"fmt"
+
+	"mv2j/internal/vtime"
+)
+
+// Comm is one rank's view of a communicator: the member group (as
+// world ranks), this rank's position in it, and the pair of context
+// ids separating its point-to-point and collective traffic.
+type Comm struct {
+	p       *Proc
+	group   []int
+	myRank  int
+	ptCtx   int32
+	collCtx int32
+	collSeq int // rolling tag for collective operations
+}
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.myRank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Proc returns the owning process.
+func (c *Comm) Proc() *Proc { return c.p }
+
+// Group returns a copy of the member list as world ranks, in
+// communicator-rank order.
+func (c *Comm) Group() []int {
+	g := make([]int, len(c.group))
+	copy(g, c.group)
+	return g
+}
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(rank int) int {
+	if rank < 0 || rank >= len(c.group) {
+		panic(fmt.Sprintf("nativempi: comm rank %d out of range [0,%d)", rank, len(c.group)))
+	}
+	return c.group[rank]
+}
+
+// commRankOfWorld maps a world rank back into this communicator
+// (linear scan; groups are small and this is off the hot path).
+func (c *Comm) commRankOfWorld(world int) int {
+	for i, w := range c.group {
+		if w == world {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Comm) checkRank(rank int) error {
+	if rank < 0 || rank >= len(c.group) {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrRank, rank, len(c.group))
+	}
+	return nil
+}
+
+func (c *Comm) checkSendTag(tag int) error {
+	if tag < 0 {
+		return fmt.Errorf("%w: send tag %d must be non-negative", ErrTag, tag)
+	}
+	return nil
+}
+
+// Request is a non-blocking operation handle (MPI_Request).
+type Request struct {
+	p          *Proc
+	done       bool
+	completeAt vtime.Time
+	status     Status
+	err        error
+
+	// receive state
+	buf           []byte
+	src           int // world rank or AnySource
+	tag           int
+	ctx           int32
+	postedAt      vtime.Time
+	extraRecvCost vtime.Duration
+	rndvFrom      int
+	rndvTag       int
+
+	// rendezvous send state
+	id      uint64
+	sendBuf []byte
+	dst     int // world rank
+
+	// comm, when set, translates the status source from world rank to
+	// communicator rank.
+	comm *Comm
+	// waited records that a Wait consumed this request (used by
+	// Waitsome to report each completion exactly once).
+	waited bool
+}
+
+// sendOpts parameterise internal sends (collective traffic uses the
+// collective context and pays the profile's per-message collective
+// overhead).
+type sendOpts struct {
+	ctx  int32
+	coll bool
+}
+
+// isendOn injects a message toward world rank wdst.
+func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
+	sendStart := p.clock.Now()
+	ch := p.channel(wdst)
+	soft := p.sendSoft(wdst)
+	if o.coll {
+		soft += p.w.prof.CollMsgOverhead
+	}
+	p.clock.Advance(soft + ch.SendOverhead)
+	n := len(buf)
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(n)
+
+	if n <= p.eagerLimit(wdst) {
+		// Eager: the CPU copies the payload into a wire buffer; the
+		// send completes locally as soon as the copy is injected.
+		p.stats.EagerSends++
+		start := vtime.Max(p.clock.Now(), p.nicFree)
+		p.nicFree = start.Add(ch.SerializeTime(n))
+		p.clock.AdvanceTo(p.nicFree)
+		data := make([]byte, n)
+		copy(data, buf)
+		p.post(wdst, &packet{
+			kind:     pktEager,
+			src:      p.rank,
+			dst:      wdst,
+			tag:      tag,
+			ctx:      o.ctx,
+			data:     data,
+			nbytes:   n,
+			arriveAt: start.Add(ch.TransferTime(n)),
+		})
+		p.recordSend(wdst, n, sendStart, p.clock.Now())
+		return &Request{
+			p:          p,
+			done:       true,
+			completeAt: p.clock.Now(),
+			status:     Status{Source: wdst, Tag: tag, Bytes: n},
+		}
+	}
+
+	// Rendezvous: advertise with an RTS; the payload moves (and the
+	// request completes) when the CTS comes back.
+	p.stats.RndvSends++
+	p.nextReq++
+	req := &Request{
+		p:       p,
+		id:      p.nextReq,
+		sendBuf: buf,
+		dst:     wdst,
+		tag:     tag,
+		ctx:     o.ctx,
+	}
+	p.sendPending[req.id] = req
+	p.post(wdst, &packet{
+		kind:     pktRTS,
+		src:      p.rank,
+		dst:      wdst,
+		tag:      tag,
+		ctx:      o.ctx,
+		nbytes:   n,
+		reqID:    req.id,
+		arriveAt: p.clock.Now().Add(ch.Latency),
+	})
+	return req
+}
+
+// irecvOn posts a receive for (wsrc, tag) on a context. wsrc may be
+// AnySource.
+func (p *Proc) irecvOn(buf []byte, wsrc, tag int, o sendOpts) *Request {
+	req := &Request{
+		p:        p,
+		buf:      buf,
+		src:      wsrc,
+		tag:      tag,
+		ctx:      o.ctx,
+		postedAt: p.clock.Now(),
+	}
+	if o.coll {
+		req.extraRecvCost = p.w.prof.CollMsgOverhead
+	}
+	// Drain arrived traffic, then look for an already-queued match.
+	p.poll()
+	for i, pkt := range p.unexpected {
+		if matches(req, pkt) {
+			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
+			p.deliver(req, pkt)
+			return req
+		}
+	}
+	p.posted = append(p.posted, req)
+	return req
+}
+
+// Isend starts a non-blocking standard-mode send of buf to dst.
+// The buffer must not be modified until the request completes.
+func (c *Comm) Isend(buf []byte, dst, tag int) (*Request, error) {
+	if err := c.checkRank(dst); err != nil {
+		return nil, err
+	}
+	if err := c.checkSendTag(tag); err != nil {
+		return nil, err
+	}
+	req := c.p.isendOn(buf, c.group[dst], tag, sendOpts{ctx: c.ptCtx})
+	req.comm = c
+	return req, nil
+}
+
+// Irecv starts a non-blocking receive into buf from src (AnySource
+// allowed) with tag (AnyTag allowed).
+func (c *Comm) Irecv(buf []byte, src, tag int) (*Request, error) {
+	wsrc := AnySource
+	if src != AnySource {
+		if err := c.checkRank(src); err != nil {
+			return nil, err
+		}
+		wsrc = c.group[src]
+	}
+	if tag < 0 && tag != AnyTag {
+		return nil, fmt.Errorf("%w: recv tag %d", ErrTag, tag)
+	}
+	req := c.p.irecvOn(buf, wsrc, tag, sendOpts{ctx: c.ptCtx})
+	req.comm = c
+	return req, nil
+}
+
+// Send is the blocking standard-mode send.
+func (c *Comm) Send(buf []byte, dst, tag int) error {
+	req, err := c.Isend(buf, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+// Recv is the blocking receive. It returns the completion status
+// (with the source expressed as a communicator rank).
+func (c *Comm) Recv(buf []byte, src, tag int) (Status, error) {
+	req, err := c.Irecv(buf, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}
+
+// Sendrecv runs a send and a receive concurrently — the classic
+// exchange primitive that cannot deadlock where paired blocking calls
+// would.
+func (c *Comm) Sendrecv(sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) (Status, error) {
+	rreq, err := c.Irecv(recvBuf, src, recvTag)
+	if err != nil {
+		return Status{}, err
+	}
+	sreq, err := c.Isend(sendBuf, dst, sendTag)
+	if err != nil {
+		return Status{}, err
+	}
+	if _, err := sreq.Wait(); err != nil {
+		return Status{}, err
+	}
+	return rreq.Wait()
+}
+
+// Probe blocks until a message matching (src, tag) is available and
+// returns its status without receiving it.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	for {
+		st, ok, err := c.Iprobe(src, tag)
+		if err != nil || ok {
+			return st, err
+		}
+		c.p.progressOnce()
+	}
+}
+
+// Iprobe polls for a matching message.
+func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
+	wsrc := AnySource
+	if src != AnySource {
+		if err := c.checkRank(src); err != nil {
+			return Status{}, false, err
+		}
+		wsrc = c.group[src]
+	}
+	c.p.poll()
+	probe := &Request{src: wsrc, tag: tag, ctx: c.ptCtx}
+	for _, pkt := range c.p.unexpected {
+		if matches(probe, pkt) {
+			n := len(pkt.data)
+			if pkt.kind == pktRTS {
+				n = pkt.nbytes
+			}
+			src := c.commRankOfWorld(pkt.src)
+			return Status{Source: src, Tag: pkt.tag, Bytes: n}, true, nil
+		}
+	}
+	return Status{}, false, nil
+}
+
+// Wait blocks until the request completes, advances the rank's clock
+// to the completion time, and returns the status. Waiting on an
+// already-waited request returns the recorded result (like
+// MPI_REQUEST_NULL being a no-op).
+func (r *Request) Wait() (Status, error) {
+	if r == nil {
+		return Status{}, ErrRequest
+	}
+	p := r.p
+	p.poll()
+	for !r.done {
+		p.progressOnce()
+	}
+	p.clock.AdvanceTo(r.completeAt)
+	r.waited = true
+	return r.commStatus(), r.err
+}
+
+// Test polls for completion without blocking.
+func (r *Request) Test() (Status, bool, error) {
+	if r == nil {
+		return Status{}, false, ErrRequest
+	}
+	r.p.poll()
+	if !r.done {
+		return Status{}, false, nil
+	}
+	r.p.clock.AdvanceTo(r.completeAt)
+	return r.commStatus(), true, r.err
+}
+
+// Done reports whether the request has completed (without progressing
+// the engine).
+func (r *Request) Done() bool { return r.done }
+
+// commStatus returns the status with the source translated from the
+// internal world rank to the caller's communicator rank.
+func (r *Request) commStatus() Status {
+	st := r.status
+	if r.comm != nil && st.Source >= 0 {
+		if cr := r.comm.commRankOfWorld(st.Source); cr >= 0 {
+			st.Source = cr
+		}
+	}
+	return st
+}
+
+// Waitall completes every request, returning the first error.
+func Waitall(reqs []*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

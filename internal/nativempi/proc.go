@@ -1,0 +1,302 @@
+package nativempi
+
+import (
+	"fmt"
+
+	"mv2j/internal/fabric"
+	"mv2j/internal/vtime"
+)
+
+type pktKind uint8
+
+const (
+	pktEager pktKind = iota
+	pktRTS
+	pktCTS
+	pktData
+	pktRMA      // one-sided operation toward a window
+	pktRMAReply // data reply to an RMA Get
+	pktAbort    // job abort: wakes and kills blocked ranks
+)
+
+// packet is one unit on the simulated wire. arriveAt is the virtual
+// time its last byte is available at the destination; the mailbox
+// itself is only an event transport, so host scheduling never affects
+// measured times.
+type packet struct {
+	kind     pktKind
+	src, dst int // world ranks
+	tag      int
+	ctx      int32
+	data     []byte // payload (eager, data)
+	nbytes   int    // full payload size (meaningful for RTS)
+	arriveAt vtime.Time
+	reqID    uint64 // rendezvous correlation (RTS/CTS/Data)
+}
+
+// ProcStats counts per-rank runtime activity.
+type ProcStats struct {
+	MsgsSent     int64
+	BytesSent    int64
+	EagerSends   int64
+	RndvSends    int64
+	MsgsReceived int64
+	Unexpected   int64 // receives that found the message already queued
+}
+
+// Proc is one MPI rank: its clock, mailbox, matching queues, and
+// injection resource. A Proc is confined to its rank goroutine.
+type Proc struct {
+	w     *World
+	rank  int
+	clock *vtime.Clock
+	mb    *mailbox
+
+	// nicFree is when the rank's injection resource (NIC / memory
+	// port) next becomes idle; successive sends serialize on it.
+	nicFree vtime.Time
+
+	posted      []*Request          // posted receives, FIFO
+	unexpected  []*packet           // arrived-but-unmatched eager/RTS packets
+	sendPending map[uint64]*Request // rendezvous sends awaiting CTS
+	recvPending map[uint64]*Request // rendezvous receives awaiting data
+	nextReq     uint64
+
+	world *Comm
+	stats ProcStats
+
+	// windows maps window ids to their per-rank state (see rma.go).
+	windows map[int32]*winState
+}
+
+func newProc(w *World, rank int) *Proc {
+	p := &Proc{
+		w:           w,
+		rank:        rank,
+		clock:       vtime.NewClock(),
+		mb:          newMailbox(),
+		sendPending: map[uint64]*Request{},
+		recvPending: map[uint64]*Request{},
+	}
+	p.world = &Comm{
+		p:       p,
+		group:   identity(w.Size()),
+		myRank:  rank,
+		ptCtx:   worldPtCtx,
+		collCtx: worldCollCtx,
+	}
+	return p
+}
+
+func identity(n int) []int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+// Rank returns this process's world rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Clock returns the rank's virtual clock.
+func (p *Proc) Clock() *vtime.Clock { return p.clock }
+
+// CommWorld returns this rank's view of MPI_COMM_WORLD.
+func (p *Proc) CommWorld() *Comm { return p.world }
+
+// Stats returns a snapshot of the rank's counters.
+func (p *Proc) Stats() ProcStats { return p.stats }
+
+// World returns the job this rank belongs to.
+func (p *Proc) World() *World { return p.w }
+
+// channel returns the fabric parameters toward world rank dst.
+func (p *Proc) channel(dst int) fabric.Params { return p.w.fab.Channel(p.rank, dst) }
+
+// overheads returns the library software overheads toward dst.
+func (p *Proc) sendSoft(dst int) vtime.Duration {
+	if p.w.fab.IsIntra(p.rank, dst) {
+		return p.w.prof.IntraSendOverhead
+	}
+	return p.w.prof.InterSendOverhead
+}
+
+func (p *Proc) recvSoft(src int) vtime.Duration {
+	if p.w.fab.IsIntra(p.rank, src) {
+		return p.w.prof.IntraRecvOverhead
+	}
+	return p.w.prof.InterRecvOverhead
+}
+
+// eagerLimit returns the protocol threshold toward dst.
+func (p *Proc) eagerLimit(dst int) int {
+	ch := p.channel(dst)
+	if p.w.fab.IsIntra(p.rank, dst) {
+		if p.w.prof.EagerIntra > 0 {
+			return p.w.prof.EagerIntra
+		}
+	} else if p.w.prof.EagerInter > 0 {
+		return p.w.prof.EagerInter
+	}
+	return ch.EagerThreshold
+}
+
+// post delivers a packet to world rank dst's mailbox.
+func (p *Proc) post(dst int, pkt *packet) { p.w.procs[dst].mb.push(pkt) }
+
+// matches reports whether a posted receive (req) matches a packet.
+func matches(req *Request, pkt *packet) bool {
+	if req.ctx != pkt.ctx {
+		return false
+	}
+	if req.src != AnySource && req.src != pkt.src {
+		return false
+	}
+	if req.tag != AnyTag && req.tag != pkt.tag {
+		return false
+	}
+	return true
+}
+
+// dispatch routes one arrived packet.
+func (p *Proc) dispatch(pkt *packet) {
+	switch pkt.kind {
+	case pktEager, pktRTS:
+		for i, req := range p.posted {
+			if matches(req, pkt) {
+				p.posted = append(p.posted[:i], p.posted[i+1:]...)
+				p.deliver(req, pkt)
+				return
+			}
+		}
+		p.unexpected = append(p.unexpected, pkt)
+	case pktCTS:
+		req, ok := p.sendPending[pkt.reqID]
+		if !ok {
+			panic(fmt.Sprintf("nativempi: rank %d got CTS for unknown request %d", p.rank, pkt.reqID))
+		}
+		delete(p.sendPending, pkt.reqID)
+		p.rndvSendData(req, pkt)
+	case pktData:
+		req, ok := p.recvPending[pkt.reqID]
+		if !ok {
+			panic(fmt.Sprintf("nativempi: rank %d got DATA for unknown request %d", p.rank, pkt.reqID))
+		}
+		delete(p.recvPending, pkt.reqID)
+		p.completeRndvRecv(req, pkt)
+	case pktRMA, pktRMAReply:
+		st, ok := p.windows[pkt.ctx]
+		if !ok {
+			panic(fmt.Sprintf("nativempi: rank %d got RMA traffic for unknown window %d", p.rank, pkt.ctx))
+		}
+		st.incoming = append(st.incoming, pkt)
+	case pktAbort:
+		// Propagates as a panic so even deeply nested blocking calls
+		// unwind; World.Run recovers it into this rank's error.
+		panic(abortError{origin: pkt.src, reason: string(pkt.data)})
+	}
+}
+
+// progressOnce processes one packet, blocking until one arrives.
+func (p *Proc) progressOnce() { p.dispatch(p.mb.pop()) }
+
+// poll drains already-arrived packets without blocking.
+func (p *Proc) poll() {
+	for {
+		pkt, ok := p.mb.tryPop()
+		if !ok {
+			return
+		}
+		p.dispatch(pkt)
+	}
+}
+
+// deliver completes the receive req with an eager payload or, for an
+// RTS, starts the rendezvous reply.
+func (p *Proc) deliver(req *Request, pkt *packet) {
+	ch := p.channel(pkt.src)
+	switch pkt.kind {
+	case pktEager:
+		n := len(pkt.data)
+		if n > len(req.buf) {
+			req.err = fmt.Errorf("%w: %d-byte message into %d-byte buffer", ErrTruncated, n, len(req.buf))
+			n = len(req.buf)
+		}
+		copy(req.buf[:n], pkt.data[:n])
+		complete := vtime.Max(req.postedAt, pkt.arriveAt).
+			Add(ch.RecvOverhead + p.recvSoft(pkt.src) + req.extraRecvCost)
+		// A message that hit the wire before the receive was posted
+		// sat in a bounce buffer and pays one extra copy now. The
+		// comparison uses virtual times only, keeping runs
+		// deterministic under host scheduling.
+		if pkt.arriveAt < req.postedAt {
+			complete = complete.Add(vtime.PerByte(n, ch.Bandwidth))
+			p.stats.Unexpected++
+		}
+		req.status = Status{Source: pkt.src, Tag: pkt.tag, Bytes: len(pkt.data)}
+		req.completeAt = complete
+		req.done = true
+		p.stats.MsgsReceived++
+		p.recordRecv(pkt.src, len(pkt.data), req.postedAt, complete)
+	case pktRTS:
+		if pkt.nbytes > len(req.buf) {
+			req.err = fmt.Errorf("%w: %d-byte rendezvous into %d-byte buffer", ErrTruncated, pkt.nbytes, len(req.buf))
+		}
+		readyAt := vtime.Max(req.postedAt, pkt.arriveAt)
+		req.rndvFrom = pkt.src
+		req.rndvTag = pkt.tag
+		p.recvPending[pkt.reqID] = req
+		cts := &packet{
+			kind:     pktCTS,
+			src:      p.rank,
+			dst:      pkt.src,
+			ctx:      pkt.ctx,
+			reqID:    pkt.reqID,
+			arriveAt: readyAt.Add(ch.Latency),
+		}
+		p.post(pkt.src, cts)
+	default:
+		panic("nativempi: deliver on control packet")
+	}
+}
+
+// rndvSendData runs the data phase after a CTS: inject the payload,
+// complete the send request when the injection resource is done.
+func (p *Proc) rndvSendData(req *Request, cts *packet) {
+	ch := p.channel(req.dst)
+	start := vtime.Max(vtime.Max(p.clock.Now(), cts.arriveAt), p.nicFree)
+	start = start.Add(ch.RndvHandshake)
+	data := make([]byte, len(req.sendBuf))
+	copy(data, req.sendBuf)
+	p.nicFree = start.Add(ch.SerializeTime(len(data)))
+	pkt := &packet{
+		kind:     pktData,
+		src:      p.rank,
+		dst:      req.dst,
+		tag:      req.tag,
+		ctx:      req.ctx,
+		data:     data,
+		reqID:    req.id,
+		arriveAt: start.Add(ch.TransferTime(len(data))),
+	}
+	p.post(req.dst, pkt)
+	req.completeAt = p.nicFree
+	req.done = true
+	p.recordSend(req.dst, len(data), start, req.completeAt)
+}
+
+// completeRndvRecv lands the data phase in the user buffer.
+func (p *Proc) completeRndvRecv(req *Request, pkt *packet) {
+	ch := p.channel(pkt.src)
+	n := len(pkt.data)
+	if n > len(req.buf) {
+		n = len(req.buf) // error already recorded at RTS time
+	}
+	copy(req.buf[:n], pkt.data[:n])
+	req.status = Status{Source: pkt.src, Tag: pkt.tag, Bytes: len(pkt.data)}
+	req.completeAt = pkt.arriveAt.Add(ch.RecvOverhead + p.recvSoft(pkt.src) + req.extraRecvCost)
+	req.done = true
+	p.stats.MsgsReceived++
+	p.recordRecv(pkt.src, len(pkt.data), req.postedAt, req.completeAt)
+}

@@ -1,0 +1,182 @@
+package nativempi
+
+import "mv2j/internal/vtime"
+
+// Collective algorithm identifiers. Which one runs for a given
+// (message size, communicator size) is the library's tuning decision —
+// the paper attributes the MVAPICH2-J vs Open MPI-J collective gaps
+// "largely to the performance differences of the native libraries",
+// and algorithm selection plus per-message software overhead is where
+// those differences live.
+type (
+	BcastAlg     int
+	ReduceAlg    int
+	AllreduceAlg int
+	AllgatherAlg int
+	AlltoallAlg  int
+	BarrierAlg   int
+	GatherAlg    int
+	ScatterAlg   int
+)
+
+const (
+	// BcastBinomial is the classic log2(p)-step binomial tree.
+	BcastBinomial BcastAlg = iota
+	// BcastKnomial is a k-ary tree: fewer, wider steps; MVAPICH2's
+	// default for small messages.
+	BcastKnomial
+	// BcastScatterAllgather is the van de Geijn large-message
+	// algorithm: scatter then ring allgather, moving ~2n bytes per
+	// rank instead of n·log(p).
+	BcastScatterAllgather
+	// BcastBinaryTree is a non-segmented binary tree: every internal
+	// hop forwards the full payload — cheap to implement, slow for
+	// large messages.
+	BcastBinaryTree
+	// BcastFlat has the root send to every rank in turn.
+	BcastFlat
+	// BcastShmAware is the two-level leader-based broadcast: k-nomial
+	// among node leaders over the network, then k-nomial fan-out over
+	// shared memory within each node — MVAPICH2's multi-node strategy.
+	BcastShmAware
+	// BcastChain forwards rank-to-rank down a single chain. With
+	// segmentation it pipelines large payloads; without it (as here) it
+	// degenerates to a p-deep pipe — the pathological small-message
+	// choice behind the paper's large broadcast gap.
+	BcastChain
+)
+
+const (
+	ReduceBinomial ReduceAlg = iota
+	ReduceLinear
+)
+
+const (
+	// AllreduceRecursiveDoubling: log2(p) exchange-and-combine steps.
+	AllreduceRecursiveDoubling AllreduceAlg = iota
+	// AllreduceRabenseifner: reduce-scatter + allgather; optimal
+	// bandwidth for large payloads.
+	AllreduceRabenseifner
+	// AllreduceReduceBcast: naive composition of a reduce and a bcast.
+	AllreduceReduceBcast
+	// AllreduceShmAware: intra-node reduce onto node leaders, recursive
+	// doubling among leaders, intra-node broadcast.
+	AllreduceShmAware
+)
+
+const (
+	AllgatherRing AllgatherAlg = iota
+	AllgatherLinear
+)
+
+const (
+	AlltoallPairwise AlltoallAlg = iota
+	AlltoallLinear
+)
+
+const (
+	BarrierDissemination BarrierAlg = iota
+	BarrierLinear
+)
+
+const (
+	GatherBinomial GatherAlg = iota
+	GatherLinear
+)
+
+const (
+	ScatterBinomial ScatterAlg = iota
+	ScatterLinear
+)
+
+// Profile is a native library's tuning personality: software overheads
+// layered on the raw fabric costs, protocol thresholds, and collective
+// algorithm selection. internal/profile provides the MVAPICH2-like and
+// OpenMPI-like instances used throughout the evaluation.
+type Profile struct {
+	Name string
+
+	// Per-message software overhead the library adds at the sender and
+	// receiver, by channel class. This is stack depth: request
+	// allocation, header matching, completion bookkeeping.
+	IntraSendOverhead vtime.Duration
+	IntraRecvOverhead vtime.Duration
+	InterSendOverhead vtime.Duration
+	InterRecvOverhead vtime.Duration
+
+	// EagerIntra/EagerInter override the fabric's protocol thresholds
+	// when positive.
+	EagerIntra int
+	EagerInter int
+
+	// CollMsgOverhead is extra per-message software cost inside
+	// collective algorithms (argument checking, schedule interpretation
+	// — notably higher in Open MPI's libnbc-style framework).
+	CollMsgOverhead vtime.Duration
+
+	// KnomialRadix is the tree arity for BcastKnomial (default 4).
+	KnomialRadix int
+
+	// ReduceBandwidth is the local elementwise-combine rate in
+	// bytes/second for reduction computation.
+	ReduceBandwidth float64
+
+	// Algorithm selectors, by payload bytes and communicator size.
+	// Nil selectors fall back to reasonable defaults (see normalize).
+	SelectBcast     func(nbytes, p int) BcastAlg
+	SelectReduce    func(nbytes, p int) ReduceAlg
+	SelectAllreduce func(nbytes, p int) AllreduceAlg
+	SelectAllgather func(nbytes, p int) AllgatherAlg
+	SelectAlltoall  func(nbytes, p int) AlltoallAlg
+	SelectBarrier   func(p int) BarrierAlg
+	SelectGather    func(nbytes, p int) GatherAlg
+	SelectScatter   func(nbytes, p int) ScatterAlg
+}
+
+// normalize fills unset fields with safe defaults.
+func (pr Profile) normalize() Profile {
+	if pr.Name == "" {
+		pr.Name = "generic"
+	}
+	if pr.KnomialRadix < 2 {
+		pr.KnomialRadix = 4
+	}
+	if pr.ReduceBandwidth <= 0 {
+		pr.ReduceBandwidth = 8e9
+	}
+	if pr.SelectBcast == nil {
+		pr.SelectBcast = func(nbytes, p int) BcastAlg {
+			if nbytes > 64*1024 {
+				return BcastScatterAllgather
+			}
+			return BcastBinomial
+		}
+	}
+	if pr.SelectReduce == nil {
+		pr.SelectReduce = func(nbytes, p int) ReduceAlg { return ReduceBinomial }
+	}
+	if pr.SelectAllreduce == nil {
+		pr.SelectAllreduce = func(nbytes, p int) AllreduceAlg {
+			if nbytes > 64*1024 {
+				return AllreduceRabenseifner
+			}
+			return AllreduceRecursiveDoubling
+		}
+	}
+	if pr.SelectAllgather == nil {
+		pr.SelectAllgather = func(nbytes, p int) AllgatherAlg { return AllgatherRing }
+	}
+	if pr.SelectAlltoall == nil {
+		pr.SelectAlltoall = func(nbytes, p int) AlltoallAlg { return AlltoallPairwise }
+	}
+	if pr.SelectBarrier == nil {
+		pr.SelectBarrier = func(p int) BarrierAlg { return BarrierDissemination }
+	}
+	if pr.SelectGather == nil {
+		pr.SelectGather = func(nbytes, p int) GatherAlg { return GatherBinomial }
+	}
+	if pr.SelectScatter == nil {
+		pr.SelectScatter = func(nbytes, p int) ScatterAlg { return ScatterBinomial }
+	}
+	return pr
+}

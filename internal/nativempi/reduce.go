@@ -1,0 +1,195 @@
+package nativempi
+
+import (
+	"fmt"
+	"math"
+
+	"mv2j/internal/jvm"
+)
+
+// reduceInto combines src into dst elementwise: dst = op(dst, src),
+// interpreting both byte slices as arrays of kind elements in native
+// (little-endian) layout. This is the kernel behind MPI_Reduce and
+// friends; the caller charges compute cost separately.
+func reduceInto(dst, src []byte, kind jvm.Kind, op Op) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: reduce length mismatch %d vs %d", ErrCount, len(dst), len(src))
+	}
+	sz := kind.Size()
+	if len(dst)%sz != 0 {
+		return fmt.Errorf("%w: %d bytes not a multiple of %v", ErrCount, len(dst), kind)
+	}
+	n := len(dst) / sz
+	if fastReduce(dst, src, kind, op) {
+		return nil
+	}
+	if kind.IsFloating() {
+		return reduceFloat(dst, src, kind, op, n)
+	}
+	return reduceInt(dst, src, kind, op, n)
+}
+
+// fastReduce handles the hot (kind, op) pairs the benchmarks exercise
+// without going through the generic element codec. It reports whether
+// it handled the combination.
+func fastReduce(dst, src []byte, kind jvm.Kind, op Op) bool {
+	switch {
+	case kind == jvm.Byte && op == OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+		return true
+	case kind == jvm.Byte && op == OpMax:
+		for i := range dst {
+			if int8(src[i]) > int8(dst[i]) {
+				dst[i] = src[i]
+			}
+		}
+		return true
+	case kind == jvm.Double && op == OpSum:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			putFloatNative(dst, i, jvm.Double, getFloatNative(dst, i, jvm.Double)+getFloatNative(src, i, jvm.Double))
+		}
+		return true
+	case kind == jvm.Long && op == OpSum:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			putIntNative(dst, i, jvm.Long, getIntNative(dst, i, jvm.Long)+getIntNative(src, i, jvm.Long))
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func reduceInt(dst, src []byte, kind jvm.Kind, op Op, n int) error {
+	sz := kind.Size()
+	for i := 0; i < n; i++ {
+		a := getIntNative(dst, i*sz, kind)
+		b := getIntNative(src, i*sz, kind)
+		var r int64
+		switch op {
+		case OpSum:
+			r = a + b
+		case OpProd:
+			r = a * b
+		case OpMax:
+			r = a
+			if b > a {
+				r = b
+			}
+		case OpMin:
+			r = a
+			if b < a {
+				r = b
+			}
+		case OpLAnd:
+			r = boolToInt(a != 0 && b != 0)
+		case OpLOr:
+			r = boolToInt(a != 0 || b != 0)
+		case OpBAnd:
+			r = a & b
+		case OpBOr:
+			r = a | b
+		case OpBXor:
+			r = a ^ b
+		default:
+			return fmt.Errorf("nativempi: unknown op %v", op)
+		}
+		putIntNative(dst, i*sz, kind, r)
+	}
+	return nil
+}
+
+func reduceFloat(dst, src []byte, kind jvm.Kind, op Op, n int) error {
+	sz := kind.Size()
+	for i := 0; i < n; i++ {
+		a := getFloatNative(dst, i*sz, kind)
+		b := getFloatNative(src, i*sz, kind)
+		var r float64
+		switch op {
+		case OpSum:
+			r = a + b
+		case OpProd:
+			r = a * b
+		case OpMax:
+			r = math.Max(a, b)
+		case OpMin:
+			r = math.Min(a, b)
+		case OpLAnd:
+			r = float64(boolToInt(a != 0 && b != 0))
+		case OpLOr:
+			r = float64(boolToInt(a != 0 || b != 0))
+		default:
+			return fmt.Errorf("nativempi: op %v undefined for %v", op, kind)
+		}
+		putFloatNative(dst, i*sz, kind, r)
+	}
+	return nil
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Native-layout element accessors (little-endian, matching the jvm
+// package's array payload layout).
+
+func getIntNative(b []byte, off int, kind jvm.Kind) int64 {
+	var bits uint64
+	sz := kind.Size()
+	for i := sz - 1; i >= 0; i-- {
+		bits = bits<<8 | uint64(b[off+i])
+	}
+	switch kind {
+	case jvm.Byte:
+		return int64(int8(bits))
+	case jvm.Boolean:
+		return int64(bits & 1)
+	case jvm.Char:
+		return int64(uint16(bits))
+	case jvm.Short:
+		return int64(int16(bits))
+	case jvm.Int:
+		return int64(int32(bits))
+	case jvm.Long:
+		return int64(bits)
+	default:
+		panic("nativempi: getIntNative on " + kind.String())
+	}
+}
+
+func putIntNative(b []byte, off int, kind jvm.Kind, v int64) {
+	sz := kind.Size()
+	bits := uint64(v)
+	for i := 0; i < sz; i++ {
+		b[off+i] = byte(bits >> (8 * i))
+	}
+}
+
+func getFloatNative(b []byte, off int, kind jvm.Kind) float64 {
+	var bits uint64
+	sz := kind.Size()
+	for i := sz - 1; i >= 0; i-- {
+		bits = bits<<8 | uint64(b[off+i])
+	}
+	if kind == jvm.Float {
+		return float64(math.Float32frombits(uint32(bits)))
+	}
+	return math.Float64frombits(bits)
+}
+
+func putFloatNative(b []byte, off int, kind jvm.Kind, v float64) {
+	var bits uint64
+	if kind == jvm.Float {
+		bits = uint64(math.Float32bits(float32(v)))
+	} else {
+		bits = math.Float64bits(v)
+	}
+	sz := kind.Size()
+	for i := 0; i < sz; i++ {
+		b[off+i] = byte(bits >> (8 * i))
+	}
+}

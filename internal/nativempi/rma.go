@@ -1,0 +1,318 @@
+package nativempi
+
+import (
+	"fmt"
+
+	"mv2j/internal/jvm"
+	"mv2j/internal/vtime"
+)
+
+// One-sided communication (MPI-2/3 RMA) with active-target
+// fence synchronisation: Win exposes a region of local memory;
+// Put/Get/Accumulate issue RMA operations that complete at the next
+// Fence, which also applies all incoming operations. The OSU
+// Micro-Benchmarks cover these (osu_put_latency & co.); OMB-J gains
+// the same coverage here.
+//
+// Epoch protocol at Fence: the ranks exchange per-target operation
+// counts (Alltoall), then each rank progresses until it has applied
+// exactly the operations addressed to it and received every reply to
+// its own Gets, and finally a barrier closes the epoch.
+
+// winState is the per-rank state of one window.
+type winState struct {
+	base     []byte
+	incoming []*packet // unapplied RMA packets for this window
+}
+
+// Win is one rank's handle on a window.
+type Win struct {
+	c  *Comm
+	id int32
+	st *winState
+
+	// outstanding ops this epoch
+	sentTo     []int // ops issued per target (comm ranks)
+	getPending map[uint64]*rmaGet
+	nextGet    uint64
+	freed      bool
+}
+
+type rmaGet struct {
+	dst  []byte
+	done bool
+	at   vtime.Time
+}
+
+// rmaHeader packs (window id, op kind, element kind, reduce op) into
+// packet fields: ctx carries the window id; tag carries the byte
+// offset; nbytes the payload size; reqID correlates Get replies.
+// The accumulate's (kind, op) ride in the two low bytes of dst... of
+// the packet's src field's upper bits — packed explicitly below.
+
+const (
+	rmaPut = iota
+	rmaAcc
+	rmaGetReq
+	rmaGetReply
+)
+
+// rmaMeta packs op metadata into an int64 for the packet.
+func rmaMeta(op int, kind jvm.Kind, rop Op) int64 {
+	return int64(op) | int64(kind)<<8 | int64(rop)<<16
+}
+
+func rmaMetaUnpack(meta int64) (op int, kind jvm.Kind, rop Op) {
+	return int(meta & 0xff), jvm.Kind(meta >> 8 & 0xff), Op(meta >> 16 & 0xff)
+}
+
+// WinCreate exposes base as an RMA window. Collective over the
+// communicator; every rank must call it (base may differ per rank, and
+// may be nil for a zero-size exposure).
+func (c *Comm) WinCreate(base []byte) (*Win, error) {
+	id, err := c.allocCtxCollective(1)
+	if err != nil {
+		return nil, err
+	}
+	st := &winState{base: base}
+	w := &Win{
+		c:          c,
+		id:         id,
+		st:         st,
+		sentTo:     make([]int, c.Size()),
+		getPending: map[uint64]*rmaGet{},
+	}
+	if c.p.windows == nil {
+		c.p.windows = map[int32]*winState{}
+	}
+	c.p.windows[id] = st
+	// Window creation synchronises (MPI_Win_create is collective).
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Free detaches the window. Collective.
+func (w *Win) Free() error {
+	if w.freed {
+		return fmt.Errorf("nativempi: window already freed")
+	}
+	w.freed = true
+	delete(w.c.p.windows, w.id)
+	return w.c.Barrier()
+}
+
+func (w *Win) check(target, off, n int) error {
+	if w.freed {
+		return fmt.Errorf("nativempi: operation on freed window")
+	}
+	if err := w.c.checkRank(target); err != nil {
+		return err
+	}
+	if off < 0 || n < 0 {
+		return fmt.Errorf("%w: rma range [%d,%d)", ErrCount, off, off+n)
+	}
+	return nil
+}
+
+// injectRMA ships an RMA packet toward the target with eager-style
+// injection (RMA maps to RDMA: no rendezvous handshake).
+func (w *Win) injectRMA(target int, kind pktKind, meta int64, off int, data []byte, reqID uint64) {
+	p := w.c.p
+	wdst := w.c.group[target]
+	ch := p.channel(wdst)
+	p.clock.Advance(p.sendSoft(wdst) + ch.SendOverhead)
+	n := len(data)
+	start := vtime.Max(p.clock.Now(), p.nicFree)
+	p.nicFree = start.Add(ch.SerializeTime(n))
+	p.clock.AdvanceTo(p.nicFree)
+	var payload []byte
+	if n > 0 {
+		payload = make([]byte, n)
+		copy(payload, data)
+	}
+	p.post(wdst, &packet{
+		kind:     kind,
+		src:      p.rank,
+		dst:      wdst,
+		tag:      off,
+		ctx:      w.id,
+		data:     payload,
+		nbytes:   int(meta),
+		reqID:    reqID,
+		arriveAt: start.Add(ch.TransferTime(n)),
+	})
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(n)
+}
+
+// Put transfers src into the target's window at byte offset targetOff.
+// Completes at the next Fence.
+func (w *Win) Put(src []byte, target, targetOff int) error {
+	if err := w.check(target, targetOff, len(src)); err != nil {
+		return err
+	}
+	start := w.c.p.clock.Now()
+	w.injectRMA(target, pktRMA, rmaMeta(rmaPut, 0, 0), targetOff, src, 0)
+	w.sentTo[target]++
+	w.rmaSpan("put", target, len(src), start)
+	return nil
+}
+
+// Accumulate combines src into the target's window with op.
+func (w *Win) Accumulate(src []byte, target, targetOff int, kind jvm.Kind, op Op) error {
+	if err := w.check(target, targetOff, len(src)); err != nil {
+		return err
+	}
+	start := w.c.p.clock.Now()
+	w.injectRMA(target, pktRMA, rmaMeta(rmaAcc, kind, op), targetOff, src, 0)
+	w.sentTo[target]++
+	w.rmaSpan("accumulate", target, len(src), start)
+	return nil
+}
+
+// Get fetches len(dst) bytes from the target's window at targetOff
+// into dst. dst is valid after the next Fence.
+func (w *Win) Get(dst []byte, target, targetOff int) error {
+	if err := w.check(target, targetOff, len(dst)); err != nil {
+		return err
+	}
+	w.nextGet++
+	id := w.nextGet
+	w.getPending[id] = &rmaGet{dst: dst}
+	// The request carries the wanted length in the meta field's upper
+	// bits.
+	meta := rmaMeta(rmaGetReq, 0, 0) | int64(len(dst))<<24
+	start := w.c.p.clock.Now()
+	w.injectRMA(target, pktRMA, meta, targetOff, nil, id)
+	w.sentTo[target]++
+	w.rmaSpan("get", target, len(dst), start)
+	return nil
+}
+
+// applyIncoming processes one queued RMA packet at the target.
+func (w *Win) applyIncoming(pkt *packet) error {
+	p := w.c.p
+	op, kind, rop := rmaMetaUnpack(int64(pkt.nbytes))
+	ch := p.channel(pkt.src)
+	switch op {
+	case rmaPut:
+		if pkt.tag+len(pkt.data) > len(w.st.base) {
+			return fmt.Errorf("%w: put beyond window (%d+%d > %d)", ErrCount, pkt.tag, len(pkt.data), len(w.st.base))
+		}
+		p.clock.AdvanceTo(pkt.arriveAt)
+		copy(w.st.base[pkt.tag:], pkt.data)
+		p.clock.Advance(ch.RecvOverhead)
+	case rmaAcc:
+		if pkt.tag+len(pkt.data) > len(w.st.base) {
+			return fmt.Errorf("%w: accumulate beyond window", ErrCount)
+		}
+		p.clock.AdvanceTo(pkt.arriveAt)
+		if err := reduceInto(w.st.base[pkt.tag:pkt.tag+len(pkt.data)], pkt.data, kind, rop); err != nil {
+			return err
+		}
+		w.c.chargeCompute(len(pkt.data))
+		p.clock.Advance(ch.RecvOverhead)
+	case rmaGetReq:
+		n := int(int64(pkt.nbytes) >> 24)
+		if pkt.tag+n > len(w.st.base) {
+			// Still reply (empty) so the origin's fence does not hang
+			// on a get that can never be served.
+			src := w.c.commRankOfWorld(pkt.src)
+			w.injectRMA(src, pktRMAReply, rmaMeta(rmaGetReply, 0, 0), pkt.tag, nil, pkt.reqID)
+			return fmt.Errorf("%w: get beyond window (%d+%d > %d)", ErrCount, pkt.tag, n, len(w.st.base))
+		}
+		p.clock.AdvanceTo(pkt.arriveAt)
+		// Reply with the data (the RDMA-read completion). Replies are
+		// transport, not epoch operations: they are tracked by the
+		// origin's getPending set, not by the fence counts.
+		src := w.c.commRankOfWorld(pkt.src)
+		w.injectRMA(src, pktRMAReply, rmaMeta(rmaGetReply, 0, 0), pkt.tag, w.st.base[pkt.tag:pkt.tag+n], pkt.reqID)
+	default:
+		return fmt.Errorf("nativempi: unknown RMA op %d", op)
+	}
+	return nil
+}
+
+// completeReply lands a Get reply at the origin.
+func (w *Win) completeReply(pkt *packet) {
+	g, ok := w.getPending[pkt.reqID]
+	if !ok {
+		panic(fmt.Sprintf("nativempi: rank %d got RMA reply for unknown get %d", w.c.p.rank, pkt.reqID))
+	}
+	copy(g.dst, pkt.data)
+	g.done = true
+	g.at = pkt.arriveAt
+}
+
+// Fence closes the current epoch: all operations issued before it (by
+// anyone, toward anyone) are complete when it returns.
+func (w *Win) Fence() error {
+	if w.freed {
+		return fmt.Errorf("nativempi: fence on freed window")
+	}
+	c := w.c
+	p := c.p
+	np := c.Size()
+
+	// Exchange per-target op counts so each rank knows how many
+	// operations it must apply this epoch.
+	sendCounts := make([]byte, 8*np)
+	recvCounts := make([]byte, 8*np)
+	for r := 0; r < np; r++ {
+		putIntNative(sendCounts, 8*r, jvm.Long, int64(w.sentTo[r]))
+		w.sentTo[r] = 0
+	}
+	if err := c.Alltoall(sendCounts, recvCounts); err != nil {
+		return err
+	}
+	expected := 0
+	for r := 0; r < np; r++ {
+		expected += int(getIntNative(recvCounts, 8*r, jvm.Long))
+	}
+
+	// Apply queued + arriving operations until the epoch's incoming
+	// count is met; also wait out replies for our own gets. A faulty
+	// operation (e.g. out-of-window put) is recorded but the epoch
+	// protocol still completes — returning early would leave the other
+	// ranks stuck in the closing barrier.
+	var firstErr error
+	applied := 0
+	apply := func() {
+		for len(w.st.incoming) > 0 {
+			pkt := w.st.incoming[0]
+			w.st.incoming = w.st.incoming[1:]
+			if pkt.kind == pktRMAReply {
+				w.completeReply(pkt)
+				continue
+			}
+			if err := w.applyIncoming(pkt); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			applied++
+		}
+	}
+	getsDone := func() bool {
+		for _, g := range w.getPending {
+			if !g.done {
+				return false
+			}
+		}
+		return true
+	}
+	apply()
+	for applied < expected || !getsDone() {
+		p.progressOnce()
+		apply()
+	}
+	// Get destinations become valid now.
+	for id, g := range w.getPending {
+		p.clock.AdvanceTo(g.at)
+		delete(w.getPending, id)
+	}
+	if err := c.Barrier(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

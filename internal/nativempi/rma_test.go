@@ -1,0 +1,299 @@
+package nativempi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mv2j/internal/jvm"
+	"mv2j/internal/vtime"
+)
+
+func TestRMAPut(t *testing.T) {
+	w := testWorld(2, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		base := make([]byte, 256)
+		win, err := c.WinCreate(base)
+		if err != nil {
+			return err
+		}
+		// Every rank puts its signature into the next rank's window.
+		target := (pr.Rank() + 1) % c.Size()
+		if err := win.Put(pattern(32, byte(pr.Rank()+1)), target, 64); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		src := (pr.Rank() - 1 + c.Size()) % c.Size()
+		if !bytes.Equal(base[64:96], pattern(32, byte(src+1))) {
+			return fmt.Errorf("rank %d: put payload wrong", pr.Rank())
+		}
+		// Outside the put range the window is untouched.
+		if base[0] != 0 || base[96] != 0 {
+			return fmt.Errorf("rank %d: put spilled", pr.Rank())
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAGet(t *testing.T) {
+	w := testWorld(2, 1)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		base := pattern(128, byte(10*(pr.Rank()+1)))
+		win, err := c.WinCreate(base)
+		if err != nil {
+			return err
+		}
+		dst := make([]byte, 64)
+		other := 1 - pr.Rank()
+		if err := win.Get(dst, other, 32); err != nil {
+			return err
+		}
+		// dst is undefined until the fence...
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		want := pattern(128, byte(10*(other+1)))[32:96]
+		if !bytes.Equal(dst, want) {
+			return fmt.Errorf("rank %d: get payload wrong", pr.Rank())
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAAccumulate(t *testing.T) {
+	w := testWorld(1, 4)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		base := make([]byte, 64)
+		win, err := c.WinCreate(base)
+		if err != nil {
+			return err
+		}
+		// Everyone accumulates (rank+1) into rank 0's first long.
+		contrib := make([]byte, 8)
+		putIntNative(contrib, 0, jvm.Long, int64(pr.Rank()+1))
+		if err := win.Accumulate(contrib, 0, 0, jvm.Long, OpSum); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if pr.Rank() == 0 {
+			if got := getIntNative(base, 0, jvm.Long); got != 10 { // 1+2+3+4
+				return fmt.Errorf("accumulate = %d, want 10", got)
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAMultipleEpochs(t *testing.T) {
+	w := testWorld(2, 1)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		base := make([]byte, 8)
+		win, err := c.WinCreate(base)
+		if err != nil {
+			return err
+		}
+		for epoch := 1; epoch <= 5; epoch++ {
+			if pr.Rank() == 0 {
+				v := make([]byte, 8)
+				putIntNative(v, 0, jvm.Long, int64(epoch*epoch))
+				if err := win.Put(v, 1, 0); err != nil {
+					return err
+				}
+			}
+			if err := win.Fence(); err != nil {
+				return err
+			}
+			if pr.Rank() == 1 {
+				if got := getIntNative(base, 0, jvm.Long); got != int64(epoch*epoch) {
+					return fmt.Errorf("epoch %d: window holds %d", epoch, got)
+				}
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAFenceWithNoOps(t *testing.T) {
+	w := testWorld(1, 3)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		win, err := c.WinCreate(make([]byte, 16))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			if err := win.Fence(); err != nil {
+				return err
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAValidation(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		win, err := c.WinCreate(make([]byte, 16))
+		if err != nil {
+			return err
+		}
+		if err := win.Put(make([]byte, 4), 9, 0); err == nil {
+			return fmt.Errorf("bad target accepted")
+		}
+		if err := win.Put(make([]byte, 4), 0, -1); err == nil {
+			return fmt.Errorf("negative offset accepted")
+		}
+		// A put past the target window errors at the TARGET's fence.
+		if pr.Rank() == 0 {
+			if err := win.Put(make([]byte, 16), 1, 8); err != nil {
+				return fmt.Errorf("origin-side rejection too early: %v", err)
+			}
+		}
+		fenceErr := win.Fence()
+		if pr.Rank() == 1 && fenceErr == nil {
+			return fmt.Errorf("out-of-window put not caught at target fence")
+		}
+		// After Free, operations fail.
+		_ = win
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAFreedWindow(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		win, err := c.WinCreate(make([]byte, 8))
+		if err != nil {
+			return err
+		}
+		if err := win.Free(); err != nil {
+			return err
+		}
+		if err := win.Put(make([]byte, 4), 0, 0); err == nil {
+			return fmt.Errorf("put on freed window accepted")
+		}
+		if err := win.Fence(); err == nil {
+			return fmt.Errorf("fence on freed window accepted")
+		}
+		if err := win.Free(); err == nil {
+			return fmt.Errorf("double free accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAPutLatencyIsOneSided(t *testing.T) {
+	// A put epoch's cost at the origin is dominated by injection plus
+	// the fence synchronisation; the target does not need a matching
+	// receive call. Sanity: a small put+fence costs only a few
+	// microseconds of virtual time.
+	w := testWorld(2, 1)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		win, err := c.WinCreate(make([]byte, 4096))
+		if err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil { // open epoch
+			return err
+		}
+		sw := vtime.StartStopwatch(pr.Clock())
+		const iters = 10
+		for i := 0; i < iters; i++ {
+			if pr.Rank() == 0 {
+				if err := win.Put(make([]byte, 8), 1, 0); err != nil {
+					return err
+				}
+			}
+			if err := win.Fence(); err != nil {
+				return err
+			}
+		}
+		perEpoch := vtime.Duration(int64(sw.Elapsed()) / iters)
+		if perEpoch > vtime.Micros(20) {
+			return fmt.Errorf("put+fence epoch %v too expensive", perEpoch)
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAConcurrentWindows(t *testing.T) {
+	// Two windows on the same communicator do not cross-talk.
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		a := make([]byte, 16)
+		b := make([]byte, 16)
+		winA, err := c.WinCreate(a)
+		if err != nil {
+			return err
+		}
+		winB, err := c.WinCreate(b)
+		if err != nil {
+			return err
+		}
+		if pr.Rank() == 0 {
+			if err := winA.Put(pattern(8, 0xA0), 1, 0); err != nil {
+				return err
+			}
+			if err := winB.Put(pattern(8, 0xB0), 1, 8); err != nil {
+				return err
+			}
+		}
+		if err := winA.Fence(); err != nil {
+			return err
+		}
+		if err := winB.Fence(); err != nil {
+			return err
+		}
+		if pr.Rank() == 1 {
+			if !bytes.Equal(a[:8], pattern(8, 0xA0)) || a[8] != 0 {
+				return fmt.Errorf("window A contents wrong")
+			}
+			if !bytes.Equal(b[8:16], pattern(8, 0xB0)) || b[0] != 0 {
+				return fmt.Errorf("window B contents wrong")
+			}
+		}
+		if err := winA.Free(); err != nil {
+			return err
+		}
+		return winB.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

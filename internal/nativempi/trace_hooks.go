@@ -1,0 +1,63 @@
+package nativempi
+
+import (
+	"mv2j/internal/trace"
+	"mv2j/internal/vtime"
+)
+
+// Tracing hooks. A World optionally carries a trace.Recorder; all
+// hooks are nil-safe no-ops without one, keeping the hot paths free of
+// conditionals beyond one pointer test.
+
+// SetRecorder attaches a recorder to the world. Attach before Run.
+func (w *World) SetRecorder(r *trace.Recorder) { w.rec = r }
+
+// Recorder returns the attached recorder (nil if none).
+func (w *World) Recorder() *trace.Recorder { return w.rec }
+
+// recordSend logs a completed send injection.
+func (p *Proc) recordSend(peer, bytes int, start, end vtime.Time) {
+	if p.w.rec == nil {
+		return
+	}
+	p.w.rec.Record(trace.Event{
+		Rank: p.rank, Kind: trace.KindSend, Peer: peer, Bytes: bytes,
+		Start: start, End: end,
+	})
+}
+
+// recordRecv logs a completed receive.
+func (p *Proc) recordRecv(peer, bytes int, start, end vtime.Time) {
+	if p.w.rec == nil {
+		return
+	}
+	p.w.rec.Record(trace.Event{
+		Rank: p.rank, Kind: trace.KindRecv, Peer: peer, Bytes: bytes,
+		Start: start, End: end,
+	})
+}
+
+// collSpan opens a collective span; the returned func closes it.
+func (c *Comm) collSpan(name string, bytes int) func() {
+	if c.p.w.rec == nil {
+		return func() {}
+	}
+	start := c.p.clock.Now()
+	return func() {
+		c.p.w.rec.Record(trace.Event{
+			Rank: c.p.rank, Kind: trace.KindColl, Detail: name, Peer: -1,
+			Bytes: bytes, Start: start, End: c.p.clock.Now(),
+		})
+	}
+}
+
+// rmaSpan logs a one-sided operation injection.
+func (w *Win) rmaSpan(name string, peer, bytes int, start vtime.Time) {
+	if w.c.p.w.rec == nil {
+		return
+	}
+	w.c.p.w.rec.Record(trace.Event{
+		Rank: w.c.p.rank, Kind: trace.KindRMA, Detail: name, Peer: peer,
+		Bytes: bytes, Start: start, End: w.c.p.clock.Now(),
+	})
+}

@@ -1,0 +1,161 @@
+package nativempi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestWaitany(t *testing.T) {
+	w := testWorld(1, 3)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		if pr.Rank() != 0 {
+			// Rank 2 sends promptly; rank 1 after a virtual delay.
+			if pr.Rank() == 1 {
+				pr.Clock().Advance(1 << 28)
+			}
+			return c.Send(pattern(8, byte(pr.Rank())), 0, pr.Rank())
+		}
+		buf1 := make([]byte, 8)
+		buf2 := make([]byte, 8)
+		r1, err := c.Irecv(buf1, 1, 1)
+		if err != nil {
+			return err
+		}
+		r2, err := c.Irecv(buf2, 2, 2)
+		if err != nil {
+			return err
+		}
+		reqs := []*Request{nil, r1, r2}
+		i, st, err := Waitany(reqs)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			return fmt.Errorf("Waitany returned the nil slot")
+		}
+		if _, _, err := Waitany(reqs); err != nil { // completes the other
+			return err
+		}
+		_ = st
+		if buf1[0] != pattern(8, 1)[0] || buf2[0] != pattern(8, 2)[0] {
+			return fmt.Errorf("payloads corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitanyNoActive(t *testing.T) {
+	i, _, err := Waitany([]*Request{nil, nil})
+	if err != nil || i != -1 {
+		t.Fatalf("Waitany(nil...) = %d, %v", i, err)
+	}
+}
+
+func TestTestallAndWaitsome(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		if pr.Rank() == 1 {
+			for k := 0; k < 3; k++ {
+				if err := c.Send(pattern(16, byte(k)), 0, k); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var reqs []*Request
+		bufs := make([][]byte, 3)
+		for k := 0; k < 3; k++ {
+			bufs[k] = make([]byte, 16)
+			r, err := c.Irecv(bufs[k], 1, k)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, r)
+		}
+		// Drive Testall until everything lands.
+		for {
+			done, err := Testall(reqs)
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+			pr.progressOnce()
+		}
+		for k := 0; k < 3; k++ {
+			if bufs[k][0] != pattern(16, byte(k))[0] {
+				return fmt.Errorf("message %d corrupted", k)
+			}
+		}
+
+		// Waitsome on already-consumed requests: no active entries.
+		idx, err := Waitsome(reqs)
+		if err != nil {
+			return err
+		}
+		if idx != nil {
+			return fmt.Errorf("Waitsome on consumed requests returned %v", idx)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitsomeReturnsBatch(t *testing.T) {
+	w := testWorld(1, 2)
+	err := w.Run(func(pr *Proc) error {
+		c := pr.CommWorld()
+		const k = 5
+		if pr.Rank() == 1 {
+			for i := 0; i < k; i++ {
+				if err := c.Send(pattern(8, byte(i)), 0, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var reqs []*Request
+		for i := 0; i < k; i++ {
+			r, err := c.Irecv(make([]byte, 8), 1, i)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, r)
+		}
+		seen := map[int]bool{}
+		for len(seen) < k {
+			idx, err := Waitsome(reqs)
+			if err != nil {
+				return err
+			}
+			if len(idx) == 0 {
+				return fmt.Errorf("Waitsome returned empty with work pending")
+			}
+			for _, i := range idx {
+				if seen[i] {
+					return fmt.Errorf("index %d returned twice", i)
+				}
+				seen[i] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestallEmpty(t *testing.T) {
+	done, err := Testall(nil)
+	if err != nil || !done {
+		t.Fatalf("Testall(nil) = %v, %v", done, err)
+	}
+}

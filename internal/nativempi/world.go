@@ -1,0 +1,162 @@
+package nativempi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mv2j/internal/cluster"
+	"mv2j/internal/fabric"
+	"mv2j/internal/trace"
+	"mv2j/internal/vtime"
+)
+
+// World is one simulated MPI job: a set of rank processes on a
+// topology, bound to a fabric and a library profile.
+type World struct {
+	topo      *cluster.Topology
+	fab       *fabric.Fabric
+	prof      Profile
+	procs     []*Proc
+	nextCtx   atomic.Int32
+	rec       *trace.Recorder
+	abortOnce sync.Once
+}
+
+// Context ids 0 and 1 are MPI_COMM_WORLD's point-to-point and
+// collective contexts.
+const (
+	worldPtCtx   int32 = 0
+	worldCollCtx int32 = 1
+)
+
+// NewWorld creates a world of topo.Size() ranks.
+func NewWorld(topo *cluster.Topology, fab *fabric.Fabric, prof Profile) *World {
+	if topo == nil || fab == nil {
+		panic("nativempi: nil topology or fabric")
+	}
+	w := &World{topo: topo, fab: fab, prof: prof.normalize()}
+	w.nextCtx.Store(2)
+	w.procs = make([]*Proc, topo.Size())
+	for r := range w.procs {
+		w.procs[r] = newProc(w, r)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.topo.Size() }
+
+// Topology returns the machine shape.
+func (w *World) Topology() *cluster.Topology { return w.topo }
+
+// Fabric returns the interconnect model.
+func (w *World) Fabric() *fabric.Fabric { return w.fab }
+
+// Profile returns the library profile in effect.
+func (w *World) Profile() Profile { return w.prof }
+
+// Proc returns the process object for a rank. Intended for tests and
+// for the SPMD harness; application code receives its Proc from Run.
+func (w *World) Proc(rank int) *Proc {
+	if rank < 0 || rank >= len(w.procs) {
+		panic(fmt.Sprintf("nativempi: rank %d out of range", rank))
+	}
+	return w.procs[rank]
+}
+
+// allocCtx reserves n fresh context ids and returns the first.
+func (w *World) allocCtx(n int32) int32 {
+	return w.nextCtx.Add(n) - n
+}
+
+// abortError is the panic payload the abort packet raises in blocked
+// ranks.
+type abortError struct {
+	origin int
+	reason string
+}
+
+func (e abortError) Error() string {
+	return fmt.Sprintf("aborted by rank %d: %s", e.origin, e.reason)
+}
+
+// Abort wakes every rank of the job and fails it with the given
+// reason — MPI_Abort. Blocked ranks unwind out of their MPI calls;
+// ranks that already finished are unaffected.
+func (w *World) Abort(origin int, reason string) {
+	w.abortOnce.Do(func() {
+		for _, q := range w.procs {
+			q.mb.push(&packet{kind: pktAbort, src: origin, data: []byte(reason)})
+		}
+	})
+}
+
+// Run executes fn once per rank, each on its own goroutine, and waits
+// for all of them — the SPMD model of mpirun. A panic in any rank is
+// captured and reported as that rank's error; the first few rank
+// errors are joined into the returned error.
+//
+// A rank that fails (error or panic) ABORTS the job: peers blocked in
+// MPI calls are woken and unwound, so one rank's failure can never
+// deadlock the harness.
+func (w *World) Run(fn func(p *Proc) error) error {
+	errs := make([]error, len(w.procs))
+	var wg sync.WaitGroup
+	for _, p := range w.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if ae, ok := r.(abortError); ok {
+						errs[p.rank] = ae
+						return
+					}
+					errs[p.rank] = fmt.Errorf("rank %d panicked: %v", p.rank, r)
+					w.Abort(p.rank, fmt.Sprintf("peer panic: %v", r))
+				}
+			}()
+			errs[p.rank] = fn(p)
+			if errs[p.rank] != nil {
+				w.Abort(p.rank, errs[p.rank].Error())
+			}
+		}(p)
+	}
+	wg.Wait()
+	var first []error
+	for r, err := range errs {
+		if err != nil {
+			first = append(first, fmt.Errorf("rank %d: %w", r, err))
+			if len(first) == 4 {
+				first = append(first, fmt.Errorf("... further rank errors suppressed"))
+				break
+			}
+		}
+	}
+	if len(first) > 0 {
+		return joinErrors(first)
+	}
+	return nil
+}
+
+func joinErrors(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	msg := errs[0].Error()
+	for _, e := range errs[1:] {
+		msg += "; " + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// MaxClock returns the latest virtual time across all ranks — the
+// job's makespan after Run returns.
+func (w *World) MaxClock() vtime.Time {
+	var maxT vtime.Time
+	for _, p := range w.procs {
+		maxT = vtime.Max(maxT, p.clock.Now())
+	}
+	return maxT
+}

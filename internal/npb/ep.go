@@ -1,0 +1,117 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"mv2j/internal/core"
+	"mv2j/internal/jvm"
+	"mv2j/internal/profile"
+)
+
+// EP is the embarrassingly parallel kernel: generate pairs of uniform
+// deviates with the NPB LCG, accept pairs inside the unit circle, form
+// Gaussian deviates by the Marsaglia polar method, and tally them into
+// concentric square annuli. Communication is a single reduction of the
+// tallies — the kernel measures compute scaling and reduction cost.
+type EPConfig struct {
+	// LogPairs sets the problem size: 2^LogPairs pairs (NPB class S is
+	// 24; keep it ~16-20 for simulation speed).
+	LogPairs int
+	Nodes    int
+	PPN      int
+	Lib      string
+	Flavor   core.Flavor
+}
+
+// epCounts tallies one substream of pairs: hits per annulus plus the
+// sums of the generated Gaussians.
+func epCounts(seed uint64, first, count uint64) (q [10]float64, sx, sy float64) {
+	g := &lcg{}
+	g.skipTo(seed, 2*first)
+	for i := uint64(0); i < count; i++ {
+		x := 2*g.next() - 1
+		y := 2*g.next() - 1
+		t := x*x + y*y
+		if t > 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx, gy := x*f, y*f
+		l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+		if l < 10 {
+			q[l]++
+		}
+		sx += gx
+		sy += gy
+	}
+	return
+}
+
+// RunEP executes the kernel distributed and verifies against the
+// serial tally.
+func RunEP(cfg EPConfig) (Result, error) {
+	if err := checkShape(cfg.Nodes, cfg.PPN); err != nil {
+		return Result{}, err
+	}
+	if cfg.LogPairs < 4 || cfg.LogPairs > 30 {
+		return Result{}, fmt.Errorf("npb: EP LogPairs %d out of range [4,30]", cfg.LogPairs)
+	}
+	prof, _ := profile.ByName(cfg.Lib)
+	total := uint64(1) << cfg.LogPairs
+	const seed = 271828183
+
+	return run(core.Config{Nodes: cfg.Nodes, PPN: cfg.PPN, Lib: prof, Flavor: cfg.Flavor},
+		func(mpi *core.MPI, out *collector) error {
+			world := mpi.CommWorld()
+			p := uint64(world.Size())
+			me := uint64(world.Rank())
+			chunk := total / p
+			first := me * chunk
+			count := chunk
+			if me == p-1 {
+				count = total - first
+			}
+
+			q, sx, sy := epCounts(seed, first, count)
+
+			// Reduce [q0..q9, sx, sy] in one vector.
+			local := mpi.JVM().MustArray(jvm.Double, 12)
+			global := mpi.JVM().MustArray(jvm.Double, 12)
+			for i := 0; i < 10; i++ {
+				local.SetFloat(i, q[i])
+			}
+			local.SetFloat(10, sx)
+			local.SetFloat(11, sy)
+			if err := world.Allreduce(local, global, 12, core.DOUBLE, core.SUM); err != nil {
+				return err
+			}
+
+			if world.Rank() == 0 {
+				// Verification: the distributed tallies must equal the
+				// serial single-stream tallies exactly (annulus counts
+				// are integers; the Gaussian sums may differ only by
+				// FP reduction order).
+				wq, wsx, wsy := epCounts(seed, 0, total)
+				verified := true
+				var hits float64
+				for i := 0; i < 10; i++ {
+					hits += global.Float(i)
+					if global.Float(i) != wq[i] {
+						verified = false
+					}
+				}
+				if math.Abs(global.Float(10)-wsx) > 1e-8*math.Abs(wsx)+1e-9 ||
+					math.Abs(global.Float(11)-wsy) > 1e-8*math.Abs(wsy)+1e-9 {
+					verified = false
+				}
+				out.fromRoot(Result{
+					Verified: verified,
+					Checksum: hits,
+					Detail: fmt.Sprintf("EP 2^%d pairs, %0.f gaussians, sums (%.6f, %.6f)",
+						cfg.LogPairs, hits, global.Float(10), global.Float(11)),
+				})
+			}
+			return nil
+		})
+}

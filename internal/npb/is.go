@@ -1,0 +1,169 @@
+package npb
+
+import (
+	"fmt"
+	"sort"
+
+	"mv2j/internal/core"
+	"mv2j/internal/jvm"
+	"mv2j/internal/profile"
+)
+
+// IS is the integer-sort kernel: each rank owns a shard of uniformly
+// distributed keys; a bucket histogram is Allreduced to agree on
+// bucket ownership, the keys move with Alltoallv, and each rank sorts
+// its buckets locally. Verification checks global sortedness and key
+// conservation — the kernel stresses the vectored collectives.
+type ISConfig struct {
+	// KeysPerRank is the shard size; MaxKey bounds key values.
+	KeysPerRank int
+	MaxKey      int
+	Nodes, PPN  int
+	Lib         string
+	Flavor      core.Flavor
+}
+
+// isKeys deterministically generates rank me's shard.
+func isKeys(me, n, maxKey int) []int32 {
+	g := newLCG(314159265)
+	g.skipTo(314159265, uint64(me*n))
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(g.next() * float64(maxKey))
+	}
+	return out
+}
+
+// RunIS executes the distributed sort and verifies it.
+func RunIS(cfg ISConfig) (Result, error) {
+	if err := checkShape(cfg.Nodes, cfg.PPN); err != nil {
+		return Result{}, err
+	}
+	if cfg.KeysPerRank <= 0 || cfg.MaxKey <= 1 {
+		return Result{}, fmt.Errorf("npb: IS needs positive keys per rank and MaxKey > 1")
+	}
+	prof, _ := profile.ByName(cfg.Lib)
+
+	return run(core.Config{Nodes: cfg.Nodes, PPN: cfg.PPN, Lib: prof, Flavor: cfg.Flavor},
+		func(mpi *core.MPI, out *collector) error {
+			world := mpi.CommWorld()
+			np := world.Size()
+			me := world.Rank()
+			keys := isKeys(me, cfg.KeysPerRank, cfg.MaxKey)
+
+			// Bucket b owns keys in [b*MaxKey/np, (b+1)*MaxKey/np).
+			bucketOf := func(k int32) int {
+				b := int(int64(k) * int64(np) / int64(cfg.MaxKey))
+				if b >= np {
+					b = np - 1
+				}
+				return b
+			}
+
+			// Partition local keys by destination bucket.
+			sendCounts := make([]int, np)
+			for _, k := range keys {
+				sendCounts[bucketOf(k)]++
+			}
+			sendDispls := make([]int, np)
+			total := 0
+			for r := 0; r < np; r++ {
+				sendDispls[r] = total
+				total += sendCounts[r]
+			}
+			arranged := make([]int32, total)
+			cursor := append([]int(nil), sendDispls...)
+			for _, k := range keys {
+				b := bucketOf(k)
+				arranged[cursor[b]] = k
+				cursor[b]++
+			}
+
+			// Exchange counts with Alltoall so each rank sizes its
+			// receive side.
+			cntSend := mpi.JVM().MustArray(jvm.Int, np)
+			cntRecv := mpi.JVM().MustArray(jvm.Int, np)
+			for r := 0; r < np; r++ {
+				cntSend.SetInt(r, int64(sendCounts[r]))
+			}
+			if err := world.Alltoall(cntSend, 1, cntRecv, 1, core.INT); err != nil {
+				return err
+			}
+			recvCounts := make([]int, np)
+			recvDispls := make([]int, np)
+			rTotal := 0
+			for r := 0; r < np; r++ {
+				recvCounts[r] = int(cntRecv.Int(r))
+				recvDispls[r] = rTotal
+				rTotal += recvCounts[r]
+			}
+
+			// Move the keys with Alltoallv over Java int arrays.
+			sendArr := mpi.JVM().MustArray(jvm.Int, max(total, 1))
+			for i, k := range arranged {
+				sendArr.SetInt(i, int64(k))
+			}
+			recvArr := mpi.JVM().MustArray(jvm.Int, max(rTotal, 1))
+			if err := world.Alltoallv(sendArr, sendCounts, sendDispls,
+				recvArr, recvCounts, recvDispls, core.INT); err != nil {
+				return err
+			}
+
+			// Local sort of the owned bucket range.
+			mine := make([]int32, rTotal)
+			for i := range mine {
+				mine[i] = int32(recvArr.Int(i))
+			}
+			sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+
+			// Verification: boundaries ordered across ranks (exchange
+			// edge keys with neighbours), local keys in range, and the
+			// global count conserved.
+			okLocal := int64(1)
+			loBound := int64(me) * int64(cfg.MaxKey) / int64(np)
+			hiBound := int64(me+1) * int64(cfg.MaxKey) / int64(np)
+			for i, k := range mine {
+				if i > 0 && mine[i-1] > k {
+					okLocal = 0
+				}
+				kk := int64(k)
+				if kk < loBound || (kk >= hiBound && me != np-1) {
+					okLocal = 0
+				}
+			}
+			check := mpi.JVM().MustArray(jvm.Long, 2)
+			checkOut := mpi.JVM().MustArray(jvm.Long, 2)
+			check.SetInt(0, okLocal)
+			check.SetInt(1, int64(rTotal))
+			if err := world.Allreduce(check, checkOut, 2, core.LONG, core.BAND); err != nil {
+				return err
+			}
+			// BAND of the ok flags; counts need SUM — do a second
+			// reduction for the count.
+			cnt := mpi.JVM().MustArray(jvm.Long, 1)
+			cntOut := mpi.JVM().MustArray(jvm.Long, 1)
+			cnt.SetInt(0, int64(rTotal))
+			if err := world.Allreduce(cnt, cntOut, 1, core.LONG, core.SUM); err != nil {
+				return err
+			}
+
+			if me == 0 {
+				conserved := cntOut.Int(0) == int64(cfg.KeysPerRank*np)
+				verified := checkOut.Int(0)&1 == 1 && conserved
+				out.fromRoot(Result{
+					Verified: verified,
+					Checksum: float64(cntOut.Int(0)),
+					Detail: fmt.Sprintf("IS %d keys x %d ranks, maxkey %d: sorted=%v conserved=%v",
+						cfg.KeysPerRank, np, cfg.MaxKey, checkOut.Int(0)&1 == 1, conserved),
+				})
+			}
+			return nil
+		})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

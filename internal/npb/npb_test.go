@@ -1,0 +1,130 @@
+package npb
+
+import (
+	"testing"
+
+	"mv2j/internal/core"
+)
+
+func TestEPVerifies(t *testing.T) {
+	for _, shape := range [][2]int{{1, 2}, {2, 2}, {2, 3}} {
+		res, err := RunEP(EPConfig{LogPairs: 14, Nodes: shape[0], PPN: shape[1], Lib: "mvapich2"})
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if !res.Verified {
+			t.Fatalf("%v: EP verification failed: %s", shape, res.Detail)
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("%v: no virtual time elapsed", shape)
+		}
+	}
+}
+
+func TestEPDeterministicAcrossShapes(t *testing.T) {
+	// The tally is a property of the stream, not the decomposition.
+	a, err := RunEP(EPConfig{LogPairs: 13, Nodes: 1, PPN: 2, Lib: "mvapich2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEP(EPConfig{LogPairs: 13, Nodes: 2, PPN: 3, Lib: "mvapich2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Fatalf("EP checksum depends on decomposition: %v vs %v", a.Checksum, b.Checksum)
+	}
+}
+
+func TestEPValidation(t *testing.T) {
+	if _, err := RunEP(EPConfig{LogPairs: 2, Nodes: 1, PPN: 2, Lib: "mvapich2"}); err == nil {
+		t.Fatal("tiny LogPairs accepted")
+	}
+	if _, err := RunEP(EPConfig{LogPairs: 14, Nodes: 0, PPN: 2, Lib: "mvapich2"}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+func TestCGVerifies(t *testing.T) {
+	for _, shape := range [][2]int{{1, 2}, {2, 2}} {
+		res, err := RunCG(CGConfig{
+			N: 256, Band: 4, PowerIters: 3, CGIters: 8,
+			Nodes: shape[0], PPN: shape[1], Lib: "mvapich2",
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if !res.Verified {
+			t.Fatalf("%v: CG verification failed: %s", shape, res.Detail)
+		}
+	}
+}
+
+func TestCGBothLibraries(t *testing.T) {
+	// The answer must not depend on the library profile — only the
+	// virtual time may.
+	mv2, err := RunCG(CGConfig{N: 128, Band: 3, PowerIters: 2, CGIters: 6, Nodes: 2, PPN: 2, Lib: "mvapich2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ompi, err := RunCG(CGConfig{N: 128, Band: 3, PowerIters: 2, CGIters: 6, Nodes: 2, PPN: 2, Lib: "openmpi", Flavor: core.OpenMPIJ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv2.Checksum != ompi.Checksum {
+		t.Fatalf("eigenvalue depends on the library: %v vs %v", mv2.Checksum, ompi.Checksum)
+	}
+	// At this tiny scale (2x2) the libraries are close — recursive
+	// doubling needs fewer hops than the three-phase shm-aware
+	// composition, so no ordering is asserted here; the 64-rank
+	// ordering is covered by the figure tests.
+	if mv2.Makespan <= 0 || ompi.Makespan <= 0 {
+		t.Fatal("makespans must be positive")
+	}
+}
+
+func TestCGValidation(t *testing.T) {
+	if _, err := RunCG(CGConfig{N: 100, Band: 2, PowerIters: 1, CGIters: 2, Nodes: 2, PPN: 3, Lib: "mvapich2"}); err == nil {
+		t.Fatal("non-divisible N accepted")
+	}
+}
+
+func TestISVerifies(t *testing.T) {
+	for _, shape := range [][2]int{{1, 2}, {2, 2}, {2, 3}} {
+		res, err := RunIS(ISConfig{
+			KeysPerRank: 2000, MaxKey: 1 << 16,
+			Nodes: shape[0], PPN: shape[1], Lib: "mvapich2",
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if !res.Verified {
+			t.Fatalf("%v: IS verification failed: %s", shape, res.Detail)
+		}
+		if int(res.Checksum) != 2000*shape[0]*shape[1] {
+			t.Fatalf("%v: key count %v", shape, res.Checksum)
+		}
+	}
+}
+
+func TestISValidation(t *testing.T) {
+	if _, err := RunIS(ISConfig{KeysPerRank: 0, MaxKey: 10, Nodes: 1, PPN: 2, Lib: "mvapich2"}); err == nil {
+		t.Fatal("zero keys accepted")
+	}
+	if _, err := RunIS(ISConfig{KeysPerRank: 10, MaxKey: 1, Nodes: 1, PPN: 2, Lib: "mvapich2"}); err == nil {
+		t.Fatal("MaxKey 1 accepted")
+	}
+}
+
+func TestLCGSkip(t *testing.T) {
+	// skipTo(k) must agree with k sequential draws.
+	g1 := newLCG(271828183)
+	for i := 0; i < 1000; i++ {
+		g1.next()
+	}
+	g2 := &lcg{}
+	g2.skipTo(271828183, 1000)
+	if g1.seed != g2.seed {
+		t.Fatalf("skipTo diverges from sequential stream: %d vs %d", g1.seed, g2.seed)
+	}
+}

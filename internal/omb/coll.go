@@ -1,0 +1,354 @@
+package omb
+
+import (
+	"fmt"
+	"math"
+
+	"mv2j/internal/core"
+	"mv2j/internal/jvm"
+	"mv2j/internal/vtime"
+)
+
+// Collective latency benchmarks. As in OMB, every rank times the
+// operation, the per-rank averages are combined with an (untimed)
+// reduction, and the mean across ranks is reported — the paper notes
+// osu_bcast "uses MPI_Reduce as part of the latency calculation".
+
+// collCase describes one collective benchmark.
+type collCase struct {
+	// sendTimes/recvTimes scale the buffer sizes: bytes = size * times,
+	// with times == -1 meaning size * comm size.
+	sendTimes, recvTimes int
+	run                  func(ep endpoint, s, r msgBuf, size int) error
+}
+
+const collRoot = 0
+
+func (e endpoint) collBcast(buf msgBuf, n int) error {
+	if e.mode == ModeNative {
+		return e.m.Proc().CommWorld().Bcast(buf.raw()[:n], collRoot)
+	}
+	return e.m.CommWorld().Bcast(buf.obj(), n, core.BYTE, collRoot)
+}
+
+func (e endpoint) collReduce(s, r msgBuf, n int) error {
+	if e.mode == ModeNative {
+		var recv []byte
+		if e.rank() == collRoot {
+			recv = r.raw()[:n]
+		}
+		return e.m.Proc().CommWorld().Reduce(s.raw()[:n], recv, jvm.Byte, core.SUM, collRoot)
+	}
+	var recv any
+	if e.rank() == collRoot {
+		recv = r.obj()
+	}
+	return e.m.CommWorld().Reduce(s.obj(), recv, n, core.BYTE, core.SUM, collRoot)
+}
+
+func (e endpoint) collAllreduce(s, r msgBuf, n int) error {
+	if e.mode == ModeNative {
+		return e.m.Proc().CommWorld().Allreduce(s.raw()[:n], r.raw()[:n], jvm.Byte, core.SUM)
+	}
+	return e.m.CommWorld().Allreduce(s.obj(), r.obj(), n, core.BYTE, core.SUM)
+}
+
+func (e endpoint) collGather(s, r msgBuf, n int) error {
+	if e.mode == ModeNative {
+		var recv []byte
+		if e.rank() == collRoot {
+			recv = r.raw()[:n*e.size()]
+		}
+		return e.m.Proc().CommWorld().Gather(s.raw()[:n], recv, collRoot)
+	}
+	var recv any
+	if e.rank() == collRoot {
+		recv = r.obj()
+	}
+	return e.m.CommWorld().Gather(s.obj(), n, recv, n, core.BYTE, collRoot)
+}
+
+func (e endpoint) collScatter(s, r msgBuf, n int) error {
+	if e.mode == ModeNative {
+		var send []byte
+		if e.rank() == collRoot {
+			send = s.raw()[:n*e.size()]
+		}
+		return e.m.Proc().CommWorld().Scatter(send, r.raw()[:n], collRoot)
+	}
+	var send any
+	if e.rank() == collRoot {
+		send = s.obj()
+	}
+	return e.m.CommWorld().Scatter(send, n, r.obj(), n, core.BYTE, collRoot)
+}
+
+func (e endpoint) collAllgather(s, r msgBuf, n int) error {
+	if e.mode == ModeNative {
+		return e.m.Proc().CommWorld().Allgather(s.raw()[:n], r.raw()[:n*e.size()])
+	}
+	return e.m.CommWorld().Allgather(s.obj(), n, r.obj(), n, core.BYTE)
+}
+
+func (e endpoint) collAlltoall(s, r msgBuf, n int) error {
+	if e.mode == ModeNative {
+		return e.m.Proc().CommWorld().Alltoall(s.raw()[:n*e.size()], r.raw()[:n*e.size()])
+	}
+	return e.m.CommWorld().Alltoall(s.obj(), n, r.obj(), n, core.BYTE)
+}
+
+func uniformVec(p, size int) (counts, displs []int) {
+	counts = make([]int, p)
+	displs = make([]int, p)
+	for i := 0; i < p; i++ {
+		counts[i] = size
+		displs[i] = i * size
+	}
+	return
+}
+
+func (e endpoint) collGatherv(s, r msgBuf, n int) error {
+	counts, displs := uniformVec(e.size(), n)
+	if e.mode == ModeNative {
+		var recv []byte
+		if e.rank() == collRoot {
+			recv = r.raw()[:n*e.size()]
+		}
+		return e.m.Proc().CommWorld().Gatherv(s.raw()[:n], recv, counts, displs, collRoot)
+	}
+	var recv any
+	if e.rank() == collRoot {
+		recv = r.obj()
+	}
+	return e.m.CommWorld().Gatherv(s.obj(), n, recv, counts, displs, core.BYTE, collRoot)
+}
+
+func (e endpoint) collScatterv(s, r msgBuf, n int) error {
+	counts, displs := uniformVec(e.size(), n)
+	if e.mode == ModeNative {
+		var send []byte
+		if e.rank() == collRoot {
+			send = s.raw()[:n*e.size()]
+		}
+		return e.m.Proc().CommWorld().Scatterv(send, counts, displs, r.raw()[:n], collRoot)
+	}
+	var send any
+	if e.rank() == collRoot {
+		send = s.obj()
+	}
+	return e.m.CommWorld().Scatterv(send, counts, displs, r.obj(), n, core.BYTE, collRoot)
+}
+
+func (e endpoint) collAllgatherv(s, r msgBuf, n int) error {
+	counts, displs := uniformVec(e.size(), n)
+	if e.mode == ModeNative {
+		return e.m.Proc().CommWorld().Allgatherv(s.raw()[:n], r.raw()[:n*e.size()], counts, displs)
+	}
+	return e.m.CommWorld().Allgatherv(s.obj(), n, r.obj(), counts, displs, core.BYTE)
+}
+
+func (e endpoint) collAlltoallv(s, r msgBuf, n int) error {
+	counts, displs := uniformVec(e.size(), n)
+	if e.mode == ModeNative {
+		return e.m.Proc().CommWorld().Alltoallv(s.raw()[:n*e.size()], counts, displs,
+			r.raw()[:n*e.size()], counts, displs)
+	}
+	return e.m.CommWorld().Alltoallv(s.obj(), counts, displs, r.obj(), counts, displs, core.BYTE)
+}
+
+// collCases maps benchmark names to shapes and bodies.
+func collCases() map[string]collCase {
+	return map[string]collCase{
+		"bcast": {1, 0, func(ep endpoint, s, _ msgBuf, n int) error {
+			return ep.collBcast(s, n)
+		}},
+		"reduce": {1, 1, func(ep endpoint, s, r msgBuf, n int) error {
+			return ep.collReduce(s, r, n)
+		}},
+		"allreduce": {1, 1, func(ep endpoint, s, r msgBuf, n int) error {
+			return ep.collAllreduce(s, r, n)
+		}},
+		"gather": {1, -1, func(ep endpoint, s, r msgBuf, n int) error {
+			return ep.collGather(s, r, n)
+		}},
+		"scatter": {-1, 1, func(ep endpoint, s, r msgBuf, n int) error {
+			return ep.collScatter(s, r, n)
+		}},
+		"allgather": {1, -1, func(ep endpoint, s, r msgBuf, n int) error {
+			return ep.collAllgather(s, r, n)
+		}},
+		"alltoall": {-1, -1, func(ep endpoint, s, r msgBuf, n int) error {
+			return ep.collAlltoall(s, r, n)
+		}},
+		"gatherv": {1, -1, func(ep endpoint, s, r msgBuf, n int) error {
+			return ep.collGatherv(s, r, n)
+		}},
+		"scatterv": {-1, 1, func(ep endpoint, s, r msgBuf, n int) error {
+			return ep.collScatterv(s, r, n)
+		}},
+		"allgatherv": {1, -1, func(ep endpoint, s, r msgBuf, n int) error {
+			return ep.collAllgatherv(s, r, n)
+		}},
+		"alltoallv": {-1, -1, func(ep endpoint, s, r msgBuf, n int) error {
+			return ep.collAlltoallv(s, r, n)
+		}},
+	}
+}
+
+// sumScalarUs combines per-rank latencies with an untimed reduction
+// and returns the across-rank average on rank 0.
+func (e endpoint) sumScalarUs(v float64, scratchSend, scratchRecv jvm.Array) (float64, error) {
+	if e.mode == ModeNative {
+		send := make([]byte, 8)
+		recv := make([]byte, 8)
+		putF64(send, v)
+		var rbuf []byte
+		if e.rank() == 0 {
+			rbuf = recv
+		}
+		if err := e.m.Proc().CommWorld().Reduce(send, rbuf, jvm.Double, core.SUM, 0); err != nil {
+			return 0, err
+		}
+		return getF64(recv) / float64(e.size()), nil
+	}
+	scratchSend.SetFloat(0, v)
+	var recv any
+	if e.rank() == 0 {
+		recv = scratchRecv
+	}
+	if err := e.m.CommWorld().Reduce(scratchSend, recv, 1, core.DOUBLE, core.SUM, 0); err != nil {
+		return 0, err
+	}
+	if e.rank() != 0 {
+		return 0, nil
+	}
+	return scratchRecv.Float(0) / float64(e.size()), nil
+}
+
+func putF64(b []byte, v float64) {
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(bits >> (8 * i))
+	}
+}
+
+func getF64(b []byte) float64 {
+	var bits uint64
+	for i := 7; i >= 0; i-- {
+		bits = bits<<8 | uint64(b[i])
+	}
+	return math.Float64frombits(bits)
+}
+
+// CollectiveLatency runs the named collective benchmark (osu_<name>).
+func CollectiveLatency(name string, cfg Config) ([]Result, error) {
+	cc, ok := collCases()[name]
+	if !ok {
+		return nil, fmt.Errorf("omb: unknown collective benchmark %q", name)
+	}
+	sizeJVM(&cfg.Core, cfg.Opts.MaxSize*maxTimes(cc, cfg))
+	sink := &resultSink{}
+	err := core.Run(cfg.Core, func(m *core.MPI) error {
+		ep := endpoint{m, cfg.Mode}
+		p := ep.size()
+		scale := func(times int) int {
+			if times < 0 {
+				return p
+			}
+			return times
+		}
+		var sbuf, rbuf msgBuf
+		var err error
+		if n := cfg.Opts.MaxSize * scale(cc.sendTimes); n > 0 {
+			if sbuf, err = newBuf(m, cfg.Mode, n); err != nil {
+				return err
+			}
+		}
+		if n := cfg.Opts.MaxSize * scale(cc.recvTimes); n > 0 {
+			if rbuf, err = newBuf(m, cfg.Mode, n); err != nil {
+				return err
+			}
+		}
+		var ss, sr jvm.Array
+		if cfg.Mode != ModeNative {
+			ss = m.JVM().MustArray(jvm.Double, 1)
+			sr = m.JVM().MustArray(jvm.Double, 1)
+		}
+		for _, size := range cfg.Opts.Sizes() {
+			iters, warm := cfg.Opts.itersFor(size)
+			var total vtime.Duration
+			for i := -warm; i < iters; i++ {
+				sw := vtime.StartStopwatch(m.Clock())
+				if err := cc.run(ep, sbuf, rbuf, size); err != nil {
+					return err
+				}
+				if i >= 0 {
+					total += sw.Elapsed()
+				}
+			}
+			avg, err := ep.sumScalarUs(avgLatencyUs(total, iters), ss, sr)
+			if err != nil {
+				return err
+			}
+			if ep.rank() == 0 {
+				sink.add(Result{Size: size, LatencyUs: avg})
+			}
+			if err := ep.barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sink.sorted(), nil
+}
+
+func maxTimes(cc collCase, cfg Config) int {
+	p := cfg.Core.Nodes * cfg.Core.PPN
+	if p == 0 {
+		p = 2
+	}
+	m := 1
+	if cc.sendTimes < 0 || cc.recvTimes < 0 {
+		m = p
+	}
+	return m
+}
+
+// BarrierLatency runs osu_barrier (a single row; size is reported 0).
+func BarrierLatency(cfg Config) ([]Result, error) {
+	sink := &resultSink{}
+	err := core.Run(cfg.Core, func(m *core.MPI) error {
+		ep := endpoint{m, cfg.Mode}
+		var ss, sr jvm.Array
+		if cfg.Mode != ModeNative {
+			ss = m.JVM().MustArray(jvm.Double, 1)
+			sr = m.JVM().MustArray(jvm.Double, 1)
+		}
+		iters, warm := cfg.Opts.Iters, cfg.Opts.Warmup
+		var total vtime.Duration
+		for i := -warm; i < iters; i++ {
+			sw := vtime.StartStopwatch(m.Clock())
+			if err := ep.barrier(); err != nil {
+				return err
+			}
+			if i >= 0 {
+				total += sw.Elapsed()
+			}
+		}
+		avg, err := ep.sumScalarUs(avgLatencyUs(total, iters), ss, sr)
+		if err != nil {
+			return err
+		}
+		if ep.rank() == 0 {
+			sink.add(Result{Size: 0, LatencyUs: avg})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sink.sorted(), nil
+}

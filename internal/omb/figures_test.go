@@ -1,0 +1,185 @@
+package omb
+
+import (
+	"testing"
+
+	"mv2j/internal/core"
+)
+
+// Figure-shape acceptance tests: each figure's headline finding must
+// hold on the simulated cluster. Tolerance bands are generous — the
+// claim is the SHAPE (who wins, roughly by how much, where crossovers
+// fall), not the paper's exact values.
+
+func fourWayRows(t *testing.T, bench string, nodes, ppn int, o Options) (mv2Buf, mv2Arr, ompiBuf, ompiArr []Result) {
+	t.Helper()
+	var err error
+	if mv2Buf, err = RunBenchmark(bench, mv2(nodes, ppn, ModeBuffer, o)); err != nil {
+		t.Fatal(err)
+	}
+	if mv2Arr, err = RunBenchmark(bench, mv2(nodes, ppn, ModeArrays, o)); err != nil {
+		t.Fatal(err)
+	}
+	if ompiBuf, err = RunBenchmark(bench, ompi(nodes, ppn, ModeBuffer, o)); err != nil {
+		t.Fatal(err)
+	}
+	if ompiArr, err = RunBenchmark(bench, ompi(nodes, ppn, ModeArrays, o)); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+// Fig. 5: intra-node small-message latency — MVAPICH2-J buffer beats
+// Open MPI-J buffer by ~2.46x on average.
+func TestFig05IntraNodeSmallLatencyFactor(t *testing.T) {
+	o := smallOpts()
+	mv2Buf, mv2Arr, ompiBuf, _ := fourWayRows(t, "latency", 1, 2, o)
+	f := geomeanFactor(t, ompiBuf, mv2Buf)
+	if f < 1.8 || f > 3.3 {
+		t.Fatalf("OMPI-J/MV2-J intra small factor %.2f outside [1.8, 3.3] (paper 2.46)", f)
+	}
+	// Buffers beat arrays at the OMB level (no validation).
+	fa := geomeanFactor(t, mv2Arr, mv2Buf)
+	if fa <= 1.0 {
+		t.Fatalf("MV2-J arrays (%.2fx of buffer) should carry buffering-layer overhead", fa)
+	}
+}
+
+// Figs. 9/10: inter-node point-to-point is comparable across libraries.
+func TestFig09InterNodeLatencyComparable(t *testing.T) {
+	o := smallOpts()
+	mv2Buf, _, ompiBuf, _ := fourWayRows(t, "latency", 2, 1, o)
+	f := geomeanFactor(t, ompiBuf, mv2Buf)
+	if f < 0.85 || f > 1.5 {
+		t.Fatalf("inter-node buffer factor %.2f should be ~comparable (paper)", f)
+	}
+}
+
+// Fig. 11: the Java layer costs about a microsecond, and MVAPICH2-J's
+// layer is cheaper than Open MPI-J's.
+func TestFig11JavaLayerOverhead(t *testing.T) {
+	o := smallOpts()
+	mv2Nat, err := Latency(mv2(2, 1, ModeNative, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv2Buf, err := Latency(mv2(2, 1, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ompiNat, err := Latency(ompi(2, 1, ModeNative, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ompiBuf, err := Latency(ompi(2, 1, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := func(j, n []Result) float64 {
+		sum := 0.0
+		for i := range j {
+			sum += j[i].LatencyUs - n[i].LatencyUs
+		}
+		return sum / float64(len(j))
+	}
+	mv2Over, ompiOver := over(mv2Buf, mv2Nat), over(ompiBuf, ompiNat)
+	if mv2Over < 0.2 || mv2Over > 1.5 {
+		t.Fatalf("MV2-J Java overhead %.2fus outside the ~1us ballpark", mv2Over)
+	}
+	if ompiOver < 0.2 || ompiOver > 1.8 {
+		t.Fatalf("OMPI-J Java overhead %.2fus outside the ~1us ballpark", ompiOver)
+	}
+	if mv2Over >= ompiOver {
+		t.Fatalf("MV2-J overhead (%.2f) must be below OMPI-J's (%.2f)", mv2Over, ompiOver)
+	}
+}
+
+// Figs. 14/15: broadcast at 4x16 ranks — MVAPICH2-J wins by ~6.2x
+// (buffers) and by a clearly smaller factor with arrays (~2.2x).
+func TestFig1415BcastFactors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-rank sweep")
+	}
+	o := Options{MinSize: 1, MaxSize: 1 << 20, Iters: 8, Warmup: 2, LargeThreshold: 64 << 10, LargeIters: 3}
+	mv2Buf, mv2Arr, ompiBuf, ompiArr := fourWayRows(t, "bcast", 4, 16, o)
+	fb := geomeanFactor(t, ompiBuf, mv2Buf)
+	fa := geomeanFactor(t, ompiArr, mv2Arr)
+	if fb < 4.0 || fb > 9.0 {
+		t.Fatalf("bcast buffer factor %.2f outside [4, 9] (paper 6.2)", fb)
+	}
+	if fa < 1.8 || fa > 6.0 {
+		t.Fatalf("bcast arrays factor %.2f outside [1.8, 6] (paper 2.2)", fa)
+	}
+	if fa >= fb {
+		t.Fatalf("arrays factor (%.2f) must be below buffer factor (%.2f), as in the paper", fa, fb)
+	}
+}
+
+// Figs. 16/17: allreduce — ~2.76x (buffers), ~1.62x (arrays), both
+// smaller than the broadcast factors.
+func TestFig1617AllreduceFactors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-rank sweep")
+	}
+	o := Options{MinSize: 1, MaxSize: 1 << 20, Iters: 8, Warmup: 2, LargeThreshold: 64 << 10, LargeIters: 3}
+	mv2Buf, mv2Arr, ompiBuf, ompiArr := fourWayRows(t, "allreduce", 4, 16, o)
+	fb := geomeanFactor(t, ompiBuf, mv2Buf)
+	fa := geomeanFactor(t, ompiArr, mv2Arr)
+	if fb < 2.0 || fb > 4.5 {
+		t.Fatalf("allreduce buffer factor %.2f outside [2, 4.5] (paper 2.76)", fb)
+	}
+	if fa < 1.2 || fa > 3.2 {
+		t.Fatalf("allreduce arrays factor %.2f outside [1.2, 3.2] (paper 1.62)", fa)
+	}
+	if fa >= fb {
+		t.Fatalf("arrays factor (%.2f) must be below buffer factor (%.2f)", fa, fb)
+	}
+}
+
+// Fig. 18: with validation enabled, arrays overtake direct buffers
+// past ~256B and win by ~3x at 4MB.
+func TestFig18ValidationCrossover(t *testing.T) {
+	o := Options{MinSize: 1, MaxSize: 4 << 20, Iters: 10, Warmup: 2, LargeThreshold: 64 << 10, LargeIters: 3, Validate: true}
+	arrays, err := Latency(mv2(2, 1, ModeArrays, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffers, err := Latency(mv2(2, 1, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := -1
+	for i := range arrays {
+		if arrays[i].LatencyUs < buffers[i].LatencyUs {
+			cross = arrays[i].Size
+			break
+		}
+	}
+	if cross < 128 || cross > 1024 {
+		t.Fatalf("validation crossover at %dB, want near 256B", cross)
+	}
+	// Below the crossover, buffers must win (small-message region).
+	if arrays[0].LatencyUs <= buffers[0].LatencyUs {
+		t.Fatal("buffers must win at 1B even with validation")
+	}
+	last := len(arrays) - 1
+	ratio := buffers[last].LatencyUs / arrays[last].LatencyUs
+	if ratio < 2.0 || ratio > 4.0 {
+		t.Fatalf("4MB validated buffer/array ratio %.2f outside [2, 4] (paper ~3x)", ratio)
+	}
+}
+
+// The bandwidth figures' missing series: Open MPI-J cannot run the
+// arrays bandwidth benchmark at all.
+func TestFig0712MissingSeries(t *testing.T) {
+	if _, err := Bandwidth(ompi(2, 1, ModeArrays, smallOpts())); err == nil {
+		t.Fatal("Open MPI-J arrays bandwidth must be impossible (Figs. 7/8/12/13)")
+	}
+	// MVAPICH2-J arrays CAN run it — the buffering layer enables
+	// non-blocking array transfers.
+	if _, err := Bandwidth(mv2(2, 1, ModeArrays, smallOpts())); err != nil {
+		t.Fatalf("MVAPICH2-J arrays bandwidth failed: %v", err)
+	}
+}
+
+var _ = core.MVAPICH2J // keep the import obvious at a glance

@@ -1,0 +1,143 @@
+package omb
+
+import (
+	"fmt"
+
+	"mv2j/internal/core"
+	"mv2j/internal/jvm"
+	"mv2j/internal/vtime"
+)
+
+// Non-blocking collective benchmarks in the style of OMB's osu_ibcast
+// / osu_iallreduce: for each size, first measure the pure collective
+// latency, then re-run with a matched compute block inserted between
+// initiation and completion and report the total. The overlap
+// percentage — how much of the collective the compute hid — is
+// returned by NonBlockingOverlap.
+
+func istart(ep endpoint, name string, s, r msgBuf, n int) (*core.CollRequest, error) {
+	c := ep.m.CommWorld()
+	switch name {
+	case "ibcast":
+		return c.Ibcast(s.obj(), n, core.BYTE, collRoot)
+	case "iallreduce":
+		return c.Iallreduce(s.obj(), r.obj(), n, core.BYTE, core.SUM)
+	case "ibarrier":
+		return c.Ibarrier()
+	default:
+		return nil, fmt.Errorf("omb: unknown non-blocking collective %q", name)
+	}
+}
+
+// NonBlockingLatency reports the pure (no-overlap) latency of the
+// named non-blocking collective.
+func NonBlockingLatency(name string, cfg Config) ([]Result, error) {
+	rows, _, err := nbColl(name, cfg)
+	return rows, err
+}
+
+// NonBlockingOverlap reports the overlap percentage achieved with a
+// matched compute block (in the MBps column, 0-100).
+func NonBlockingOverlap(name string, cfg Config) ([]Result, error) {
+	_, rows, err := nbColl(name, cfg)
+	return rows, err
+}
+
+func nbColl(name string, cfg Config) (lat []Result, overlap []Result, err error) {
+	if cfg.Mode == ModeNative {
+		return nil, nil, fmt.Errorf("omb: non-blocking collective benchmarks run at the bindings level")
+	}
+	sizeJVM(&cfg.Core, 2*cfg.Opts.MaxSize)
+	latSink := &resultSink{}
+	ovSink := &resultSink{}
+	err = core.Run(cfg.Core, func(m *core.MPI) error {
+		ep := endpoint{m, cfg.Mode}
+		sbuf, err := newBuf(m, cfg.Mode, cfg.Opts.MaxSize)
+		if err != nil {
+			return err
+		}
+		rbuf, err := newBuf(m, cfg.Mode, cfg.Opts.MaxSize)
+		if err != nil {
+			return err
+		}
+		ss := m.JVM().MustArray(jvm.Double, 1)
+		sr := m.JVM().MustArray(jvm.Double, 1)
+		for _, size := range cfg.Opts.Sizes() {
+			iters, warm := cfg.Opts.itersFor(size)
+
+			// Phase 1: pure non-blocking latency (init + immediate wait).
+			var pure vtime.Duration
+			for i := -warm; i < iters; i++ {
+				if err := ep.barrier(); err != nil {
+					return err
+				}
+				sw := vtime.StartStopwatch(m.Clock())
+				req, err := istart(ep, name, sbuf, rbuf, size)
+				if err != nil {
+					return err
+				}
+				if err := req.Wait(); err != nil {
+					return err
+				}
+				if i >= 0 {
+					pure += sw.Elapsed()
+				}
+			}
+			// Each rank overlaps a compute block matched to ITS OWN
+			// pure latency; reported numbers are rank averages, like
+			// OMB's collective reporting — the root hides nothing (its
+			// cost is CPU injection), waiting ranks hide almost all.
+			pureLocalUs := avgLatencyUs(pure, iters)
+			pureUs, err := ep.sumScalarUs(pureLocalUs, ss, sr)
+			if err != nil {
+				return err
+			}
+
+			// Phase 2: overlap the matched compute block.
+			compute := vtime.Micros(pureLocalUs)
+			var total vtime.Duration
+			for i := -warm; i < iters; i++ {
+				if err := ep.barrier(); err != nil {
+					return err
+				}
+				sw := vtime.StartStopwatch(m.Clock())
+				req, err := istart(ep, name, sbuf, rbuf, size)
+				if err != nil {
+					return err
+				}
+				m.Clock().Advance(compute)
+				if err := req.Wait(); err != nil {
+					return err
+				}
+				if i >= 0 {
+					total += sw.Elapsed()
+				}
+			}
+			totalUs, err := ep.sumScalarUs(avgLatencyUs(total, iters), ss, sr)
+			if err != nil {
+				return err
+			}
+
+			// overlap% = how much of the pure latency the compute hid.
+			ovPct := 0.0
+			if pureUs > 0 {
+				ovPct = (1 - (totalUs-pureUs)/pureUs) * 100
+				if ovPct < 0 {
+					ovPct = 0
+				}
+				if ovPct > 100 {
+					ovPct = 100
+				}
+			}
+			if ep.rank() == 0 {
+				latSink.add(Result{Size: size, LatencyUs: pureUs})
+				ovSink.add(Result{Size: size, MBps: ovPct})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return latSink.sorted(), ovSink.sorted(), nil
+}

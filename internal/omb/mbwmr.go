@@ -1,0 +1,146 @@
+package omb
+
+import (
+	"fmt"
+
+	"mv2j/internal/core"
+	"mv2j/internal/jvm"
+	"mv2j/internal/vtime"
+)
+
+// MultiBandwidth implements osu_mbw_mr: the first half of the ranks
+// stream windows of non-blocking sends to partners in the second half
+// (rank i -> i + p/2), all pairs concurrently. Reported MBps is the
+// AGGREGATE bandwidth across pairs; MsgRate (in Result.LatencyUs, see
+// below) is published separately by MultiMessageRate.
+func MultiBandwidth(cfg Config) ([]Result, error) {
+	rows, _, err := mbwMR(cfg)
+	return rows, err
+}
+
+// MultiMessageRate reports the aggregate message rate in
+// messages/second (stored in the MBps field, as OMB prints both from
+// one run; use the benchmark name to interpret the column).
+func MultiMessageRate(cfg Config) ([]Result, error) {
+	_, rates, err := mbwMR(cfg)
+	return rates, err
+}
+
+func mbwMR(cfg Config) (bw []Result, rate []Result, err error) {
+	window := cfg.Opts.Window
+	if window <= 0 {
+		window = 64
+	}
+	sizeJVM(&cfg.Core, (window/4+2)*cfg.Opts.MaxSize)
+	bwSink := &resultSink{}
+	rateSink := &resultSink{}
+	err = core.Run(cfg.Core, func(m *core.MPI) error {
+		ep := endpoint{m, cfg.Mode}
+		p := ep.size()
+		if p < 2 || p%2 != 0 {
+			return fmt.Errorf("omb: mbw_mr needs an even rank count, got %d", p)
+		}
+		pairs := p / 2
+		me := ep.rank()
+		sender := me < pairs
+		partner := (me + pairs) % p
+
+		sbuf, err := newBuf(m, cfg.Mode, cfg.Opts.MaxSize)
+		if err != nil {
+			return err
+		}
+		rbuf, err := newBuf(m, cfg.Mode, cfg.Opts.MaxSize)
+		if err != nil {
+			return err
+		}
+		ack, err := newBuf(m, cfg.Mode, 4)
+		if err != nil {
+			return err
+		}
+
+		ws := make([]waiter, 0, window)
+		for _, size := range cfg.Opts.Sizes() {
+			iters, warm := cfg.Opts.itersFor(size)
+			var sw vtime.Stopwatch
+			for i := -warm; i < iters; i++ {
+				if i == 0 {
+					sw = vtime.StartStopwatch(m.Clock())
+				}
+				ws = ws[:0]
+				if sender {
+					for k := 0; k < window; k++ {
+						w, err := ep.isend(sbuf, size, partner, tagData)
+						if err != nil {
+							return err
+						}
+						ws = append(ws, w)
+					}
+					if err := waitAll(ws); err != nil {
+						return err
+					}
+					if err := ep.recv(ack, 4, partner, tagAck); err != nil {
+						return err
+					}
+				} else {
+					for k := 0; k < window; k++ {
+						w, err := ep.irecv(rbuf, size, partner, tagData)
+						if err != nil {
+							return err
+						}
+						ws = append(ws, w)
+					}
+					if err := waitAll(ws); err != nil {
+						return err
+					}
+					if err := ep.send(ack, 4, partner, tagAck); err != nil {
+						return err
+					}
+				}
+			}
+			// Rank 0 reports using the slowest sender's elapsed time,
+			// gathered with an (untimed) max-reduction over the pairs.
+			elapsedUs := sw.Elapsed().Micros()
+			maxUs, err := maxOverSenders(m, elapsedUs, sender, pairs)
+			if err != nil {
+				return err
+			}
+			if me == 0 {
+				msgs := float64(window) * float64(iters) * float64(pairs)
+				secs := maxUs / 1e6
+				bwSink.add(Result{Size: size, MBps: float64(size) * msgs / secs / 1e6})
+				rateSink.add(Result{Size: size, MBps: msgs / secs})
+			}
+			if err := ep.barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return bwSink.sorted(), rateSink.sorted(), nil
+}
+
+// maxOverSenders MAX-reduces the senders' elapsed times to rank 0
+// using the bindings (receivers contribute zero).
+func maxOverSenders(m *core.MPI, elapsedUs float64, sender bool, pairs int) (float64, error) {
+	world := m.CommWorld()
+	send := m.JVM().MustArray(jvm.Double, 1)
+	if sender {
+		send.SetFloat(0, elapsedUs)
+	}
+	var recvAny any
+	var recv = m.JVM().MustArray(jvm.Double, 1)
+	if world.Rank() == 0 {
+		recvAny = recv
+	}
+	if err := world.Reduce(send, recvAny, 1, core.DOUBLE, core.MAX, 0); err != nil {
+		return 0, err
+	}
+	_ = pairs
+	if world.Rank() != 0 {
+		return 0, nil
+	}
+	return recv.Float(0), nil
+}

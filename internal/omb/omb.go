@@ -1,0 +1,256 @@
+// Package omb is OMB-J: the Java port of the OSU Micro-Benchmarks the
+// paper builds to evaluate Java MPI libraries (§V). It implements the
+// point-to-point benchmarks (osu_latency, osu_bw, osu_bibw), the
+// blocking collective latency benchmarks (osu_bcast, osu_allreduce,
+// osu_reduce, osu_allgather, osu_alltoall, osu_gather, osu_scatter,
+// osu_barrier), and vectored collective variants — each runnable over
+// direct ByteBuffers, Java arrays, or the bare native library (the
+// baseline of the paper's Fig. 11), with optional data validation
+// (the experiment of §VI-F / Fig. 18).
+package omb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mv2j/internal/core"
+	"mv2j/internal/jvm"
+	"mv2j/internal/vtime"
+)
+
+// Mode selects which API carries the payload.
+type Mode int
+
+const (
+	// ModeBuffer uses direct NIO ByteBuffers (zero-copy JNI path).
+	ModeBuffer Mode = iota
+	// ModeArrays uses Java byte arrays (buffering-layer or
+	// Get/ReleaseArrayElements path, depending on the flavor).
+	ModeArrays
+	// ModeNative bypasses the Java layer entirely and drives the
+	// native library — the baseline for the Java-overhead figure.
+	ModeNative
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBuffer:
+		return "buffer"
+	case ModeArrays:
+		return "arrays"
+	case ModeNative:
+		return "native"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options controls a benchmark sweep.
+type Options struct {
+	// MinSize/MaxSize bound the power-of-two message sweep, in bytes.
+	MinSize, MaxSize int
+	// Iters/Warmup are the timed and untimed repetitions per size.
+	// Virtual time is deterministic, so far fewer iterations than the
+	// C OMB defaults are needed for stable numbers.
+	Iters, Warmup int
+	// LargeThreshold halves... reduces iterations for sizes above it
+	// (OMB's large-message behaviour), keeping host runtime bounded.
+	LargeThreshold int
+	LargeIters     int
+	// Validate populates buffers at the sender and verifies them at
+	// the receiver inside the timed region (§VI-F).
+	Validate bool
+	// Window is the number of in-flight messages in the bandwidth
+	// benchmarks (OMB default 64).
+	Window int
+}
+
+// DefaultOptions mirrors the OMB defaults, scaled for simulation.
+func DefaultOptions() Options {
+	return Options{
+		MinSize:        1,
+		MaxSize:        4 << 20,
+		Iters:          50,
+		Warmup:         5,
+		LargeThreshold: 64 << 10,
+		LargeIters:     10,
+		Window:         64,
+	}
+}
+
+// itersFor applies the large-message iteration reduction.
+func (o Options) itersFor(size int) (iters, warmup int) {
+	if size > o.LargeThreshold && o.LargeIters > 0 {
+		w := o.Warmup
+		if w > 2 {
+			w = 2
+		}
+		return o.LargeIters, w
+	}
+	return o.Iters, o.Warmup
+}
+
+// Sizes returns the power-of-two sweep [MinSize, MaxSize].
+func (o Options) Sizes() []int {
+	var out []int
+	lo := o.MinSize
+	if lo < 1 {
+		lo = 1
+	}
+	for s := lo; s <= o.MaxSize; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Config is a full benchmark configuration.
+type Config struct {
+	// Core carries topology, library profile, bindings flavor, and
+	// JVM/JNI cost models.
+	Core core.Config
+	Mode Mode
+	Opts Options
+}
+
+// Result is one row of benchmark output.
+type Result struct {
+	// Size is the message size in bytes.
+	Size int
+	// LatencyUs is the average latency in microseconds (latency-class
+	// benchmarks).
+	LatencyUs float64
+	// MBps is the bandwidth in MB/s (bandwidth-class benchmarks).
+	MBps float64
+}
+
+// resultSink collects rows from rank goroutines.
+type resultSink struct {
+	mu   sync.Mutex
+	rows []Result
+}
+
+func (s *resultSink) add(r Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = append(s.rows, r)
+}
+
+func (s *resultSink) sorted() []Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Result, len(s.rows))
+	copy(out, s.rows)
+	sort.Slice(out, func(i, j int) bool { return out[i].Size < out[j].Size })
+	return out
+}
+
+// sizeJVM returns heap/arena sizes ample for the sweep.
+func sizeJVM(cfg *core.Config, maxSize int) {
+	need := 8*maxSize + (16 << 20)
+	if cfg.HeapSize < need {
+		cfg.HeapSize = need
+	}
+	if cfg.ArenaSize < need {
+		cfg.ArenaSize = need
+	}
+}
+
+// msgBuf abstracts the payload container so one benchmark body serves
+// buffers, arrays, and raw native memory.
+type msgBuf interface {
+	// obj returns the value handed to the bindings (nil in native mode).
+	obj() any
+	// raw returns the native view (native mode only).
+	raw() []byte
+	// populate writes a per-iteration pattern elementwise, charging
+	// the element-access costs — the §VI-F sender-side work.
+	populate(iter, n int)
+	// verify checks the pattern elementwise, charging read costs.
+	verify(iter, n int) error
+}
+
+type arrayBuf struct{ arr jvm.Array }
+
+func (b arrayBuf) obj() any    { return b.arr }
+func (b arrayBuf) raw() []byte { return nil }
+func (b arrayBuf) populate(iter, n int) {
+	for i := 0; i < n; i++ {
+		b.arr.SetInt(i, int64(byte(iter+i)))
+	}
+}
+func (b arrayBuf) verify(iter, n int) error {
+	for i := 0; i < n; i++ {
+		if got := byte(b.arr.Int(i)); got != byte(iter+i) {
+			return fmt.Errorf("omb: validation failed at %d: %#x != %#x", i, got, byte(iter+i))
+		}
+	}
+	return nil
+}
+
+type directBuf struct{ bb *jvm.ByteBuffer }
+
+func (b directBuf) obj() any    { return b.bb }
+func (b directBuf) raw() []byte { return nil }
+func (b directBuf) populate(iter, n int) {
+	for i := 0; i < n; i++ {
+		b.bb.PutByteAt(i, byte(iter+i))
+	}
+}
+func (b directBuf) verify(iter, n int) error {
+	for i := 0; i < n; i++ {
+		if got := b.bb.ByteAt(i); got != byte(iter+i) {
+			return fmt.Errorf("omb: validation failed at %d: %#x != %#x", i, got, byte(iter+i))
+		}
+	}
+	return nil
+}
+
+type nativeBuf struct{ b []byte }
+
+func (b nativeBuf) obj() any    { return nil }
+func (b nativeBuf) raw() []byte { return b.b }
+func (b nativeBuf) populate(iter, n int) {
+	for i := 0; i < n; i++ {
+		b.b[i] = byte(iter + i)
+	}
+}
+func (b nativeBuf) verify(iter, n int) error {
+	for i := 0; i < n; i++ {
+		if b.b[i] != byte(iter+i) {
+			return fmt.Errorf("omb: validation failed at %d", i)
+		}
+	}
+	return nil
+}
+
+// newBuf allocates a payload container of n bytes for the mode.
+func newBuf(m *core.MPI, mode Mode, n int) (msgBuf, error) {
+	switch mode {
+	case ModeArrays:
+		arr, err := m.JVM().NewArray(jvm.Byte, n)
+		if err != nil {
+			return nil, err
+		}
+		return arrayBuf{arr}, nil
+	case ModeBuffer:
+		bb, err := m.JVM().AllocateDirect(n)
+		if err != nil {
+			return nil, err
+		}
+		return directBuf{bb}, nil
+	case ModeNative:
+		return nativeBuf{make([]byte, n)}, nil
+	default:
+		return nil, fmt.Errorf("omb: unknown mode %v", mode)
+	}
+}
+
+// avgLatencyUs converts a total duration over iters round... operations
+// into a per-operation latency in microseconds.
+func avgLatencyUs(total vtime.Duration, ops int) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return total.Micros() / float64(ops)
+}

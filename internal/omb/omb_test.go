@@ -1,0 +1,382 @@
+package omb
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mv2j/internal/core"
+	"mv2j/internal/profile"
+)
+
+func smallOpts() Options {
+	return Options{MinSize: 1, MaxSize: 1024, Iters: 10, Warmup: 2, LargeThreshold: 64 << 10, LargeIters: 3, Window: 16}
+}
+
+func cfgFor(lib string, flavor core.Flavor, nodes, ppn int, mode Mode, o Options) Config {
+	prof, ok := profile.ByName(lib)
+	if !ok {
+		panic("bad lib " + lib)
+	}
+	return Config{Core: core.Config{Nodes: nodes, PPN: ppn, Lib: prof, Flavor: flavor}, Mode: mode, Opts: o}
+}
+
+func mv2(nodes, ppn int, mode Mode, o Options) Config {
+	return cfgFor("mvapich2", core.MVAPICH2J, nodes, ppn, mode, o)
+}
+
+func ompi(nodes, ppn int, mode Mode, o Options) Config {
+	return cfgFor("openmpi", core.OpenMPIJ, nodes, ppn, mode, o)
+}
+
+func TestOptionsSizes(t *testing.T) {
+	o := Options{MinSize: 1, MaxSize: 8}
+	got := o.Sizes()
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("Sizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sizes = %v, want %v", got, want)
+		}
+	}
+	o = Options{MinSize: 0, MaxSize: 4}
+	if s := o.Sizes(); s[0] != 1 {
+		t.Fatalf("MinSize 0 should clamp to 1, got %v", s)
+	}
+}
+
+func TestItersForLargeMessages(t *testing.T) {
+	o := DefaultOptions()
+	i1, _ := o.itersFor(1024)
+	i2, w2 := o.itersFor(1 << 20)
+	if i1 != o.Iters {
+		t.Fatalf("small iters = %d", i1)
+	}
+	if i2 != o.LargeIters || w2 > 2 {
+		t.Fatalf("large iters = %d warm %d", i2, w2)
+	}
+}
+
+func TestLatencyRunsAllModes(t *testing.T) {
+	for _, mode := range []Mode{ModeBuffer, ModeArrays, ModeNative} {
+		rows, err := Latency(mv2(1, 2, mode, smallOpts()))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(rows) != 11 {
+			t.Fatalf("%v: %d rows", mode, len(rows))
+		}
+		for i, r := range rows {
+			if r.LatencyUs <= 0 {
+				t.Fatalf("%v: non-positive latency at %d", mode, r.Size)
+			}
+			if i > 0 && r.LatencyUs < rows[i-1].LatencyUs*0.95 {
+				t.Fatalf("%v: latency not (weakly) increasing: %v then %v", mode, rows[i-1], r)
+			}
+		}
+	}
+}
+
+func TestLatencyDeterministic(t *testing.T) {
+	a, err := Latency(mv2(2, 1, ModeBuffer, smallOpts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Latency(mv2(2, 1, ModeBuffer, smallOpts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic row %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLatencyValidateMatchesPayloads(t *testing.T) {
+	// Validation mode must pass (payloads verified elementwise) and be
+	// slower than non-validated latency.
+	o := smallOpts()
+	plain, err := Latency(mv2(2, 1, ModeArrays, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Validate = true
+	checked, err := Latency(mv2(2, 1, ModeArrays, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if checked[i].LatencyUs <= plain[i].LatencyUs {
+			t.Fatalf("validated latency %v not above plain %v at %dB",
+				checked[i].LatencyUs, plain[i].LatencyUs, plain[i].Size)
+		}
+	}
+}
+
+func TestBandwidthShape(t *testing.T) {
+	o := smallOpts()
+	o.MaxSize = 1 << 20
+	rows, err := Bandwidth(mv2(2, 1, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	if last.MBps < 8000 || last.MBps > 12500 {
+		t.Fatalf("1MB inter-node bandwidth %.0f MB/s outside (8000, 12500]", last.MBps)
+	}
+	first := rows[0]
+	if first.MBps > last.MBps/10 {
+		t.Fatalf("1B bandwidth %.0f should be tiny next to %.0f", first.MBps, last.MBps)
+	}
+}
+
+func TestBiBandwidthExceedsUnidirectional(t *testing.T) {
+	o := smallOpts()
+	o.MinSize = 1 << 16
+	o.MaxSize = 1 << 20
+	uni, err := Bandwidth(mv2(2, 1, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := BiBandwidth(mv2(2, 1, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range uni {
+		if bi[i].MBps < uni[i].MBps*1.3 {
+			t.Fatalf("bibw %.0f should clearly beat bw %.0f at %dB (full duplex)",
+				bi[i].MBps, uni[i].MBps, uni[i].Size)
+		}
+	}
+}
+
+func TestOpenMPIJArraysBandwidthUnsupported(t *testing.T) {
+	// The API gap behind the missing series in Figs. 7/8/12/13.
+	_, err := Bandwidth(ompi(1, 2, ModeArrays, smallOpts()))
+	if err == nil || !errors.Is(err, core.ErrUnsupported) && !containsUnsupported(err) {
+		t.Fatalf("err = %v, want unsupported", err)
+	}
+}
+
+func containsUnsupported(err error) bool {
+	// Run wraps rank errors; match on the text.
+	return err != nil && (errors.Is(err, core.ErrUnsupported) ||
+		len(err.Error()) > 0 && (contains(err.Error(), "not supported")))
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAllCollectiveBenchmarksRun(t *testing.T) {
+	o := smallOpts()
+	o.MaxSize = 256
+	o.Iters = 5
+	for _, name := range Benchmarks() {
+		switch name {
+		case "latency", "bw", "bibw", "put", "get", "acc", "mbw", "mr",
+			"ibcast", "iallreduce", "ibarrier":
+			continue // these surfaces have their own dedicated tests
+		}
+		for _, mode := range []Mode{ModeBuffer, ModeArrays, ModeNative} {
+			rows, err := RunBenchmark(name, mv2(2, 2, mode, o))
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, mode, err)
+			}
+			if len(rows) == 0 {
+				t.Fatalf("%s/%v: no rows", name, mode)
+			}
+			for _, r := range rows {
+				if r.LatencyUs <= 0 {
+					t.Fatalf("%s/%v: non-positive latency", name, mode)
+				}
+			}
+		}
+	}
+}
+
+func TestOneSidedBenchmarks(t *testing.T) {
+	o := smallOpts()
+	o.MaxSize = 4096
+	// Put and Accumulate run in both buffer and arrays modes.
+	for _, op := range []string{"put", "acc"} {
+		for _, mode := range []Mode{ModeBuffer, ModeArrays} {
+			rows, err := RunBenchmark(op, mv2(2, 1, mode, o))
+			if err != nil {
+				t.Fatalf("%s/%v: %v", op, mode, err)
+			}
+			if len(rows) == 0 {
+				t.Fatalf("%s/%v: no rows", op, mode)
+			}
+			for i, r := range rows {
+				if r.LatencyUs <= 0 {
+					t.Fatalf("%s/%v: non-positive latency at %dB", op, mode, r.Size)
+				}
+				if i > 0 && r.LatencyUs < rows[i-1].LatencyUs*0.95 {
+					t.Fatalf("%s/%v: latency decreasing with size", op, mode)
+				}
+			}
+		}
+	}
+	// Get needs direct-buffer origins.
+	if _, err := RunBenchmark("get", mv2(2, 1, ModeBuffer, o)); err != nil {
+		t.Fatalf("get/buffer: %v", err)
+	}
+	if _, err := RunBenchmark("get", mv2(2, 1, ModeArrays, o)); err == nil {
+		t.Fatal("get with array origins must be rejected")
+	}
+	// One-sided is a bindings-level suite.
+	if _, err := RunBenchmark("put", mv2(2, 1, ModeNative, o)); err == nil {
+		t.Fatal("native-mode one-sided must be rejected")
+	}
+}
+
+func TestOneSidedGetCostsMoreThanPut(t *testing.T) {
+	// A fenced Get pays a request/reply round trip where Put pays a
+	// single injection.
+	o := smallOpts()
+	o.MaxSize = 64
+	put, err := RunBenchmark("put", mv2(2, 1, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	get, err := RunBenchmark("get", mv2(2, 1, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if get[0].LatencyUs <= put[0].LatencyUs {
+		t.Fatalf("get (%v us) should cost more than put (%v us)", get[0].LatencyUs, put[0].LatencyUs)
+	}
+}
+
+func TestNonBlockingCollectiveBenchmarks(t *testing.T) {
+	o := smallOpts()
+	o.MaxSize = 1024
+	o.Iters = 6
+	for _, name := range []string{"ibcast", "iallreduce", "ibarrier"} {
+		lat, err := NonBlockingLatency(name, mv2(2, 2, ModeBuffer, o))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, r := range lat {
+			if r.LatencyUs <= 0 {
+				t.Fatalf("%s: non-positive latency", name)
+			}
+		}
+		ov, err := NonBlockingOverlap(name, mv2(2, 2, ModeBuffer, o))
+		if err != nil {
+			t.Fatalf("%s overlap: %v", name, err)
+		}
+		for _, r := range ov {
+			if r.MBps < 0 || r.MBps > 100 {
+				t.Fatalf("%s: overlap %.1f%% outside [0,100]", name, r.MBps)
+			}
+		}
+	}
+	// Some overlap must be achievable for a small eager ibcast.
+	ov, err := NonBlockingOverlap("ibcast", mv2(2, 2, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for _, r := range ov {
+		if r.MBps > 5 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("ibcast shows no overlap at any size")
+	}
+	// Native mode is rejected.
+	if _, err := NonBlockingLatency("ibcast", mv2(2, 2, ModeNative, o)); err == nil {
+		t.Fatal("native-mode ibcast accepted")
+	}
+	if _, _, err := nbColl("nonsense", mv2(2, 2, ModeBuffer, o)); err == nil {
+		t.Fatal("unknown non-blocking benchmark accepted")
+	}
+}
+
+func TestMultiPairBandwidthScalesWithPairs(t *testing.T) {
+	// Aggregate bandwidth over 4 inter-node pairs must exceed one
+	// pair's, and the message rate column must be consistent with it.
+	o := smallOpts()
+	o.MinSize, o.MaxSize = 4096, 4096
+	o.Window = 16
+	onePair, err := MultiBandwidth(mv2(2, 1, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fourPairs, err := MultiBandwidth(mv2(2, 4, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourPairs[0].MBps < 2*onePair[0].MBps {
+		t.Fatalf("4-pair aggregate %.0f MB/s should well exceed 1-pair %.0f MB/s",
+			fourPairs[0].MBps, onePair[0].MBps)
+	}
+	rate, err := MultiMessageRate(mv2(2, 4, ModeBuffer, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// messages/s * bytes/message == bytes/s.
+	wantMBps := rate[0].MBps * 4096 / 1e6
+	if diff := wantMBps - fourPairs[0].MBps; diff > 1 || diff < -1 {
+		t.Fatalf("message rate (%.0f msg/s) inconsistent with bandwidth (%.0f MB/s)",
+			rate[0].MBps, fourPairs[0].MBps)
+	}
+}
+
+func TestMultiPairNeedsEvenRanks(t *testing.T) {
+	o := smallOpts()
+	if _, err := MultiBandwidth(mv2(1, 3, ModeBuffer, o)); err == nil {
+		t.Fatal("odd rank count accepted")
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := RunBenchmark("nonsense", mv2(1, 2, ModeBuffer, smallOpts())); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestBarrierScalesWithRanks(t *testing.T) {
+	o := smallOpts()
+	small, err := BarrierLatency(mv2(1, 2, ModeNative, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := BarrierLatency(mv2(4, 4, ModeNative, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big[0].LatencyUs <= small[0].LatencyUs {
+		t.Fatalf("16-rank barrier (%v us) should cost more than 2-rank (%v us)",
+			big[0].LatencyUs, small[0].LatencyUs)
+	}
+}
+
+// geomeanFactor computes the mean latency ratio a/b over common sizes.
+func geomeanFactor(t *testing.T, a, b []Result) float64 {
+	t.Helper()
+	logSum, n := 0.0, 0
+	for _, ra := range a {
+		for _, rb := range b {
+			if ra.Size == rb.Size && ra.LatencyUs > 0 && rb.LatencyUs > 0 {
+				logSum += math.Log(ra.LatencyUs / rb.LatencyUs)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no common sizes")
+	}
+	return math.Exp(logSum / float64(n))
+}

@@ -1,0 +1,93 @@
+package omb
+
+import (
+	"fmt"
+
+	"mv2j/internal/core"
+	"mv2j/internal/vtime"
+)
+
+// One-sided benchmarks (osu_put_latency, osu_get_latency,
+// osu_acc_latency): rank 0 drives fence-bounded epochs against rank
+// 1's window. The C OMB suite includes these; OMB-J gains parity here.
+// Modes: buffer drives origin data from a direct ByteBuffer; arrays
+// from a Java array (Get requires a direct origin and is
+// buffer-mode-only, mirroring the bindings' rule).
+
+// OneSidedLatency runs the named RMA benchmark: "put", "get", "acc".
+func OneSidedLatency(op string, cfg Config) ([]Result, error) {
+	switch op {
+	case "put", "get", "acc":
+	default:
+		return nil, fmt.Errorf("omb: unknown one-sided op %q (put | get | acc)", op)
+	}
+	if cfg.Mode == ModeNative {
+		return nil, fmt.Errorf("omb: one-sided benchmarks run at the bindings level")
+	}
+	if op == "get" && cfg.Mode != ModeBuffer {
+		return nil, fmt.Errorf("omb: osu_get requires direct-buffer origins")
+	}
+	sizeJVM(&cfg.Core, cfg.Opts.MaxSize)
+	sink := &resultSink{}
+	err := core.Run(cfg.Core, func(m *core.MPI) error {
+		world := m.CommWorld()
+		if world.Size() < 2 {
+			return fmt.Errorf("omb: one-sided latency needs at least 2 ranks")
+		}
+		me := world.Rank()
+
+		exposed := m.JVM().MustAllocateDirect(cfg.Opts.MaxSize)
+		win, err := world.WinCreate(exposed)
+		if err != nil {
+			return err
+		}
+		var origin any
+		if me == 0 {
+			buf, err := newBuf(m, cfg.Mode, cfg.Opts.MaxSize)
+			if err != nil {
+				return err
+			}
+			origin = buf.obj()
+		}
+
+		for _, size := range cfg.Opts.Sizes() {
+			iters, warm := cfg.Opts.itersFor(size)
+			var sw vtime.Stopwatch
+			for i := -warm; i < iters; i++ {
+				if i == 0 {
+					sw = vtime.StartStopwatch(m.Clock())
+				}
+				if me == 0 {
+					switch op {
+					case "put":
+						if err := win.Put(origin, size, core.BYTE, 1, 0); err != nil {
+							return err
+						}
+					case "get":
+						if err := win.Get(origin, size, core.BYTE, 1, 0); err != nil {
+							return err
+						}
+					case "acc":
+						if err := win.Accumulate(origin, size, core.BYTE, core.SUM, 1, 0); err != nil {
+							return err
+						}
+					}
+				}
+				if err := win.Fence(); err != nil {
+					return err
+				}
+			}
+			if me == 0 {
+				sink.add(Result{Size: size, LatencyUs: avgLatencyUs(sw.Elapsed(), iters)})
+			}
+			if err := world.Barrier(); err != nil {
+				return err
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sink.sorted(), nil
+}

@@ -1,0 +1,45 @@
+package omb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Benchmarks returns the names RunBenchmark accepts, sorted.
+func Benchmarks() []string {
+	names := []string{"latency", "bw", "bibw", "barrier", "put", "get", "acc", "mbw", "mr",
+		"ibcast", "iallreduce", "ibarrier"}
+	for name := range collCases() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunBenchmark dispatches a benchmark by its OMB-style name
+// ("latency", "bw", "bibw", "bcast", "allreduce", ...).
+func RunBenchmark(name string, cfg Config) ([]Result, error) {
+	switch name {
+	case "latency":
+		return Latency(cfg)
+	case "bw":
+		return Bandwidth(cfg)
+	case "bibw":
+		return BiBandwidth(cfg)
+	case "barrier":
+		return BarrierLatency(cfg)
+	case "put", "get", "acc":
+		return OneSidedLatency(name, cfg)
+	case "mbw":
+		return MultiBandwidth(cfg)
+	case "mr":
+		return MultiMessageRate(cfg)
+	case "ibcast", "iallreduce", "ibarrier":
+		return NonBlockingLatency(name, cfg)
+	default:
+		if _, ok := collCases()[name]; ok {
+			return CollectiveLatency(name, cfg)
+		}
+		return nil, fmt.Errorf("omb: unknown benchmark %q (have %v)", name, Benchmarks())
+	}
+}

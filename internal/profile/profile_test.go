@@ -1,0 +1,81 @@
+package profile
+
+import (
+	"testing"
+
+	"mv2j/internal/nativempi"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mvapich2", "mv2", "mvapich"} {
+		p, ok := ByName(name)
+		if !ok || p.Name != "mvapich2" {
+			t.Fatalf("ByName(%q) = %q, %v", name, p.Name, ok)
+		}
+	}
+	for _, name := range []string{"openmpi", "ompi"} {
+		p, ok := ByName(name)
+		if !ok || p.Name != "openmpi" {
+			t.Fatalf("ByName(%q) = %q, %v", name, p.Name, ok)
+		}
+	}
+	if _, ok := ByName("mpich"); ok {
+		t.Fatal("unknown profile name accepted")
+	}
+}
+
+func TestProfilesAreDistinctPersonalities(t *testing.T) {
+	mv2, ompi := MVAPICH2(), OpenMPI()
+	if mv2.IntraSendOverhead >= ompi.IntraSendOverhead {
+		t.Fatal("MVAPICH2's intra-node software path must be leaner (Fig. 5)")
+	}
+	if mv2.CollMsgOverhead >= ompi.CollMsgOverhead {
+		t.Fatal("MVAPICH2's collective per-message overhead must be lower")
+	}
+}
+
+func TestAlgorithmSelection(t *testing.T) {
+	mv2, ompi := MVAPICH2(), OpenMPI()
+
+	// MVAPICH2: topology-aware small bcast, scatter-allgather large.
+	if got := mv2.SelectBcast(64, 64); got != nativempi.BcastShmAware {
+		t.Fatalf("mv2 small bcast = %v", got)
+	}
+	if got := mv2.SelectBcast(1<<20, 64); got != nativempi.BcastScatterAllgather {
+		t.Fatalf("mv2 large bcast = %v", got)
+	}
+	// Open MPI: linear fan-out small, binary tree large.
+	if got := ompi.SelectBcast(64, 64); got != nativempi.BcastFlat {
+		t.Fatalf("ompi small bcast = %v", got)
+	}
+	if got := ompi.SelectBcast(1<<20, 64); got != nativempi.BcastBinaryTree {
+		t.Fatalf("ompi large bcast = %v", got)
+	}
+
+	// Allreduce bands.
+	if got := mv2.SelectAllreduce(64, 64); got != nativempi.AllreduceShmAware {
+		t.Fatalf("mv2 small allreduce = %v", got)
+	}
+	if got := mv2.SelectAllreduce(1<<20, 64); got != nativempi.AllreduceRabenseifner {
+		t.Fatalf("mv2 large allreduce = %v", got)
+	}
+	if got := ompi.SelectAllreduce(64, 64); got != nativempi.AllreduceRecursiveDoubling {
+		t.Fatalf("ompi tiny allreduce = %v", got)
+	}
+	if got := ompi.SelectAllreduce(64<<10, 64); got != nativempi.AllreduceReduceBcast {
+		t.Fatalf("ompi mid allreduce = %v", got)
+	}
+	if got := ompi.SelectAllreduce(4<<20, 64); got != nativempi.AllreduceRabenseifner {
+		t.Fatalf("ompi huge allreduce = %v", got)
+	}
+}
+
+func TestEagerThresholds(t *testing.T) {
+	mv2, ompi := MVAPICH2(), OpenMPI()
+	if mv2.EagerInter <= ompi.EagerInter {
+		t.Fatal("MVAPICH2's inter-node eager threshold should be the larger one")
+	}
+	if mv2.EagerIntra <= 0 || ompi.EagerIntra <= 0 {
+		t.Fatal("profiles must pin explicit eager thresholds")
+	}
+}

@@ -1,0 +1,133 @@
+// Package trace records virtual-time communication events for
+// debugging and performance analysis of simulated runs: who sent what
+// to whom, when each operation started and completed on the virtual
+// clocks, and per-kind aggregate statistics. A Recorder is optional —
+// the runtime's hooks are nil-guarded no-ops without one.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"mv2j/internal/vtime"
+)
+
+// Kind classifies an event.
+type Kind string
+
+const (
+	KindSend    Kind = "send"
+	KindRecv    Kind = "recv"
+	KindColl    Kind = "coll"
+	KindRMA     Kind = "rma"
+	KindGC      Kind = "gc"
+	KindCompute Kind = "compute"
+)
+
+// Event is one recorded operation.
+type Event struct {
+	Rank   int
+	Kind   Kind
+	Detail string
+	Peer   int // -1 when not applicable
+	Bytes  int
+	Start  vtime.Time
+	End    vtime.Time
+}
+
+// Duration is the event's virtual span.
+func (e Event) Duration() vtime.Duration { return e.End.Sub(e.Start) }
+
+// Recorder accumulates events from all ranks. It is safe for
+// concurrent use (rank goroutines record in parallel).
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	limit  int
+}
+
+// New returns a recorder bounded to limit events (0 = 1<<20). When the
+// bound is hit, further events are dropped — a trace, not a log sink.
+func New(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{limit: limit}
+}
+
+// Record appends an event. Nil receivers are silently ignored so call
+// sites need no guards.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) < r.limit {
+		r.events = append(r.events, ev)
+	}
+}
+
+// Events returns a copy, sorted by start time then rank.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Stat aggregates one event kind.
+type Stat struct {
+	Count int
+	Bytes int64
+	Time  vtime.Duration
+}
+
+// Summary aggregates events per kind.
+func (r *Recorder) Summary() map[Kind]Stat {
+	out := map[Kind]Stat{}
+	for _, ev := range r.Events() {
+		s := out[ev.Kind]
+		s.Count++
+		s.Bytes += int64(ev.Bytes)
+		s.Time += ev.Duration()
+		out[ev.Kind] = s
+	}
+	return out
+}
+
+// Timeline writes a human-readable event listing ordered by virtual
+// start time.
+func (r *Recorder) Timeline(w io.Writer) error {
+	for _, ev := range r.Events() {
+		peer := "-"
+		if ev.Peer >= 0 {
+			peer = fmt.Sprintf("%d", ev.Peer)
+		}
+		if _, err := fmt.Fprintf(w, "%12.3fus  rank %-3d %-8s peer %-3s %8dB  %10s  %s\n",
+			vtime.Duration(ev.Start).Micros(), ev.Rank, ev.Kind, peer,
+			ev.Bytes, ev.Duration(), ev.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mv2j/internal/vtime"
+)
+
+func ev(rank int, kind Kind, start, end int64) Event {
+	return Event{Rank: rank, Kind: kind, Peer: -1, Start: vtime.Time(start), End: vtime.Time(end)}
+}
+
+func TestRecordAndSort(t *testing.T) {
+	r := New(0)
+	r.Record(ev(1, KindRecv, 50, 90))
+	r.Record(ev(0, KindSend, 10, 20))
+	r.Record(ev(2, KindSend, 10, 25))
+	out := r.Events()
+	if len(out) != 3 {
+		t.Fatalf("Len = %d", len(out))
+	}
+	if out[0].Rank != 0 || out[1].Rank != 2 || out[2].Rank != 1 {
+		t.Fatalf("sort order wrong: %+v", out)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(ev(0, KindSend, 0, 1)) // must not panic
+	if r.Len() != 0 {
+		t.Fatal("nil recorder reported events")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Record(ev(0, KindSend, int64(i), int64(i+1)))
+	}
+	if r.Len() != 2 {
+		t.Fatalf("limit not enforced: %d", r.Len())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Rank: 0, Kind: KindSend, Bytes: 100, Start: 0, End: vtime.Time(vtime.Microsecond)})
+	r.Record(Event{Rank: 1, Kind: KindSend, Bytes: 200, Start: 0, End: vtime.Time(2 * vtime.Microsecond)})
+	r.Record(Event{Rank: 1, Kind: KindColl, Detail: "bcast", Start: 0, End: vtime.Time(vtime.Microsecond)})
+	s := r.Summary()
+	if s[KindSend].Count != 2 || s[KindSend].Bytes != 300 || s[KindSend].Time != 3*vtime.Microsecond {
+		t.Fatalf("send summary wrong: %+v", s[KindSend])
+	}
+	if s[KindColl].Count != 1 {
+		t.Fatalf("coll summary wrong: %+v", s[KindColl])
+	}
+}
+
+func TestTimelineFormat(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Rank: 3, Kind: KindSend, Peer: 1, Bytes: 64,
+		Start: vtime.Time(vtime.Microsecond), End: vtime.Time(2 * vtime.Microsecond)})
+	var sb strings.Builder
+	if err := r.Timeline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"rank 3", "send", "peer 1", "64B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline %q missing %q", out, want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package vtime provides the virtual-time substrate for the simulated
+// cluster. All "measurements" reported by the benchmark harness are
+// differences of virtual timestamps, never wall-clock readings, which
+// makes every experiment deterministic and reproducible.
+//
+// Time is kept in integer picoseconds. Sub-nanosecond resolution
+// matters because per-byte costs on a 100 Gb/s-class fabric are on the
+// order of 0.08 ns/byte; integer arithmetic keeps accumulation exact.
+package vtime
+
+import "fmt"
+
+// Time is an absolute virtual timestamp in picoseconds since the start
+// of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros reports d as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Nanos reports d as floating-point nanoseconds.
+func (d Duration) Nanos() float64 { return float64(d) / float64(Nanosecond) }
+
+// String formats the duration with a unit chosen by magnitude.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", d.Micros())
+	case d >= Nanosecond:
+		return fmt.Sprintf("%.3fns", d.Nanos())
+	default:
+		return fmt.Sprintf("%dps", int64(d))
+	}
+}
+
+// Micros constructs a duration from floating-point microseconds.
+func Micros(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+// Nanos constructs a duration from floating-point nanoseconds.
+func Nanos(ns float64) Duration { return Duration(ns * float64(Nanosecond)) }
+
+// PerByte returns the time to move n bytes at the given rate in
+// bytes per second. It is the β·n term of the LogGP model.
+func PerByte(n int, bytesPerSecond float64) Duration {
+	if n <= 0 || bytesPerSecond <= 0 {
+		return 0
+	}
+	return Duration(float64(n) / bytesPerSecond * float64(Second))
+}
+
+// PerElement returns n times the per-element cost each.
+func PerElement(n int, each Duration) Duration {
+	if n <= 0 {
+		return 0
+	}
+	return Duration(n) * each
+}
+
+// Clock is a per-rank virtual clock. A Clock is owned by exactly one
+// rank goroutine and is not safe for concurrent use; cross-rank clock
+// propagation happens through message timestamps.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock positioned at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative durations are ignored:
+// virtual time never runs backwards.
+func (c *Clock) Advance(d Duration) {
+	if d > 0 {
+		c.now += Time(d)
+	}
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future;
+// otherwise it is a no-op. This is the merge operation used when a
+// message carrying a remote timestamp is consumed.
+func (c *Clock) AdvanceTo(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero. Only the SPMD harness uses this,
+// between benchmark repetitions.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Stopwatch measures a span of virtual time on one clock, mirroring the
+// System.nanoTime() bracketing in OMB-J's benchmark loops.
+type Stopwatch struct {
+	c     *Clock
+	start Time
+}
+
+// StartStopwatch begins timing on clock c.
+func StartStopwatch(c *Clock) Stopwatch { return Stopwatch{c: c, start: c.Now()} }
+
+// Elapsed reports the virtual time accumulated since the stopwatch
+// started.
+func (s Stopwatch) Elapsed() Duration { return s.c.Now().Sub(s.start) }

@@ -1,0 +1,168 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	c.Advance(5 * Microsecond)
+	if got := c.Now(); got != Time(5*Microsecond) {
+		t.Fatalf("Now() = %v, want 5us", got)
+	}
+	c.Advance(-Microsecond)
+	if got := c.Now(); got != Time(5*Microsecond) {
+		t.Fatalf("negative Advance moved the clock: %v", got)
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.Advance(10 * Nanosecond)
+	c.AdvanceTo(Time(3 * Nanosecond)) // in the past: no-op
+	if got := c.Now(); got != Time(10*Nanosecond) {
+		t.Fatalf("AdvanceTo into the past moved the clock: %v", got)
+	}
+	c.AdvanceTo(Time(25 * Nanosecond))
+	if got := c.Now(); got != Time(25*Nanosecond) {
+		t.Fatalf("AdvanceTo = %v, want 25ns", got)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset left clock at %v", c.Now())
+	}
+}
+
+func TestPerByte(t *testing.T) {
+	// 1 GiB/s: one byte costs ~0.93 ns.
+	d := PerByte(1<<30, 1<<30)
+	if d != Second {
+		t.Fatalf("PerByte(1GiB @ 1GiB/s) = %v, want 1s", d)
+	}
+	if PerByte(0, 1e9) != 0 {
+		t.Fatal("PerByte(0) != 0")
+	}
+	if PerByte(-5, 1e9) != 0 {
+		t.Fatal("PerByte(negative) != 0")
+	}
+	if PerByte(100, 0) != 0 {
+		t.Fatal("PerByte with zero rate should be 0, not a division panic")
+	}
+}
+
+func TestPerElement(t *testing.T) {
+	if got := PerElement(100, 3*Nanosecond); got != 300*Nanosecond {
+		t.Fatalf("PerElement = %v, want 300ns", got)
+	}
+	if PerElement(-1, Nanosecond) != 0 {
+		t.Fatal("PerElement(negative) != 0")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1500 * Picosecond, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	d := Micros(2.5)
+	if d != 2500*Nanosecond {
+		t.Fatalf("Micros(2.5) = %v", d)
+	}
+	if d.Micros() != 2.5 {
+		t.Fatalf("Micros() = %v, want 2.5", d.Micros())
+	}
+	if Nanos(1.5) != 1500*Picosecond {
+		t.Fatalf("Nanos(1.5) = %v", Nanos(1.5))
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Fatalf("Seconds() = %v", (2 * Second).Seconds())
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(Time(3), Time(7)) != Time(7) || Max(Time(7), Time(3)) != Time(7) {
+		t.Fatal("Max broken")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := NewClock()
+	sw := StartStopwatch(c)
+	c.Advance(42 * Microsecond)
+	if got := sw.Elapsed(); got != 42*Microsecond {
+		t.Fatalf("Elapsed = %v, want 42us", got)
+	}
+}
+
+// Property: a clock never moves backwards under any interleaving of
+// Advance and AdvanceTo.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(steps []int64) bool {
+		c := NewClock()
+		prev := c.Now()
+		for i, s := range steps {
+			if i%2 == 0 {
+				c.Advance(Duration(s % (1 << 40)))
+			} else {
+				c.AdvanceTo(Time(s % (1 << 40)))
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Time.Add/Sub round-trip.
+func TestAddSubProperty(t *testing.T) {
+	f := func(base int64, d int64) bool {
+		tm := Time(base % (1 << 50))
+		dd := Duration(d % (1 << 50))
+		return tm.Add(dd).Sub(tm) == dd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PerByte is monotonic in n for a fixed positive rate.
+func TestPerByteMonotonicProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int(a%(1<<26)), int(b%(1<<26))
+		if x > y {
+			x, y = y, x
+		}
+		return PerByte(x, 12.5e9) <= PerByte(y, 12.5e9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
