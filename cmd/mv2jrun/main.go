@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"mv2j/internal/core"
+	"mv2j/internal/faults"
 	"mv2j/internal/jvm"
 	"mv2j/internal/profile"
 	"mv2j/internal/trace"
@@ -40,6 +41,7 @@ func main() {
 	ppn := flag.Int("ppn", 2, "ranks per node")
 	lib := flag.String("lib", "mvapich2", "native library: mvapich2 | openmpi")
 	doTrace := flag.Bool("trace", false, "print the virtual-time event timeline after the run")
+	faultS := flag.String("faults", "", `fault-injection plan, e.g. "seed=42,drop=0.01" (see internal/faults)`)
 	flag.Parse()
 
 	body, ok := apps[*app]
@@ -62,6 +64,14 @@ func main() {
 		flavor = core.OpenMPIJ
 	}
 	cfg := core.Config{Nodes: *nodes, PPN: *ppn, Lib: prof, Flavor: flavor}
+	if *faultS != "" {
+		plan, err := faults.ParseSpec(*faultS)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mv2jrun:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
+	}
 	var rec *trace.Recorder
 	if *doTrace {
 		rec = trace.New(0)

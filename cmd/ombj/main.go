@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"mv2j/internal/core"
+	"mv2j/internal/faults"
 	"mv2j/internal/omb"
 	"mv2j/internal/profile"
 )
@@ -35,6 +36,7 @@ func main() {
 		warmup   = flag.Int("x", 5, "warmup iterations per size")
 		window   = flag.Int("w", 64, "bandwidth window size")
 		validate = flag.Bool("validate", false, "populate and verify payloads inside the timed region")
+		faultS   = flag.String("faults", "", `fault-injection plan, e.g. "seed=42,drop=0.01" or "inter.drop=0.05,target=drop:2>5:match:3" (see internal/faults)`)
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -79,8 +81,15 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q (buffer | arrays | native)", *mode))
 	}
 
+	var plan *faults.Plan
+	if *faultS != "" {
+		if plan, err = faults.ParseSpec(*faultS); err != nil {
+			fatal(err)
+		}
+	}
+
 	cfg := omb.Config{
-		Core: core.Config{Nodes: *nodes, PPN: *ppn, Lib: prof, Flavor: flv},
+		Core: core.Config{Nodes: *nodes, PPN: *ppn, Lib: prof, Flavor: flv, Faults: plan},
 		Mode: md,
 		Opts: omb.Options{
 			MinSize: minSize, MaxSize: maxSize,
@@ -99,6 +108,9 @@ func main() {
 		*bench, prof.Name, flv, md, *nodes, *ppn)
 	if *validate {
 		fmt.Println("# data validation enabled")
+	}
+	if plan != nil {
+		fmt.Printf("# fault injection: %s\n", *faultS)
 	}
 	isBW := *bench == "bw" || *bench == "bibw"
 	if isBW {

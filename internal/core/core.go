@@ -25,6 +25,7 @@ import (
 
 	"mv2j/internal/cluster"
 	"mv2j/internal/fabric"
+	"mv2j/internal/faults"
 	"mv2j/internal/jni"
 	"mv2j/internal/jvm"
 	"mv2j/internal/mpjbuf"
@@ -103,6 +104,10 @@ type Config struct {
 	JNICosts *jni.Costs
 	// Intra/Inter override the fabric channels when non-nil.
 	Intra, Inter *fabric.Params
+	// Faults attaches a fault-injection plan to the fabric; the native
+	// runtime then engages its reliability sublayer (checksums, acks,
+	// retransmission). Nil = lossless fabric.
+	Faults *faults.Plan
 	// UnpooledBuffers disables the mpjbuf pool (ablation: a fresh
 	// direct buffer is allocated and destroyed per array message).
 	UnpooledBuffers bool
@@ -157,7 +162,11 @@ func Run(cfg Config, main func(mpi *MPI) error) error {
 	if cfg.Inter != nil {
 		inter = *cfg.Inter
 	}
-	world := nativempi.NewWorld(topo, fabric.New(topo, intra, inter), cfg.Lib)
+	fab := fabric.New(topo, intra, inter)
+	if cfg.Faults != nil {
+		fab.WithFaults(cfg.Faults)
+	}
+	world := nativempi.NewWorld(topo, fab, cfg.Lib)
 	world.SetRecorder(cfg.Trace)
 	return world.Run(func(p *nativempi.Proc) error {
 		machine := jvm.NewMachine(p.Clock(), jvm.Options{

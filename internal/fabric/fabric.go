@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"mv2j/internal/cluster"
+	"mv2j/internal/faults"
 	"mv2j/internal/vtime"
 )
 
@@ -102,11 +103,13 @@ func FronteraIB() Params {
 	}
 }
 
-// Fabric binds channel parameters to a topology.
+// Fabric binds channel parameters to a topology, plus an optional
+// fault plan the runtime consults on every transfer.
 type Fabric struct {
-	topo  *cluster.Topology
-	intra Params
-	inter Params
+	topo   *cluster.Topology
+	intra  Params
+	inter  Params
+	faults *faults.Plan
 }
 
 // New builds a fabric over topo. It panics on invalid parameters; a
@@ -148,3 +151,32 @@ func (f *Fabric) Channel(src, dst int) Params {
 
 // IsIntra reports whether src→dst is an intra-node path.
 func (f *Fabric) IsIntra(src, dst int) bool { return f.topo.SameNode(src, dst) }
+
+// WithFaults attaches a fault plan and returns f for chaining. It
+// panics on an invalid plan for the same reason New panics on bad
+// channel parameters. Attach before building a World over the fabric:
+// the runtime decides at construction time whether its reliability
+// sublayer is engaged.
+func (f *Fabric) WithFaults(p *faults.Plan) *Fabric {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	f.faults = p
+	return f
+}
+
+// Faults returns the attached fault plan (nil for a lossless fabric).
+func (f *Fabric) Faults() *faults.Plan { return f.faults }
+
+// DataVerdict returns the fate of one transmission attempt on the
+// src→dst channel. Lossless fabrics return a clean verdict.
+func (f *Fabric) DataVerdict(src, dst int, stream faults.Stream, seq uint64, attempt int) faults.Verdict {
+	return f.faults.Data(f.IsIntra(src, dst), src, dst, stream, seq, attempt)
+}
+
+// AckDropped reports whether the ack of the given transmission is
+// lost. src/dst name the data direction; both endpoints evaluate the
+// same arguments and agree.
+func (f *Fabric) AckDropped(src, dst int, stream faults.Stream, seq uint64, attempt int) bool {
+	return f.faults.AckDropped(f.IsIntra(src, dst), src, dst, stream, seq, attempt)
+}

@@ -1,0 +1,357 @@
+// Package faults provides a seeded, deterministic fault plan for the
+// simulated interconnect: per-channel-class drop / duplicate / corrupt
+// / delay probabilities plus targeted one-shot faults ("drop the 3rd
+// eager message from rank 2 to rank 5"). The fabric consults the plan
+// on every transfer; the nativempi reliability sublayer turns the
+// verdicts into retransmissions, duplicate suppression and checksum
+// rejections whose costs are charged to virtual time.
+//
+// Every verdict is a pure function of (seed, src, dst, stream, seq,
+// attempt): no mutable RNG state is shared between ranks, so fault
+// decisions are identical across runs regardless of host goroutine
+// scheduling — the property the determinism regression test guards.
+// Both endpoints of a transfer can evaluate the same verdict (the
+// receiver uses this to decide whether its ack survives, mirroring the
+// sender's precomputation of the same coin flip).
+package faults
+
+import (
+	"fmt"
+
+	"mv2j/internal/vtime"
+)
+
+// Stream classifies wire traffic into independent sequence-number
+// spaces. Streams exist because sequence numbers must be assigned in
+// an order that is deterministic per (src, dst) pair: matching traffic
+// is numbered in sender program order, while control/bulk rendezvous
+// traffic is keyed by the rendezvous request id instead.
+type Stream uint8
+
+const (
+	// StreamMatch carries eager payloads and rendezvous RTS packets —
+	// the traffic the MPI matching engine orders.
+	StreamMatch Stream = iota
+	// StreamCtl carries rendezvous CTS replies.
+	StreamCtl
+	// StreamBulk carries rendezvous data payloads.
+	StreamBulk
+	// StreamRMA carries one-sided requests (put/accumulate/get).
+	StreamRMA
+	// StreamRMAReply carries one-sided get replies.
+	StreamRMAReply
+)
+
+func (s Stream) String() string {
+	switch s {
+	case StreamMatch:
+		return "eager"
+	case StreamCtl:
+		return "cts"
+	case StreamBulk:
+		return "data"
+	case StreamRMA:
+		return "rma"
+	case StreamRMAReply:
+		return "rmareply"
+	default:
+		return fmt.Sprintf("Stream(%d)", uint8(s))
+	}
+}
+
+// StreamByName resolves the spec-file stream names.
+func StreamByName(name string) (Stream, bool) {
+	switch name {
+	case "eager", "match":
+		return StreamMatch, true
+	case "cts":
+		return StreamCtl, true
+	case "data":
+		return StreamBulk, true
+	case "rma":
+		return StreamRMA, true
+	case "rmareply":
+		return StreamRMAReply, true
+	default:
+		return 0, false
+	}
+}
+
+// Kind names a fault class, used by targeted one-shot faults.
+type Kind uint8
+
+const (
+	Drop Kind = iota
+	Duplicate
+	Corrupt
+	Delay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "dup"
+	case Corrupt:
+		return "corrupt"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+func kindByName(name string) (Kind, bool) {
+	switch name {
+	case "drop":
+		return Drop, true
+	case "dup", "duplicate":
+		return Duplicate, true
+	case "corrupt":
+		return Corrupt, true
+	case "delay":
+		return Delay, true
+	default:
+		return 0, false
+	}
+}
+
+// Rates are the per-transmission fault probabilities of one channel
+// class. Probabilities apply independently per transmission attempt
+// (so a retransmission rolls fresh coins).
+type Rates struct {
+	// Drop is the probability a transmission never arrives.
+	Drop float64
+	// Duplicate is the probability the fabric delivers a second copy.
+	Duplicate float64
+	// Corrupt is the probability one byte of the wire image is flipped
+	// (caught by the reliability layer's checksum and treated as loss).
+	Corrupt float64
+	// Delay is the probability a transmission is late; the extra
+	// latency is uniform in (0, DelayMax].
+	Delay float64
+	// DelayMax bounds the injected extra latency (default 10µs).
+	DelayMax vtime.Duration
+}
+
+// DefaultDelayMax is used when a delay fault fires with DelayMax unset.
+const DefaultDelayMax = 10 * vtime.Microsecond
+
+func (r Rates) validate(class string) error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", r.Drop}, {"dup", r.Duplicate}, {"corrupt", r.Corrupt}, {"delay", r.Delay}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s.%s probability %g outside [0,1]", class, p.name, p.v)
+		}
+	}
+	if r.DelayMax < 0 {
+		return fmt.Errorf("faults: %s.delaymax negative", class)
+	}
+	return nil
+}
+
+// Zero reports whether this class injects nothing.
+func (r Rates) Zero() bool {
+	return r.Drop == 0 && r.Duplicate == 0 && r.Corrupt == 0 && r.Delay == 0
+}
+
+// Target is a one-shot fault aimed at a specific transfer: the Nth
+// (1-based) message of a stream from world rank Src to world rank Dst.
+// It fires on the first transmission attempt only, so the reliability
+// layer's retransmission is what recovers from it.
+type Target struct {
+	Kind   Kind
+	Src    int
+	Dst    int
+	Stream Stream
+	// Nth is the 1-based sequence number within (Src→Dst, Stream).
+	Nth uint64
+	// Delay is the injected latency for Kind == Delay.
+	Delay vtime.Duration
+}
+
+func (t Target) String() string {
+	s := fmt.Sprintf("%v:%d>%d:%v:%d", t.Kind, t.Src, t.Dst, t.Stream, t.Nth)
+	if t.Kind == Delay {
+		s += fmt.Sprintf(":%v", t.Delay)
+	}
+	return s
+}
+
+// Plan is a complete fault schedule: seeded probabilistic rates per
+// channel class plus targeted one-shot faults. A nil *Plan means a
+// lossless fabric everywhere a plan is accepted.
+type Plan struct {
+	// Seed drives every probabilistic verdict.
+	Seed uint64
+	// Intra applies to intra-node (shared-memory) transfers, Inter to
+	// inter-node (network) transfers.
+	Intra, Inter Rates
+	// Targets are one-shot faults, applied on first transmission.
+	Targets []Target
+}
+
+// Uniform returns a plan applying the same drop probability to both
+// channel classes — the shape the chaos suite sweeps.
+func Uniform(seed uint64, drop float64) *Plan {
+	r := Rates{Drop: drop}
+	return &Plan{Seed: seed, Intra: r, Inter: r}
+}
+
+// Validate reports a descriptive error for a nonsensical plan.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Intra.validate("intra"); err != nil {
+		return err
+	}
+	if err := p.Inter.validate("inter"); err != nil {
+		return err
+	}
+	for _, t := range p.Targets {
+		if t.Src < 0 || t.Dst < 0 {
+			return fmt.Errorf("faults: target %v has negative rank", t)
+		}
+		if t.Nth == 0 {
+			return fmt.Errorf("faults: target %v: Nth is 1-based", t)
+		}
+	}
+	return nil
+}
+
+// Verdict is the fate of one transmission attempt.
+type Verdict struct {
+	// Drop: the attempt never reaches the destination.
+	Drop bool
+	// Duplicate: the destination receives two copies.
+	Duplicate bool
+	// CorruptPos >= 0 flips one byte of the wire image at that
+	// position (mod frame length); -1 means intact.
+	CorruptPos int
+	// Delay is extra latency added to the arrival time.
+	Delay vtime.Duration
+}
+
+// Salts separating the independent coin flips derived from one
+// (seed, src, dst, stream, seq, attempt) identity.
+const (
+	saltDrop uint64 = iota + 0x5fa41
+	saltDup
+	saltCorrupt
+	saltCorruptPos
+	saltDelay
+	saltDelayAmt
+	saltAck
+)
+
+// splitmix64 is the SplitMix64 output function — a strong 64-bit
+// mixer, used here as a keyed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// roll derives the coin for one (salt, transfer identity) pair.
+func (p *Plan) roll(salt uint64, src, dst int, stream Stream, seq uint64, attempt int) uint64 {
+	h := splitmix64(p.Seed ^ salt)
+	h = splitmix64(h ^ uint64(src+1))
+	h = splitmix64(h ^ uint64(dst+1)<<20)
+	h = splitmix64(h ^ uint64(stream))
+	h = splitmix64(h ^ seq)
+	h = splitmix64(h ^ uint64(attempt))
+	return h
+}
+
+// u01 maps a hash to [0, 1).
+func u01(h uint64) float64 { return float64(h>>11) / float64(uint64(1)<<53) }
+
+func (p *Plan) rates(intra bool) Rates {
+	if intra {
+		return p.Intra
+	}
+	return p.Inter
+}
+
+// Data returns the fate of transmission attempt `attempt` (0-based) of
+// message `seq` (1-based within its stream) from src to dst. Nil plans
+// return a clean verdict.
+func (p *Plan) Data(intra bool, src, dst int, stream Stream, seq uint64, attempt int) Verdict {
+	v := Verdict{CorruptPos: -1}
+	if p == nil {
+		return v
+	}
+	if attempt == 0 {
+		for _, t := range p.Targets {
+			if t.Src != src || t.Dst != dst || t.Stream != stream || t.Nth != seq {
+				continue
+			}
+			switch t.Kind {
+			case Drop:
+				v.Drop = true
+			case Duplicate:
+				v.Duplicate = true
+			case Corrupt:
+				v.CorruptPos = int(p.roll(saltCorruptPos, src, dst, stream, seq, attempt) >> 1)
+			case Delay:
+				d := t.Delay
+				if d <= 0 {
+					d = DefaultDelayMax
+				}
+				v.Delay += d
+			}
+		}
+		if v.Drop {
+			return v
+		}
+	}
+	r := p.rates(intra)
+	if r.Drop > 0 && u01(p.roll(saltDrop, src, dst, stream, seq, attempt)) < r.Drop {
+		v.Drop = true
+		return v
+	}
+	if r.Corrupt > 0 && v.CorruptPos < 0 &&
+		u01(p.roll(saltCorrupt, src, dst, stream, seq, attempt)) < r.Corrupt {
+		v.CorruptPos = int(p.roll(saltCorruptPos, src, dst, stream, seq, attempt) >> 1)
+	}
+	if r.Duplicate > 0 && u01(p.roll(saltDup, src, dst, stream, seq, attempt)) < r.Duplicate {
+		v.Duplicate = true
+	}
+	if r.Delay > 0 && u01(p.roll(saltDelay, src, dst, stream, seq, attempt)) < r.Delay {
+		maxD := r.DelayMax
+		if maxD <= 0 {
+			maxD = DefaultDelayMax
+		}
+		frac := u01(p.roll(saltDelayAmt, src, dst, stream, seq, attempt))
+		v.Delay += vtime.Duration(frac*float64(maxD)) + 1
+	}
+	return v
+}
+
+// AckDropped reports whether the acknowledgement of the given data
+// transmission is lost. src/dst name the DATA direction (the ack
+// travels dst→src), so sender and receiver evaluate identical
+// arguments and agree on the outcome.
+func (p *Plan) AckDropped(intra bool, src, dst int, stream Stream, seq uint64, attempt int) bool {
+	if p == nil {
+		return false
+	}
+	r := p.rates(intra)
+	if r.Drop <= 0 {
+		return false
+	}
+	return u01(p.roll(saltAck, src, dst, stream, seq, attempt)) < r.Drop
+}
+
+// Active reports whether the plan can ever inject a fault. The
+// reliability layer is engaged whenever a plan is attached, even an
+// all-zero one (useful for overhead measurements), so this is
+// informational.
+func (p *Plan) Active() bool {
+	return p != nil && (!p.Intra.Zero() || !p.Inter.Zero() || len(p.Targets) > 0)
+}

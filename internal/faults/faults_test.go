@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"testing"
+
+	"mv2j/internal/vtime"
+)
+
+func TestVerdictDeterminism(t *testing.T) {
+	p := &Plan{Seed: 7, Inter: Rates{Drop: 0.3, Duplicate: 0.2, Corrupt: 0.1, Delay: 0.5, DelayMax: vtime.Micros(5)}}
+	for seq := uint64(1); seq <= 200; seq++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			a := p.Data(false, 2, 5, StreamMatch, seq, attempt)
+			b := p.Data(false, 2, 5, StreamMatch, seq, attempt)
+			if a != b {
+				t.Fatalf("verdict not deterministic at seq %d attempt %d: %+v vs %+v", seq, attempt, a, b)
+			}
+			if p.AckDropped(false, 2, 5, StreamMatch, seq, attempt) != p.AckDropped(false, 2, 5, StreamMatch, seq, attempt) {
+				t.Fatalf("ack verdict not deterministic at seq %d", seq)
+			}
+		}
+	}
+}
+
+func TestVerdictRatesRoughlyHonoured(t *testing.T) {
+	p := Uniform(99, 0.1)
+	drops := 0
+	const n = 20000
+	for seq := uint64(1); seq <= n; seq++ {
+		if p.Data(false, 0, 1, StreamMatch, seq, 0).Drop {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if got < 0.07 || got > 0.13 {
+		t.Fatalf("10%% drop plan dropped %.3f of transfers", got)
+	}
+}
+
+func TestSeedChangesOutcomes(t *testing.T) {
+	a, b := Uniform(1, 0.5), Uniform(2, 0.5)
+	same := 0
+	for seq := uint64(1); seq <= 256; seq++ {
+		if a.Data(false, 0, 1, StreamMatch, seq, 0).Drop == b.Data(false, 0, 1, StreamMatch, seq, 0).Drop {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("seeds 1 and 2 produced identical drop schedules")
+	}
+}
+
+func TestClassSeparation(t *testing.T) {
+	p := &Plan{Seed: 3, Inter: Rates{Drop: 1}}
+	if p.Data(true, 0, 1, StreamMatch, 1, 0).Drop {
+		t.Fatal("intra transfer hit by inter-only plan")
+	}
+	if !p.Data(false, 0, 1, StreamMatch, 1, 0).Drop {
+		t.Fatal("inter transfer survived drop=1 plan")
+	}
+}
+
+func TestTargetsFireOnceOnFirstAttempt(t *testing.T) {
+	p := &Plan{Seed: 5, Targets: []Target{{Kind: Drop, Src: 2, Dst: 5, Stream: StreamMatch, Nth: 3}}}
+	for seq := uint64(1); seq <= 6; seq++ {
+		v := p.Data(false, 2, 5, StreamMatch, seq, 0)
+		if v.Drop != (seq == 3) {
+			t.Fatalf("seq %d drop=%v", seq, v.Drop)
+		}
+	}
+	if p.Data(false, 2, 5, StreamMatch, 3, 1).Drop {
+		t.Fatal("one-shot target must not hit the retransmission")
+	}
+	if p.Data(false, 5, 2, StreamMatch, 3, 0).Drop {
+		t.Fatal("target hit the reverse direction")
+	}
+	if p.Data(false, 2, 5, StreamBulk, 3, 0).Drop {
+		t.Fatal("target hit the wrong stream")
+	}
+}
+
+func TestNilPlanIsClean(t *testing.T) {
+	var p *Plan
+	v := p.Data(false, 0, 1, StreamMatch, 1, 0)
+	if v.Drop || v.Duplicate || v.CorruptPos >= 0 || v.Delay != 0 {
+		t.Fatalf("nil plan verdict %+v", v)
+	}
+	if p.AckDropped(false, 0, 1, StreamMatch, 1, 0) {
+		t.Fatal("nil plan dropped an ack")
+	}
+	if p.Active() {
+		t.Fatal("nil plan active")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("seed=42,drop=0.01,dup=0.005,corrupt=0.002,delay=0.1,delaymax=20us,inter.drop=0.05,target=drop:2>5:eager:3,target=delay:0>1:data:2:50us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Fatalf("seed %d", p.Seed)
+	}
+	if p.Intra.Drop != 0.01 || p.Inter.Drop != 0.05 {
+		t.Fatalf("drop rates %+v %+v", p.Intra, p.Inter)
+	}
+	if p.Intra.DelayMax != vtime.Micros(20) {
+		t.Fatalf("delaymax %v", p.Intra.DelayMax)
+	}
+	if len(p.Targets) != 2 {
+		t.Fatalf("targets %v", p.Targets)
+	}
+	if p.Targets[0] != (Target{Kind: Drop, Src: 2, Dst: 5, Stream: StreamMatch, Nth: 3}) {
+		t.Fatalf("target[0] %+v", p.Targets[0])
+	}
+	if p.Targets[1].Delay != vtime.Micros(50) || p.Targets[1].Stream != StreamBulk {
+		t.Fatalf("target[1] %+v", p.Targets[1])
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"bogus=1",
+		"drop=1.5",
+		"drop=x",
+		"seed=-1",
+		"delaymax=20",
+		"shmib.drop=0.1",
+		"target=drop:2>5:eager:0",
+		"target=vanish:2>5:eager:1",
+		"target=drop:2>5:nostream:1",
+		"target=drop:25:eager:1",
+		"target=drop:2>5:eager:1:10us",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mv2j/internal/vtime"
+)
+
+// ParseSpec builds a plan from the -faults command-line syntax: a
+// comma-separated key=value list.
+//
+//	seed=N                 RNG seed (default 1)
+//	drop=P dup=P           probabilities applied to BOTH channel
+//	corrupt=P delay=P      classes
+//	delaymax=D             delay bound, e.g. 20us, 500ns, 1ms
+//	intra.drop=P ...       class-specific override (intra | inter,
+//	                       any of drop/dup/corrupt/delay/delaymax)
+//	target=K:S>D:STREAM:N[:DUR]
+//	                       one-shot fault: kind K (drop|dup|corrupt|
+//	                       delay) on the N-th (1-based) STREAM
+//	                       (eager|cts|data|rma|rmareply) message from
+//	                       world rank S to world rank D; DUR sets the
+//	                       delay for K=delay
+//
+// Example: "seed=42,drop=0.01,delay=0.002,delaymax=20us,target=drop:2>5:eager:3"
+func ParseSpec(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("faults: empty spec")
+	}
+	p := &Plan{Seed: 1}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad token %q, want key=value", tok)
+		}
+		if err := p.applyKey(key, val); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Plan) applyKey(key, val string) error {
+	switch key {
+	case "seed":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("faults: bad seed %q", val)
+		}
+		p.Seed = n
+		return nil
+	case "target":
+		t, err := parseTarget(val)
+		if err != nil {
+			return err
+		}
+		p.Targets = append(p.Targets, t)
+		return nil
+	}
+	// Rate keys, optionally class-qualified.
+	classes := []*Rates{&p.Intra, &p.Inter}
+	field := key
+	if cls, f, ok := strings.Cut(key, "."); ok {
+		field = f
+		switch cls {
+		case "intra", "shm":
+			classes = []*Rates{&p.Intra}
+		case "inter", "ib":
+			classes = []*Rates{&p.Inter}
+		default:
+			return fmt.Errorf("faults: unknown channel class %q (intra | inter)", cls)
+		}
+	}
+	if field == "delaymax" {
+		d, err := parseDur(val)
+		if err != nil {
+			return err
+		}
+		for _, r := range classes {
+			r.DelayMax = d
+		}
+		return nil
+	}
+	prob, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("faults: bad probability %q for %q", val, key)
+	}
+	for _, r := range classes {
+		switch field {
+		case "drop":
+			r.Drop = prob
+		case "dup":
+			r.Duplicate = prob
+		case "corrupt":
+			r.Corrupt = prob
+		case "delay":
+			r.Delay = prob
+		default:
+			return fmt.Errorf("faults: unknown key %q", key)
+		}
+	}
+	return nil
+}
+
+// parseTarget parses "kind:src>dst:stream:nth[:dur]".
+func parseTarget(val string) (Target, error) {
+	parts := strings.Split(val, ":")
+	if len(parts) < 4 || len(parts) > 5 {
+		return Target{}, fmt.Errorf("faults: bad target %q, want kind:src>dst:stream:nth[:dur]", val)
+	}
+	kind, ok := kindByName(parts[0])
+	if !ok {
+		return Target{}, fmt.Errorf("faults: unknown target kind %q", parts[0])
+	}
+	srcs, dsts, ok := strings.Cut(parts[1], ">")
+	if !ok {
+		return Target{}, fmt.Errorf("faults: bad target pair %q, want src>dst", parts[1])
+	}
+	src, err := strconv.Atoi(srcs)
+	if err != nil || src < 0 {
+		return Target{}, fmt.Errorf("faults: bad target source rank %q", srcs)
+	}
+	dst, err := strconv.Atoi(dsts)
+	if err != nil || dst < 0 {
+		return Target{}, fmt.Errorf("faults: bad target destination rank %q", dsts)
+	}
+	stream, ok := StreamByName(parts[2])
+	if !ok {
+		return Target{}, fmt.Errorf("faults: unknown stream %q", parts[2])
+	}
+	nth, err := strconv.ParseUint(parts[3], 10, 64)
+	if err != nil || nth == 0 {
+		return Target{}, fmt.Errorf("faults: bad target ordinal %q (1-based)", parts[3])
+	}
+	t := Target{Kind: kind, Src: src, Dst: dst, Stream: stream, Nth: nth}
+	if len(parts) == 5 {
+		if kind != Delay {
+			return Target{}, fmt.Errorf("faults: duration on non-delay target %q", val)
+		}
+		d, err := parseDur(parts[4])
+		if err != nil {
+			return Target{}, err
+		}
+		t.Delay = d
+	}
+	return t, nil
+}
+
+// parseDur parses a virtual duration with an ns/us/ms/s suffix.
+func parseDur(s string) (vtime.Duration, error) {
+	unit := vtime.Duration(0)
+	num := s
+	for _, suf := range []struct {
+		name string
+		d    vtime.Duration
+	}{{"ns", vtime.Nanosecond}, {"us", vtime.Microsecond}, {"ms", vtime.Millisecond}, {"s", vtime.Second}} {
+		if strings.HasSuffix(s, suf.name) {
+			unit = suf.d
+			num = strings.TrimSuffix(s, suf.name)
+			break
+		}
+	}
+	if unit == 0 {
+		return 0, fmt.Errorf("faults: duration %q needs a ns/us/ms/s suffix", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("faults: bad duration %q", s)
+	}
+	return vtime.Duration(f * float64(unit)), nil
+}

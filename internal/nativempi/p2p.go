@@ -137,6 +137,7 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 			ctx:      o.ctx,
 			data:     data,
 			nbytes:   n,
+			sentAt:   start,
 			arriveAt: start.Add(ch.TransferTime(n)),
 		})
 		p.recordSend(wdst, n, sendStart, p.clock.Now())
@@ -169,6 +170,7 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 		ctx:      o.ctx,
 		nbytes:   n,
 		reqID:    req.id,
+		sentAt:   p.clock.Now(),
 		arriveAt: p.clock.Now().Add(ch.Latency),
 	})
 	return req

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mv2j/internal/fabric"
+	"mv2j/internal/faults"
 	"mv2j/internal/vtime"
 )
 
@@ -17,6 +18,7 @@ const (
 	pktRMA      // one-sided operation toward a window
 	pktRMAReply // data reply to an RMA Get
 	pktAbort    // job abort: wakes and kills blocked ranks
+	pktAck      // reliability-layer acknowledgement (fault plans only)
 )
 
 // packet is one unit on the simulated wire. arriveAt is the virtual
@@ -32,6 +34,13 @@ type packet struct {
 	nbytes   int    // full payload size (meaningful for RTS)
 	arriveAt vtime.Time
 	reqID    uint64 // rendezvous correlation (RTS/CTS/Data)
+
+	// Reliability-layer fields, populated only under a fault plan.
+	sentAt    vtime.Time    // when this transmission left the sender
+	wire      []byte        // framed image (header + checksum + payload)
+	relStream faults.Stream // sequence-number stream
+	relSeq    uint64        // sequence number within the stream
+	attempt   int           // transmission attempt (0 = first)
 }
 
 // ProcStats counts per-rank runtime activity.
@@ -42,6 +51,18 @@ type ProcStats struct {
 	RndvSends    int64
 	MsgsReceived int64
 	Unexpected   int64 // receives that found the message already queued
+
+	// Reliability-layer counters (non-zero only under a fault plan).
+	Retransmits   int64 // attempts after an ack timeout
+	FaultDrops    int64 // transmissions the fabric swallowed
+	FaultCorrupts int64 // transmissions injected with a flipped byte
+	FaultDups     int64 // transmissions the fabric duplicated
+	FaultDelays   int64 // transmissions the fabric delayed
+	CorruptDrops  int64 // frames this rank rejected on checksum
+	DupDrops      int64 // duplicate frames this rank suppressed
+	AcksSent      int64
+	AcksReceived  int64
+	PeerFailures  int64 // retransmit budgets exhausted (job aborted)
 }
 
 // Proc is one MPI rank: its clock, mailbox, matching queues, and
@@ -67,6 +88,10 @@ type Proc struct {
 
 	// windows maps window ids to their per-rank state (see rma.go).
 	windows map[int32]*winState
+
+	// rel is the reliability-sublayer state, non-nil exactly when the
+	// fabric carries a fault plan (see reliability.go).
+	rel *relState
 }
 
 func newProc(w *World, rank int) *Proc {
@@ -77,6 +102,9 @@ func newProc(w *World, rank int) *Proc {
 		mb:          newMailbox(),
 		sendPending: map[uint64]*Request{},
 		recvPending: map[uint64]*Request{},
+	}
+	if w.fab.Faults() != nil {
+		p.rel = newRelState()
 	}
 	p.world = &Comm{
 		p:       p,
@@ -142,8 +170,20 @@ func (p *Proc) eagerLimit(dst int) int {
 	return ch.EagerThreshold
 }
 
-// post delivers a packet to world rank dst's mailbox.
-func (p *Proc) post(dst int, pkt *packet) { p.w.procs[dst].mb.push(pkt) }
+// post delivers a packet toward world rank dst: straight into the
+// mailbox on a lossless fabric, through the reliability sublayer's
+// ack/retransmit protocol under a fault plan.
+func (p *Proc) post(dst int, pkt *packet) {
+	if p.rel == nil {
+		p.postRaw(dst, pkt)
+		return
+	}
+	p.reliablePost(dst, pkt)
+}
+
+// postRaw bypasses the reliability layer (acks, aborts, and the
+// transmissions reliablePost has already adjudicated).
+func (p *Proc) postRaw(dst int, pkt *packet) { p.w.procs[dst].mb.push(pkt) }
 
 // matches reports whether a posted receive (req) matches a packet.
 func matches(req *Request, pkt *packet) bool {
@@ -159,8 +199,24 @@ func matches(req *Request, pkt *packet) bool {
 	return true
 }
 
-// dispatch routes one arrived packet.
+// dispatch routes one arrived packet. Under a fault plan, transport
+// packets first pass the reliability layer's admission check (checksum
+// verification, duplicate suppression, acknowledgement).
 func (p *Proc) dispatch(pkt *packet) {
+	if p.rel != nil {
+		switch pkt.kind {
+		case pktAbort:
+			// Aborts bypass reliability: they must get through even
+			// when the fabric is on fire.
+		case pktAck:
+			p.handleAck(pkt)
+			return
+		default:
+			if !p.admit(pkt) {
+				return
+			}
+		}
+	}
 	switch pkt.kind {
 	case pktEager, pktRTS:
 		for i, req := range p.posted {
@@ -253,6 +309,7 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 			dst:      pkt.src,
 			ctx:      pkt.ctx,
 			reqID:    pkt.reqID,
+			sentAt:   readyAt,
 			arriveAt: readyAt.Add(ch.Latency),
 		}
 		p.post(pkt.src, cts)
@@ -265,11 +322,21 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 // complete the send request when the injection resource is done.
 func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	ch := p.channel(req.dst)
-	start := vtime.Max(vtime.Max(p.clock.Now(), cts.arriveAt), p.nicFree)
+	// The data phase is driven by the CTS arrival and the injection
+	// resource, not by when this rank's CPU happened to poll the
+	// mailbox: rendezvous transfers are RDMA-offloaded, and using
+	// clock.Now() here would let host scheduling leak into virtual
+	// time (the CTS is dispatched at whichever poll point it rides
+	// in on).
+	start := vtime.Max(cts.arriveAt, p.nicFree)
 	start = start.Add(ch.RndvHandshake)
 	data := make([]byte, len(req.sendBuf))
 	copy(data, req.sendBuf)
-	p.nicFree = start.Add(ch.SerializeTime(len(data)))
+	// The send completes when the first injection clears the NIC;
+	// reliablePost may keep the NIC busy later for retransmissions,
+	// but those never block the sender's CPU.
+	injected := start.Add(ch.SerializeTime(len(data)))
+	p.nicFree = injected
 	pkt := &packet{
 		kind:     pktData,
 		src:      p.rank,
@@ -278,10 +345,11 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 		ctx:      req.ctx,
 		data:     data,
 		reqID:    req.id,
+		sentAt:   start,
 		arriveAt: start.Add(ch.TransferTime(len(data))),
 	}
 	p.post(req.dst, pkt)
-	req.completeAt = p.nicFree
+	req.completeAt = injected
 	req.done = true
 	p.recordSend(req.dst, len(data), start, req.completeAt)
 }

@@ -121,6 +121,16 @@ type Profile struct {
 	// bytes/second for reduction computation.
 	ReduceBandwidth float64
 
+	// Reliability sublayer tuning, engaged only when a fault plan is
+	// attached to the fabric. RetransmitRTO is the initial ack timeout;
+	// each unacknowledged attempt multiplies it by RetransmitBackoff
+	// (exponential backoff). After MaxRetransmits attempts without an
+	// ack the peer is declared failed and the job aborts (the
+	// MPI_Abort escalation path, instead of deadlocking).
+	RetransmitRTO     vtime.Duration
+	RetransmitBackoff int
+	MaxRetransmits    int
+
 	// Algorithm selectors, by payload bytes and communicator size.
 	// Nil selectors fall back to reasonable defaults (see normalize).
 	SelectBcast     func(nbytes, p int) BcastAlg
@@ -143,6 +153,15 @@ func (pr Profile) normalize() Profile {
 	}
 	if pr.ReduceBandwidth <= 0 {
 		pr.ReduceBandwidth = 8e9
+	}
+	if pr.RetransmitRTO <= 0 {
+		pr.RetransmitRTO = 25 * vtime.Microsecond
+	}
+	if pr.RetransmitBackoff < 2 {
+		pr.RetransmitBackoff = 2
+	}
+	if pr.MaxRetransmits < 1 {
+		pr.MaxRetransmits = 12
 	}
 	if pr.SelectBcast == nil {
 		pr.SelectBcast = func(nbytes, p int) BcastAlg {

@@ -141,6 +141,7 @@ func (w *Win) injectRMA(target int, kind pktKind, meta int64, off int, data []by
 		data:     payload,
 		nbytes:   int(meta),
 		reqID:    reqID,
+		sentAt:   start,
 		arriveAt: start.Add(ch.TransferTime(n)),
 	})
 	p.stats.MsgsSent++

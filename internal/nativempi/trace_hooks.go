@@ -37,6 +37,18 @@ func (p *Proc) recordRecv(peer, bytes int, start, end vtime.Time) {
 	})
 }
 
+// recordRel logs a reliability-layer event (fault, retransmit, ack)
+// at a single virtual instant.
+func (p *Proc) recordRel(kind trace.Kind, detail string, peer, bytes int, at vtime.Time) {
+	if p.w.rec == nil {
+		return
+	}
+	p.w.rec.Record(trace.Event{
+		Rank: p.rank, Kind: kind, Detail: detail, Peer: peer, Bytes: bytes,
+		Start: at, End: at,
+	})
+}
+
 // collSpan opens a collective span; the returned func closes it.
 func (c *Comm) collSpan(name string, bytes int) func() {
 	if c.p.w.rec == nil {

@@ -124,6 +124,7 @@ func (w *World) Run(fn func(p *Proc) error) error {
 		}(p)
 	}
 	wg.Wait()
+	w.drainPending()
 	var first []error
 	for r, err := range errs {
 		if err != nil {
@@ -149,6 +150,46 @@ func joinErrors(errs []error) error {
 		msg += "; " + e.Error()
 	}
 	return fmt.Errorf("%s", msg)
+}
+
+// drainPending processes reliability traffic still sitting in
+// mailboxes after every rank's function has returned: acks (and stale
+// retransmitted copies) pushed after their destination's last poll.
+// The set of packets ever sent is deterministic, but which of them a
+// rank's final poll happens to catch is a host-scheduling race — so
+// without this drain, counters like AcksReceived would vary run to
+// run. Only the reliability layer's bookkeeping runs here (ack
+// settlement, duplicate suppression, re-acking); payload delivery is
+// never attempted, the ranks are done. Draining one rank can push
+// fresh acks into another's mailbox, hence the fixpoint loop; rank
+// order keeps it deterministic.
+func (w *World) drainPending() {
+	if w.fab.Faults() == nil {
+		return
+	}
+	for {
+		again := false
+		for _, p := range w.procs {
+			for {
+				pkt, ok := p.mb.tryPop()
+				if !ok {
+					break
+				}
+				again = true
+				switch pkt.kind {
+				case pktAck:
+					p.handleAck(pkt)
+				case pktAbort:
+					// The job is already past the point of aborting.
+				default:
+					p.admit(pkt)
+				}
+			}
+		}
+		if !again {
+			return
+		}
+	}
 }
 
 // MaxClock returns the latest virtual time across all ranks — the

@@ -1,0 +1,163 @@
+package omb
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mv2j/internal/faults"
+)
+
+// Chaos suite: the OMB-J benchmarks must deliver byte-exact payloads
+// and report sane virtual times while the fabric drops traffic. Every
+// run validates payloads elementwise (Opts.Validate), so a single
+// corrupted or lost-and-not-recovered byte fails the benchmark body
+// itself; the assertions here add the timing side: retransmissions may
+// only inflate measured time, never deflate it.
+
+func chaosOpts() Options {
+	return Options{
+		MinSize: 1, MaxSize: 4096,
+		Iters: 6, Warmup: 1,
+		LargeThreshold: 64 << 10, LargeIters: 2,
+		Window:   8,
+		Validate: true,
+	}
+}
+
+func withPlan(cfg Config, plan *faults.Plan) Config {
+	cfg.Core.Faults = plan
+	return cfg
+}
+
+// chaosBench names one benchmark and how to interpret its result rows.
+type chaosBench struct {
+	name       string
+	nodes, ppn int
+	bandwidth  bool // rows carry MBps (higher = faster) instead of LatencyUs
+}
+
+func chaosBenches() []chaosBench {
+	return []chaosBench{
+		{name: "latency", nodes: 2, ppn: 1},
+		{name: "bw", nodes: 2, ppn: 1, bandwidth: true},
+		{name: "bibw", nodes: 2, ppn: 1, bandwidth: true},
+		{name: "bcast", nodes: 2, ppn: 2},
+		{name: "allreduce", nodes: 2, ppn: 2},
+	}
+}
+
+func chaosConfig(lib string, b chaosBench, plan *faults.Plan) Config {
+	var cfg Config
+	if lib == "mvapich2" {
+		cfg = mv2(b.nodes, b.ppn, ModeBuffer, chaosOpts())
+	} else {
+		cfg = ompi(b.nodes, b.ppn, ModeBuffer, chaosOpts())
+	}
+	return withPlan(cfg, plan)
+}
+
+func TestChaosByteExactDeliveryUnderLoss(t *testing.T) {
+	// Virtual-time slack for the one place loss can legally shave
+	// time: a delayed eager arrival that lands after its receive was
+	// posted skips the bounce-buffer copy (≤ ~0.4µs at these sizes),
+	// while every retransmission costs a ≥25µs RTO. The latency
+	// assertions therefore allow a small epsilon.
+	const epsUs = 1.0
+	for _, lib := range []string{"mvapich2", "openmpi"} {
+		for _, b := range chaosBenches() {
+			baseline, err := RunBenchmark(b.name, chaosConfig(lib, b, nil))
+			if err != nil {
+				t.Fatalf("%s/%s lossless: %v", lib, b.name, err)
+			}
+			for _, drop := range []float64{0.001, 0.01, 0.05} {
+				name := fmt.Sprintf("%s/%s/drop=%g", lib, b.name, drop)
+				t.Run(name, func(t *testing.T) {
+					plan := faults.Uniform(0xC0FFEE, drop)
+					rows, err := RunBenchmark(b.name, chaosConfig(lib, b, plan))
+					if err != nil {
+						t.Fatalf("benchmark failed under loss: %v", err)
+					}
+					if len(rows) != len(baseline) {
+						t.Fatalf("%d rows under loss, %d lossless", len(rows), len(baseline))
+					}
+					for i, r := range rows {
+						base := baseline[i]
+						if r.Size != base.Size {
+							t.Fatalf("row %d: size %d vs %d", i, r.Size, base.Size)
+						}
+						if b.bandwidth {
+							// Loss may only reduce throughput.
+							if r.MBps > base.MBps*1.02+epsUs {
+								t.Errorf("%dB: %.2f MB/s under loss beats lossless %.2f MB/s",
+									r.Size, r.MBps, base.MBps)
+							}
+						} else if r.LatencyUs < base.LatencyUs-epsUs {
+							t.Errorf("%dB: %.2fus under loss beats lossless %.2fus",
+								r.Size, r.LatencyUs, base.LatencyUs)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestChaosDeterminismSameSeedSameTimes(t *testing.T) {
+	// Identical fault plan (same seed) must give bit-identical
+	// virtual-time results run to run — verdicts are pure functions of
+	// the transfer identity, so host scheduling must not show through.
+	for _, b := range chaosBenches() {
+		plan := faults.Uniform(1234, 0.02)
+		first, err := RunBenchmark(b.name, chaosConfig("mvapich2", b, plan))
+		if err != nil {
+			t.Fatalf("%s run 1: %v", b.name, err)
+		}
+		second, err := RunBenchmark(b.name, chaosConfig("mvapich2", b, plan))
+		if err != nil {
+			t.Fatalf("%s run 2: %v", b.name, err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("%s: non-deterministic results under identical seed:\n%+v\nvs\n%+v",
+				b.name, first, second)
+		}
+	}
+}
+
+func TestChaosDifferentSeedsDiverge(t *testing.T) {
+	// A different seed must actually change which transfers fail: if
+	// two distinct seeds at 5%% drop produce identical timings, the
+	// plan is not consulting its seed.
+	b := chaosBench{name: "latency", nodes: 2, ppn: 1}
+	a, err := RunBenchmark(b.name, chaosConfig("mvapich2", b, faults.Uniform(1, 0.05)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := RunBenchmark(b.name, chaosConfig("mvapich2", b, faults.Uniform(2, 0.05)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, z) {
+		t.Fatal("seeds 1 and 2 produced identical results at 5% drop")
+	}
+}
+
+func TestChaosLosslessPlanMatchesNoPlan(t *testing.T) {
+	// A zero-rate plan engages the reliability layer (checksums, acks)
+	// but injects nothing; payload delivery must still be exact and
+	// the run must complete. Times differ from the no-plan path only
+	// through protocol bookkeeping, which is free in virtual time —
+	// so results should be identical.
+	b := chaosBench{name: "latency", nodes: 2, ppn: 1}
+	bare, err := RunBenchmark(b.name, chaosConfig("mvapich2", b, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunBenchmark(b.name, chaosConfig("mvapich2", b, faults.Uniform(7, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, clean) {
+		t.Fatalf("zero-rate plan changed results:\n%+v\nvs\n%+v", bare, clean)
+	}
+}

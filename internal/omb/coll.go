@@ -20,6 +20,11 @@ type collCase struct {
 	// with times == -1 meaning size * comm size.
 	sendTimes, recvTimes int
 	run                  func(ep endpoint, s, r msgBuf, size int) error
+	// prep/check implement Opts.Validate: prep stamps the iteration's
+	// pattern before the operation, check verifies the result after
+	// it. Nil means the benchmark does not support validation.
+	prep  func(ep endpoint, s, r msgBuf, iter, size int)
+	check func(ep endpoint, s, r msgBuf, iter, size int) error
 }
 
 const collRoot = 0
@@ -159,39 +164,67 @@ func (e endpoint) collAlltoallv(s, r msgBuf, n int) error {
 // collCases maps benchmark names to shapes and bodies.
 func collCases() map[string]collCase {
 	return map[string]collCase{
-		"bcast": {1, 0, func(ep endpoint, s, _ msgBuf, n int) error {
-			return ep.collBcast(s, n)
-		}},
-		"reduce": {1, 1, func(ep endpoint, s, r msgBuf, n int) error {
-			return ep.collReduce(s, r, n)
-		}},
-		"allreduce": {1, 1, func(ep endpoint, s, r msgBuf, n int) error {
-			return ep.collAllreduce(s, r, n)
-		}},
-		"gather": {1, -1, func(ep endpoint, s, r msgBuf, n int) error {
-			return ep.collGather(s, r, n)
-		}},
-		"scatter": {-1, 1, func(ep endpoint, s, r msgBuf, n int) error {
-			return ep.collScatter(s, r, n)
-		}},
-		"allgather": {1, -1, func(ep endpoint, s, r msgBuf, n int) error {
-			return ep.collAllgather(s, r, n)
-		}},
-		"alltoall": {-1, -1, func(ep endpoint, s, r msgBuf, n int) error {
-			return ep.collAlltoall(s, r, n)
-		}},
-		"gatherv": {1, -1, func(ep endpoint, s, r msgBuf, n int) error {
-			return ep.collGatherv(s, r, n)
-		}},
-		"scatterv": {-1, 1, func(ep endpoint, s, r msgBuf, n int) error {
-			return ep.collScatterv(s, r, n)
-		}},
-		"allgatherv": {1, -1, func(ep endpoint, s, r msgBuf, n int) error {
-			return ep.collAllgatherv(s, r, n)
-		}},
-		"alltoallv": {-1, -1, func(ep endpoint, s, r msgBuf, n int) error {
-			return ep.collAlltoallv(s, r, n)
-		}},
+		"bcast": {sendTimes: 1, recvTimes: 0,
+			run: func(ep endpoint, s, _ msgBuf, n int) error {
+				return ep.collBcast(s, n)
+			},
+			prep: func(ep endpoint, s, _ msgBuf, iter, n int) {
+				if ep.rank() == collRoot {
+					s.populate(iter, n)
+				}
+			},
+			check: func(ep endpoint, s, _ msgBuf, iter, n int) error {
+				return s.verify(iter, n)
+			}},
+		"reduce": {sendTimes: 1, recvTimes: 1,
+			run: func(ep endpoint, s, r msgBuf, n int) error {
+				return ep.collReduce(s, r, n)
+			}},
+		"allreduce": {sendTimes: 1, recvTimes: 1,
+			run: func(ep endpoint, s, r msgBuf, n int) error {
+				return ep.collAllreduce(s, r, n)
+			},
+			// Every rank contributes the same pattern, so the SUM
+			// result is the pattern scaled by the communicator size
+			// (byte arithmetic wraps identically on both sides).
+			prep: func(ep endpoint, s, _ msgBuf, iter, n int) {
+				s.populate(iter, n)
+			},
+			check: func(ep endpoint, _, r msgBuf, iter, n int) error {
+				return r.verifySum(iter, n, ep.size())
+			}},
+		"gather": {sendTimes: 1, recvTimes: -1,
+			run: func(ep endpoint, s, r msgBuf, n int) error {
+				return ep.collGather(s, r, n)
+			}},
+		"scatter": {sendTimes: -1, recvTimes: 1,
+			run: func(ep endpoint, s, r msgBuf, n int) error {
+				return ep.collScatter(s, r, n)
+			}},
+		"allgather": {sendTimes: 1, recvTimes: -1,
+			run: func(ep endpoint, s, r msgBuf, n int) error {
+				return ep.collAllgather(s, r, n)
+			}},
+		"alltoall": {sendTimes: -1, recvTimes: -1,
+			run: func(ep endpoint, s, r msgBuf, n int) error {
+				return ep.collAlltoall(s, r, n)
+			}},
+		"gatherv": {sendTimes: 1, recvTimes: -1,
+			run: func(ep endpoint, s, r msgBuf, n int) error {
+				return ep.collGatherv(s, r, n)
+			}},
+		"scatterv": {sendTimes: -1, recvTimes: 1,
+			run: func(ep endpoint, s, r msgBuf, n int) error {
+				return ep.collScatterv(s, r, n)
+			}},
+		"allgatherv": {sendTimes: 1, recvTimes: -1,
+			run: func(ep endpoint, s, r msgBuf, n int) error {
+				return ep.collAllgatherv(s, r, n)
+			}},
+		"alltoallv": {sendTimes: -1, recvTimes: -1,
+			run: func(ep endpoint, s, r msgBuf, n int) error {
+				return ep.collAlltoallv(s, r, n)
+			}},
 	}
 }
 
@@ -246,6 +279,9 @@ func CollectiveLatency(name string, cfg Config) ([]Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("omb: unknown collective benchmark %q", name)
 	}
+	if cfg.Opts.Validate && cc.prep == nil {
+		return nil, fmt.Errorf("omb: %s does not support -validate", name)
+	}
 	sizeJVM(&cfg.Core, cfg.Opts.MaxSize*maxTimes(cc, cfg))
 	sink := &resultSink{}
 	err := core.Run(cfg.Core, func(m *core.MPI) error {
@@ -278,12 +314,20 @@ func CollectiveLatency(name string, cfg Config) ([]Result, error) {
 			iters, warm := cfg.Opts.itersFor(size)
 			var total vtime.Duration
 			for i := -warm; i < iters; i++ {
+				if cfg.Opts.Validate {
+					cc.prep(ep, sbuf, rbuf, i, size)
+				}
 				sw := vtime.StartStopwatch(m.Clock())
 				if err := cc.run(ep, sbuf, rbuf, size); err != nil {
 					return err
 				}
 				if i >= 0 {
 					total += sw.Elapsed()
+				}
+				if cfg.Opts.Validate {
+					if err := cc.check(ep, sbuf, rbuf, i, size); err != nil {
+						return err
+					}
 				}
 			}
 			avg, err := ep.sumScalarUs(avgLatencyUs(total, iters), ss, sr)

@@ -168,6 +168,9 @@ type msgBuf interface {
 	populate(iter, n int)
 	// verify checks the pattern elementwise, charging read costs.
 	verify(iter, n int) error
+	// verifySum checks the pattern summed from `factor` identical
+	// contributions (byte arithmetic wraps) — reduction validation.
+	verifySum(iter, n, factor int) error
 }
 
 type arrayBuf struct{ arr jvm.Array }
@@ -183,6 +186,14 @@ func (b arrayBuf) verify(iter, n int) error {
 	for i := 0; i < n; i++ {
 		if got := byte(b.arr.Int(i)); got != byte(iter+i) {
 			return fmt.Errorf("omb: validation failed at %d: %#x != %#x", i, got, byte(iter+i))
+		}
+	}
+	return nil
+}
+func (b arrayBuf) verifySum(iter, n, factor int) error {
+	for i := 0; i < n; i++ {
+		if got, want := byte(b.arr.Int(i)), byte(factor*(iter+i)); got != want {
+			return fmt.Errorf("omb: reduction validation failed at %d: %#x != %#x", i, got, want)
 		}
 	}
 	return nil
@@ -205,6 +216,14 @@ func (b directBuf) verify(iter, n int) error {
 	}
 	return nil
 }
+func (b directBuf) verifySum(iter, n, factor int) error {
+	for i := 0; i < n; i++ {
+		if got, want := b.bb.ByteAt(i), byte(factor*(iter+i)); got != want {
+			return fmt.Errorf("omb: reduction validation failed at %d: %#x != %#x", i, got, want)
+		}
+	}
+	return nil
+}
 
 type nativeBuf struct{ b []byte }
 
@@ -219,6 +238,14 @@ func (b nativeBuf) verify(iter, n int) error {
 	for i := 0; i < n; i++ {
 		if b.b[i] != byte(iter+i) {
 			return fmt.Errorf("omb: validation failed at %d", i)
+		}
+	}
+	return nil
+}
+func (b nativeBuf) verifySum(iter, n, factor int) error {
+	for i := 0; i < n; i++ {
+		if want := byte(factor * (iter + i)); b.b[i] != want {
+			return fmt.Errorf("omb: reduction validation failed at %d: %#x != %#x", i, b.b[i], want)
 		}
 	}
 	return nil

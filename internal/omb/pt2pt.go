@@ -223,6 +223,12 @@ func bandwidth(cfg Config, bidirectional bool) ([]Result, error) {
 					ws = ws[:0]
 					sends := me == 0 || bidirectional
 					recvs := me == 1 || bidirectional
+					if sends && cfg.Opts.Validate {
+						// Every message of the window carries the same
+						// iteration pattern; the sender must not touch the
+						// buffer again until the window completes.
+						sbuf.populate(i, size)
+					}
 					if recvs {
 						for k := 0; k < window; k++ {
 							w, err := ep.irecv(rbuf, size, 1-me, tagData)
@@ -243,6 +249,11 @@ func bandwidth(cfg Config, bidirectional bool) ([]Result, error) {
 					}
 					if err := waitAll(ws); err != nil {
 						return err
+					}
+					if recvs && cfg.Opts.Validate {
+						if err := rbuf.verify(i, size); err != nil {
+							return err
+						}
 					}
 					// Window handshake.
 					if me == 0 {

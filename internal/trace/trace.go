@@ -24,6 +24,14 @@ const (
 	KindRMA     Kind = "rma"
 	KindGC      Kind = "gc"
 	KindCompute Kind = "compute"
+	// KindFault marks an injected fault or a reliability-layer
+	// rejection (drop, corrupt, duplicate, delay, peer-failure).
+	KindFault Kind = "fault"
+	// KindRetransmit marks a retransmission attempt after an ack
+	// timeout.
+	KindRetransmit Kind = "retx"
+	// KindAck marks acknowledgement traffic of the reliability layer.
+	KindAck Kind = "ack"
 )
 
 // Event is one recorded operation.
