@@ -16,6 +16,7 @@ import (
 	"mv2j/internal/core"
 	"mv2j/internal/faults"
 	"mv2j/internal/jvm"
+	"mv2j/internal/obs"
 	"mv2j/internal/profile"
 	"mv2j/internal/trace"
 )
@@ -42,6 +43,8 @@ func main() {
 	lib := flag.String("lib", "mvapich2", "native library: mvapich2 | openmpi")
 	doTrace := flag.Bool("trace", false, "print the virtual-time event timeline after the run")
 	faultS := flag.String("faults", "", `fault-injection plan, e.g. "seed=42,drop=0.01" (see internal/faults)`)
+	var sink obs.Sink
+	sink.AddFlags()
 	flag.Parse()
 
 	body, ok := apps[*app]
@@ -72,12 +75,18 @@ func main() {
 		}
 		cfg.Faults = plan
 	}
+	sink.PPN = *ppn
 	var rec *trace.Recorder
 	if *doTrace {
-		rec = trace.New(0)
-		cfg.Trace = rec
+		rec = sink.ForceRecorder()
 	}
+	cfg.Trace = sink.Recorder()
+	cfg.Metrics = sink.Registry()
 	if err := core.Run(cfg, body); err != nil {
+		fmt.Fprintln(os.Stderr, "mv2jrun:", err)
+		os.Exit(1)
+	}
+	if err := sink.Flush(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mv2jrun:", err)
 		os.Exit(1)
 	}

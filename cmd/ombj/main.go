@@ -19,6 +19,7 @@ import (
 
 	"mv2j/internal/core"
 	"mv2j/internal/faults"
+	"mv2j/internal/obs"
 	"mv2j/internal/omb"
 	"mv2j/internal/profile"
 )
@@ -39,6 +40,8 @@ func main() {
 		faultS   = flag.String("faults", "", `fault-injection plan, e.g. "seed=42,drop=0.01" or "inter.drop=0.05,target=drop:2>5:match:3" (see internal/faults)`)
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 	)
+	var sink obs.Sink
+	sink.AddFlags()
 	flag.Parse()
 
 	if *list {
@@ -88,8 +91,10 @@ func main() {
 		}
 	}
 
+	sink.PPN = *ppn
 	cfg := omb.Config{
-		Core: core.Config{Nodes: *nodes, PPN: *ppn, Lib: prof, Flavor: flv, Faults: plan},
+		Core: core.Config{Nodes: *nodes, PPN: *ppn, Lib: prof, Flavor: flv, Faults: plan,
+			Trace: sink.Recorder(), Metrics: sink.Registry()},
 		Mode: md,
 		Opts: omb.Options{
 			MinSize: minSize, MaxSize: maxSize,
@@ -124,6 +129,9 @@ func main() {
 		} else {
 			fmt.Printf("%-12d%16.2f\n", r.Size, r.LatencyUs)
 		}
+	}
+	if err := sink.Flush(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

@@ -111,9 +111,11 @@ func unpackBytes(elems, src []byte, offset, count int, dt Datatype) {
 	}
 }
 
-// sendStage produces the contiguous native view of a send buffer plus
-// a release function to run once the payload is no longer needed.
-func (m *MPI) sendStage(buf any, offset, count int, dt Datatype) (raw []byte, free func(), err error) {
+// sendStageImpl produces the contiguous native view of a send buffer
+// plus a release function to run once the payload is no longer needed.
+// Callers go through sendStage (observe.go), which adds the copy-in
+// trace span.
+func (m *MPI) sendStageImpl(buf any, offset, count int, dt Datatype) (raw []byte, free func(), err error) {
 	nbytes := count * dt.Size()
 	switch b := buf.(type) {
 	case jvm.Array:
@@ -189,10 +191,11 @@ func (m *MPI) sendStage(buf any, offset, count int, dt Datatype) (raw []byte, fr
 	}
 }
 
-// recvStage produces the native landing area for a receive, a finish
-// function that unpacks into the user buffer once data has landed, and
-// a free function for the staging resources.
-func (m *MPI) recvStage(buf any, offset, count int, dt Datatype) (raw []byte, finish func() error, free func(), err error) {
+// recvStageImpl produces the native landing area for a receive, a
+// finish function that unpacks into the user buffer once data has
+// landed, and a free function for the staging resources. Callers go
+// through recvStage (observe.go), which adds the copy-out trace span.
+func (m *MPI) recvStageImpl(buf any, offset, count int, dt Datatype) (raw []byte, finish func() error, free func(), err error) {
 	nbytes := count * dt.Size()
 	nofinish := func() error { return nil }
 	switch b := buf.(type) {

@@ -28,6 +28,7 @@ import (
 	"mv2j/internal/faults"
 	"mv2j/internal/jni"
 	"mv2j/internal/jvm"
+	"mv2j/internal/metrics"
 	"mv2j/internal/mpjbuf"
 	"mv2j/internal/nativempi"
 	"mv2j/internal/trace"
@@ -114,6 +115,11 @@ type Config struct {
 	// Trace, when non-nil, records every native communication event
 	// with virtual timestamps (see internal/trace).
 	Trace *trace.Recorder
+	// Metrics, when non-nil, aggregates counters, gauges and latency/
+	// size histograms across every layer of the run (see
+	// internal/metrics). Scraped once after the job completes, so the
+	// registry contents are deterministic per seed.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -168,12 +174,19 @@ func Run(cfg Config, main func(mpi *MPI) error) error {
 	}
 	world := nativempi.NewWorld(topo, fab, cfg.Lib)
 	world.SetRecorder(cfg.Trace)
-	return world.Run(func(p *nativempi.Proc) error {
+	world.SetMetrics(cfg.Metrics)
+	// Each rank parks its MPI object here (indexed by rank, so writes
+	// never contend); the post-run metrics scrape walks the slice after
+	// world.Run has returned and all trailing ack traffic has drained,
+	// which keeps the aggregates deterministic.
+	mpis := make([]*MPI, topo.Size())
+	err := world.Run(func(p *nativempi.Proc) error {
 		machine := jvm.NewMachine(p.Clock(), jvm.Options{
 			HeapSize:  cfg.HeapSize,
 			ArenaSize: cfg.ArenaSize,
 			Costs:     cfg.Costs,
 		})
+		machine.SetGCObserver(gcObserver(world, p.Rank()))
 		var env *jni.Env
 		if cfg.JNICosts != nil {
 			env = jni.NewWithCosts(machine, *cfg.JNICosts)
@@ -195,8 +208,11 @@ func Run(cfg Config, main func(mpi *MPI) error) error {
 			flavor:   cfg.Flavor,
 		}
 		mpi.world = &Comm{mpi: mpi, native: p.CommWorld()}
+		mpis[p.Rank()] = mpi
 		return main(mpi)
 	})
+	scrapeMetrics(cfg.Metrics, mpis)
+	return err
 }
 
 // CommWorld returns this rank's MPI.COMM_WORLD.

@@ -85,7 +85,14 @@ type Machine struct {
 	pendingGC bool
 	arena     *arena
 	stats     Stats
+	gcObs     func(liveBytes int, start, end vtime.Time)
 }
+
+// SetGCObserver registers a callback invoked after every completed
+// collection with the live-set size and the pause's virtual extent.
+// The observability layer uses it to emit GC spans; the callback must
+// not advance any clock.
+func (m *Machine) SetGCObserver(fn func(liveBytes int, start, end vtime.Time)) { m.gcObs = fn }
 
 // NewMachine builds a simulated JVM charging costs to clock.
 func NewMachine(clock *vtime.Clock, opts Options) *Machine {
@@ -251,8 +258,12 @@ func (m *Machine) GC() error {
 	m.stats.BytesMoved += moved
 	pause := m.costs.GCFixed + vtime.PerByte(m.liveBytes, m.costs.GCBandwidth)
 	m.stats.GCPause += pause
+	start := m.clock.Now()
 	m.clock.Advance(pause)
 	m.pendingGC = false
+	if m.gcObs != nil {
+		m.gcObs(m.liveBytes, start, m.clock.Now())
+	}
 	return nil
 }
 

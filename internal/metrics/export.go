@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// The export schema. Every slice is sorted by (kind, label, rank) and
+// histogram buckets are emitted sparsely in ascending bucket order, so
+// marshalling a registry is a pure function of its contents —
+// byte-identical across runs, platforms, and the race detector.
+
+// ScalarSnap is one exported counter or gauge.
+type ScalarSnap struct {
+	Rank  int    `json:"rank"`
+	Kind  string `json:"kind"`
+	Label string `json:"label"`
+	Value int64  `json:"value"`
+}
+
+// BucketSnap is one non-empty histogram bucket: values <= Le (and
+// greater than the previous bucket's Le) were observed Count times.
+type BucketSnap struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistSnap is one exported histogram.
+type HistSnap struct {
+	Rank    int          `json:"rank"`
+	Kind    string       `json:"kind"`
+	Label   string       `json:"label"`
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []BucketSnap `json:"buckets"`
+}
+
+// Snapshot is the full exported state of a registry.
+type Snapshot struct {
+	Counters   []ScalarSnap `json:"counters"`
+	Gauges     []ScalarSnap `json:"gauges"`
+	Histograms []HistSnap   `json:"histograms"`
+}
+
+// Snapshot returns the registry's contents in deterministic order.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   []ScalarSnap{},
+		Gauges:     []ScalarSnap{},
+		Histograms: []HistSnap{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap.Counters = scalarSnaps(r.counters)
+	snap.Gauges = scalarSnaps(r.gauges)
+	hkeys := make([]Key, 0, len(r.hists))
+	for k := range r.hists {
+		hkeys = append(hkeys, k)
+	}
+	sort.Slice(hkeys, func(i, j int) bool { return hkeys[i].less(hkeys[j]) })
+	for _, k := range hkeys {
+		h := r.hists[k]
+		hs := HistSnap{
+			Rank: k.Rank, Kind: k.Kind, Label: k.Label,
+			Count: h.Count, Sum: h.Sum, Buckets: []BucketSnap{},
+		}
+		for i, n := range h.Buckets {
+			if n != 0 {
+				hs.Buckets = append(hs.Buckets, BucketSnap{Le: BucketUpperBound(i), Count: n})
+			}
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	return snap
+}
+
+func scalarSnaps(m map[Key]int64) []ScalarSnap {
+	keys := make([]Key, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	out := make([]ScalarSnap, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, ScalarSnap{Rank: k.Rank, Kind: k.Kind, Label: k.Label, Value: m[k]})
+	}
+	return out
+}
+
+// WriteJSON writes the registry as indented JSON with a trailing
+// newline. The output is byte-deterministic for a given registry
+// state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

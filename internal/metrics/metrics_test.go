@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Add(0, "pool", "hits", 3)
+	r.Add(0, "pool", "hits", 2)
+	r.Add(1, "pool", "hits", 7)
+	if got := r.Counter(0, "pool", "hits"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := r.Counter(2, "pool", "hits"); got != 0 {
+		t.Fatalf("absent counter = %d, want 0", got)
+	}
+	r.SetGauge(0, "pool", "held", 100)
+	r.SetGauge(0, "pool", "held", 42)
+	if got := r.Gauge(0, "pool", "held"); got != 42 {
+		t.Fatalf("gauge = %d, want 42", got)
+	}
+	r.SetMaxGauge(0, "pool", "hw", 10)
+	r.SetMaxGauge(0, "pool", "hw", 4)
+	r.SetMaxGauge(0, "pool", "hw", 25)
+	if got := r.Gauge(0, "pool", "hw"); got != 25 {
+		t.Fatalf("max gauge = %d, want 25", got)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Add(0, "a", "b", 1)
+	r.SetGauge(0, "a", "b", 1)
+	r.SetMaxGauge(0, "a", "b", 1)
+	r.Observe(0, "a", "b", 1)
+	if r.Counter(0, "a", "b") != 0 || r.Gauge(0, "a", "b") != 0 {
+		t.Fatal("nil registry reported values")
+	}
+	if h := r.HistogramSnapshot(0, "a", "b"); h.Count != 0 {
+		t.Fatal("nil registry reported a histogram")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+}
+
+// TestBucketBoundsMonotone is the bucketing invariant: upper bounds
+// strictly increase and every value lands in the bucket whose bounds
+// bracket it.
+func TestBucketBoundsMonotone(t *testing.T) {
+	for i := 1; i < NumBuckets; i++ {
+		if BucketUpperBound(i) <= BucketUpperBound(i-1) {
+			t.Fatalf("bounds not monotone at %d: %d <= %d",
+				i, BucketUpperBound(i), BucketUpperBound(i-1))
+		}
+	}
+	cases := []int64{math.MinInt64, -1, 0, 1, 2, 3, 4, 7, 8, 255, 256, 1 << 40, math.MaxInt64}
+	for _, v := range cases {
+		i := BucketIndex(v)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("BucketIndex(%d) = %d out of range", v, i)
+		}
+		if v > BucketUpperBound(i) {
+			t.Fatalf("value %d above its bucket %d bound %d", v, i, BucketUpperBound(i))
+		}
+		if i > 0 && v <= BucketUpperBound(i-1) {
+			t.Fatalf("value %d not above bucket %d's lower boundary %d", v, i, BucketUpperBound(i-1))
+		}
+	}
+}
+
+// TestHistogramConservation is the count/sum conservation property:
+// for arbitrary sample streams, Count equals the number of Observe
+// calls, Sum the arithmetic total, and the bucket tallies partition
+// the count exactly.
+func TestHistogramConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var h Histogram
+		var wantCount, wantSum int64
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			// Spread samples across the full bucket range, including
+			// zero and the occasional negative.
+			v := int64(rng.Uint64() >> uint(1+rng.Intn(62)))
+			if rng.Intn(10) == 0 {
+				v = -v
+			}
+			h.Observe(v)
+			wantCount++
+			wantSum += v
+		}
+		if h.Count != wantCount {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, h.Count, wantCount)
+		}
+		if h.Sum != wantSum {
+			t.Fatalf("trial %d: Sum = %d, want %d", trial, h.Sum, wantSum)
+		}
+		var bucketTotal int64
+		for _, b := range h.Buckets {
+			if b < 0 {
+				t.Fatalf("trial %d: negative bucket count", trial)
+			}
+			bucketTotal += b
+		}
+		if bucketTotal != h.Count {
+			t.Fatalf("trial %d: buckets sum to %d, Count = %d", trial, bucketTotal, h.Count)
+		}
+	}
+}
+
+func randomHist(rng *rand.Rand) *Histogram {
+	h := &Histogram{}
+	for i, n := 0, rng.Intn(100); i < n; i++ {
+		h.Observe(int64(rng.Uint64() >> uint(1+rng.Intn(62))))
+	}
+	return h
+}
+
+// TestHistogramMergeAssociative: (a+b)+c == a+(b+c) and a+b == b+a,
+// with counts and sums conserved.
+func TestHistogramMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := randomHist(rng), randomHist(rng), randomHist(rng)
+
+		left := *a // (a+b)+c
+		left.Merge(b)
+		left.Merge(c)
+
+		bc := *b // a+(b+c)
+		bc.Merge(c)
+		right := *a
+		right.Merge(&bc)
+
+		if left != right {
+			t.Fatalf("trial %d: merge not associative:\n%+v\n%+v", trial, left, right)
+		}
+
+		ab := *a
+		ab.Merge(b)
+		ba := *b
+		ba.Merge(a)
+		if ab != ba {
+			t.Fatalf("trial %d: merge not commutative", trial)
+		}
+		if ab.Count != a.Count+b.Count || ab.Sum != a.Sum+b.Sum {
+			t.Fatalf("trial %d: merge lost samples", trial)
+		}
+	}
+	var h Histogram
+	h.Observe(7)
+	want := h
+	h.Merge(nil)
+	if h != want {
+		t.Fatal("nil merge changed the histogram")
+	}
+}
+
+func TestExportDeterministicAndSorted(t *testing.T) {
+	build := func(order []int) *Registry {
+		r := NewRegistry()
+		for _, rank := range order {
+			r.Add(rank, "p2p", "msgs", int64(rank+1))
+			r.Observe(rank, "p2p", "lat_ps", int64(100*(rank+1)))
+			r.Observe(rank, "p2p", "lat_ps", 0)
+			r.SetGauge(rank, "pool", "held", int64(rank))
+		}
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := build([]int{2, 0, 1}).WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build([]int{1, 2, 0}).WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("export depends on insertion order:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &snap); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(snap.Counters) != 3 || len(snap.Histograms) != 3 || len(snap.Gauges) != 3 {
+		t.Fatalf("snapshot shape wrong: %+v", snap)
+	}
+	for i := 1; i < len(snap.Counters); i++ {
+		if snap.Counters[i-1].Rank >= snap.Counters[i].Rank {
+			t.Fatal("counters not sorted by rank within a label")
+		}
+	}
+	// Sparse buckets: the zero sample and the nonzero sample occupy
+	// distinct buckets, in ascending bound order.
+	h := snap.Histograms[0]
+	if h.Count != 2 || len(h.Buckets) != 2 || h.Buckets[0].Le >= h.Buckets[1].Le {
+		t.Fatalf("histogram snapshot wrong: %+v", h)
+	}
+}
+
+func TestHistogramSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	r.Observe(0, "k", "l", 5)
+	snap := r.HistogramSnapshot(0, "k", "l")
+	snap.Observe(6)
+	if got := r.HistogramSnapshot(0, "k", "l"); got.Count != 1 {
+		t.Fatalf("snapshot aliases registry state: %+v", got)
+	}
+}

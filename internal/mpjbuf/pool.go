@@ -40,6 +40,11 @@ type PoolStats struct {
 	Frees     int64
 	Allocated int64 // direct buffers created
 	HeldBytes int64 // bytes parked in free lists
+	// InUseBytes is the capacity currently lent out to live Buffers;
+	// HighWaterBytes is its maximum over the pool's lifetime — the
+	// staging footprint a window of in-flight array messages pins.
+	InUseBytes     int64
+	HighWaterBytes int64
 }
 
 // Pool is a per-rank pool of direct ByteBuffers in power-of-two size
@@ -93,6 +98,10 @@ func (p *Pool) Get(n int) (*Buffer, error) {
 	p.stats.Gets++
 	p.m.Charge(getCost)
 	cls := classFor(n)
+	p.stats.InUseBytes += int64(cls)
+	if p.stats.InUseBytes > p.stats.HighWaterBytes {
+		p.stats.HighWaterBytes = p.stats.InUseBytes
+	}
 	if !p.disabled {
 		if free := p.classes[cls]; len(free) > 0 {
 			bb := free[len(free)-1]
@@ -117,6 +126,7 @@ func (p *Pool) put(bb *jvm.ByteBuffer) {
 	p.stats.Frees++
 	p.m.Charge(freeCost)
 	cls := bb.Capacity()
+	p.stats.InUseBytes -= int64(cls)
 	if p.disabled || len(p.classes[cls]) >= p.maxHeldPerClass {
 		bb.Free()
 		return

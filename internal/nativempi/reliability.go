@@ -63,16 +63,23 @@ type relState struct {
 	// seen records accepted sequence numbers per (source, stream):
 	// the duplicate-suppression window.
 	seen map[relPair]map[uint64]struct{}
-	// await tracks unacknowledged sends (payload bytes by key), for
-	// the stats/trace view of the ack stream.
-	await map[relKey]int
+	// await tracks unacknowledged sends for the stats/trace view of
+	// the ack stream: payload bytes and the settled attempt's send
+	// time, so the eventual ack can be traced as a full round trip.
+	await map[relKey]relAwait
+}
+
+// relAwait is the sender-side record of one in-flight acknowledgement.
+type relAwait struct {
+	bytes  int
+	sentAt vtime.Time
 }
 
 func newRelState() *relState {
 	return &relState{
 		sendSeq: map[relPair]uint64{},
 		seen:    map[relPair]map[uint64]struct{}{},
-		await:   map[relKey]int{},
+		await:   map[relKey]relAwait{},
 	}
 }
 
@@ -127,14 +134,17 @@ func (p *Proc) reliablePost(dst int, pkt *packet) {
 
 	rto := prof.RetransmitRTO
 	sendT := pkt.sentAt
+	prevSendT := pkt.sentAt
 	lastSendT := pkt.sentAt
 	acked := false
 	for k := 0; k < prof.MaxRetransmits; k++ {
 		v := fab.DataVerdict(p.rank, dst, stream, seq, k)
 		if k > 0 {
 			p.stats.Retransmits++
-			p.recordRel(trace.KindRetransmit,
-				fmt.Sprintf("%v seq=%d attempt=%d", stream, seq, k), dst, n, sendT)
+			// The span is the RTO wait that expired to trigger this
+			// attempt: retransmission time a phase breakdown can add up.
+			p.recordRelSpan(trace.KindRetransmit,
+				fmt.Sprintf("%v seq=%d attempt=%d", stream, seq, k), dst, n, prevSendT, sendT)
 		}
 		if v.Drop {
 			p.stats.FaultDrops++
@@ -173,11 +183,12 @@ func (p *Proc) reliablePost(dst int, pkt *packet) {
 			if v.CorruptPos < 0 && !fab.AckDropped(p.rank, dst, stream, seq, k) {
 				// This copy is intact and its ack will make it back:
 				// the protocol settles on attempt k.
-				p.rel.await[relKey{dst, stream, seq}] = n
+				p.rel.await[relKey{dst, stream, seq}] = relAwait{bytes: n, sentAt: sendT}
 				acked = true
 				break
 			}
 		}
+		prevSendT = sendT
 		sendT = sendT.Add(rto)
 		rto *= vtime.Duration(prof.RetransmitBackoff)
 	}
@@ -253,11 +264,14 @@ func (p *Proc) admit(pkt *packet) bool {
 // message. Re-acks of already-cleared messages are ignored.
 func (p *Proc) handleAck(pkt *packet) {
 	k := relKey{pkt.src, pkt.relStream, pkt.relSeq}
-	if n, ok := p.rel.await[k]; ok {
+	if aw, ok := p.rel.await[k]; ok {
 		delete(p.rel.await, k)
 		p.stats.AcksReceived++
-		p.recordRel(trace.KindAck,
-			fmt.Sprintf("%v seq=%d attempt=%d", pkt.relStream, pkt.relSeq, pkt.attempt), pkt.src, n, pkt.arriveAt)
+		// The span is the settled attempt's full send-to-ack round
+		// trip — the reliability layer's latency contribution.
+		p.recordRelSpan(trace.KindAck,
+			fmt.Sprintf("%v seq=%d attempt=%d", pkt.relStream, pkt.relSeq, pkt.attempt),
+			pkt.src, aw.bytes, aw.sentAt, pkt.arriveAt)
 	}
 }
 

@@ -1,13 +1,17 @@
 package nativempi
 
 import (
+	"mv2j/internal/metrics"
 	"mv2j/internal/trace"
 	"mv2j/internal/vtime"
 )
 
-// Tracing hooks. A World optionally carries a trace.Recorder; all
-// hooks are nil-safe no-ops without one, keeping the hot paths free of
-// conditionals beyond one pointer test.
+// Observability hooks. A World optionally carries a trace.Recorder
+// (event spans) and a metrics.Registry (order-independent aggregates);
+// all hooks are nil-safe no-ops without them, keeping the hot paths
+// free of conditionals beyond one pointer test. Neither sink ever
+// advances a virtual clock, so instrumented and bare runs report
+// identical times.
 
 // SetRecorder attaches a recorder to the world. Attach before Run.
 func (w *World) SetRecorder(r *trace.Recorder) { w.rec = r }
@@ -15,61 +19,100 @@ func (w *World) SetRecorder(r *trace.Recorder) { w.rec = r }
 // Recorder returns the attached recorder (nil if none).
 func (w *World) Recorder() *trace.Recorder { return w.rec }
 
+// SetMetrics attaches a metrics registry to the world. Attach before
+// Run.
+func (w *World) SetMetrics(m *metrics.Registry) { w.met = m }
+
+// Metrics returns the attached registry (nil if none).
+func (w *World) Metrics() *metrics.Registry { return w.met }
+
 // recordSend logs a completed send injection.
 func (p *Proc) recordSend(peer, bytes int, start, end vtime.Time) {
-	if p.w.rec == nil {
-		return
+	if p.w.rec != nil {
+		p.w.rec.Record(trace.Event{
+			Rank: p.rank, Kind: trace.KindSend, Peer: peer, Bytes: bytes,
+			Start: start, End: end,
+		})
 	}
-	p.w.rec.Record(trace.Event{
-		Rank: p.rank, Kind: trace.KindSend, Peer: peer, Bytes: bytes,
-		Start: start, End: end,
-	})
+	if p.w.met != nil {
+		p.w.met.Observe(p.rank, "p2p", "send_ps", int64(end.Sub(start)))
+		p.w.met.Observe(p.rank, "p2p", "send_bytes", int64(bytes))
+	}
 }
 
 // recordRecv logs a completed receive.
 func (p *Proc) recordRecv(peer, bytes int, start, end vtime.Time) {
-	if p.w.rec == nil {
-		return
+	if p.w.rec != nil {
+		p.w.rec.Record(trace.Event{
+			Rank: p.rank, Kind: trace.KindRecv, Peer: peer, Bytes: bytes,
+			Start: start, End: end,
+		})
 	}
-	p.w.rec.Record(trace.Event{
-		Rank: p.rank, Kind: trace.KindRecv, Peer: peer, Bytes: bytes,
-		Start: start, End: end,
-	})
+	if p.w.met != nil {
+		p.w.met.Observe(p.rank, "p2p", "recv_ps", int64(end.Sub(start)))
+		p.w.met.Observe(p.rank, "p2p", "recv_bytes", int64(bytes))
+	}
 }
 
-// recordRel logs a reliability-layer event (fault, retransmit, ack)
-// at a single virtual instant.
+// recordRel logs a reliability-layer event (fault, ack-drop notice) at
+// a single virtual instant.
 func (p *Proc) recordRel(kind trace.Kind, detail string, peer, bytes int, at vtime.Time) {
-	if p.w.rec == nil {
-		return
+	p.recordRelSpan(kind, detail, peer, bytes, at, at)
+}
+
+// recordRelSpan logs a reliability-layer event with a virtual extent:
+// the RTO wait behind a retransmission, or a message's send-to-ack
+// round trip.
+func (p *Proc) recordRelSpan(kind trace.Kind, detail string, peer, bytes int, start, end vtime.Time) {
+	if p.w.rec != nil {
+		p.w.rec.Record(trace.Event{
+			Rank: p.rank, Kind: kind, Detail: detail, Peer: peer, Bytes: bytes,
+			Start: start, End: end,
+		})
 	}
-	p.w.rec.Record(trace.Event{
-		Rank: p.rank, Kind: kind, Detail: detail, Peer: peer, Bytes: bytes,
-		Start: at, End: at,
-	})
+	if p.w.met != nil && end > start {
+		switch kind {
+		case trace.KindRetransmit:
+			p.w.met.Observe(p.rank, "rel", "retx_wait_ps", int64(end.Sub(start)))
+		case trace.KindAck:
+			p.w.met.Observe(p.rank, "rel", "ack_rtt_ps", int64(end.Sub(start)))
+		}
+	}
 }
 
 // collSpan opens a collective span; the returned func closes it.
 func (c *Comm) collSpan(name string, bytes int) func() {
-	if c.p.w.rec == nil {
+	if c.p.w.rec == nil && c.p.w.met == nil {
 		return func() {}
 	}
 	start := c.p.clock.Now()
 	return func() {
-		c.p.w.rec.Record(trace.Event{
-			Rank: c.p.rank, Kind: trace.KindColl, Detail: name, Peer: -1,
-			Bytes: bytes, Start: start, End: c.p.clock.Now(),
-		})
+		end := c.p.clock.Now()
+		if c.p.w.rec != nil {
+			c.p.w.rec.Record(trace.Event{
+				Rank: c.p.rank, Kind: trace.KindColl, Detail: name, Peer: -1,
+				Bytes: bytes, Start: start, End: end,
+			})
+		}
+		if c.p.w.met != nil {
+			c.p.w.met.Observe(c.p.rank, "coll", name+"_ps", int64(end.Sub(start)))
+			c.p.w.met.Observe(c.p.rank, "coll", name+"_bytes", int64(bytes))
+		}
 	}
 }
 
 // rmaSpan logs a one-sided operation injection.
 func (w *Win) rmaSpan(name string, peer, bytes int, start vtime.Time) {
-	if w.c.p.w.rec == nil {
-		return
+	p := w.c.p
+	end := p.clock.Now()
+	if p.w.rec != nil {
+		p.w.rec.Record(trace.Event{
+			Rank: p.rank, Kind: trace.KindRMA, Detail: name, Peer: peer,
+			Bytes: bytes, Start: start, End: end,
+		})
 	}
-	w.c.p.w.rec.Record(trace.Event{
-		Rank: w.c.p.rank, Kind: trace.KindRMA, Detail: name, Peer: peer,
-		Bytes: bytes, Start: start, End: w.c.p.clock.Now(),
-	})
+	if p.w.met != nil {
+		p.w.met.Observe(p.rank, "rma", name+"_ps", int64(end.Sub(start)))
+		p.w.met.Observe(p.rank, "rma", name+"_bytes", int64(bytes))
+	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"mv2j/internal/cluster"
 	"mv2j/internal/fabric"
+	"mv2j/internal/metrics"
 	"mv2j/internal/trace"
 	"mv2j/internal/vtime"
 )
@@ -20,6 +21,7 @@ type World struct {
 	procs     []*Proc
 	nextCtx   atomic.Int32
 	rec       *trace.Recorder
+	met       *metrics.Registry
 	abortOnce sync.Once
 }
 

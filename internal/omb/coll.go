@@ -161,6 +161,87 @@ func (e endpoint) collAlltoallv(s, r msgBuf, n int) error {
 	return e.m.CommWorld().Alltoallv(s.obj(), counts, displs, r.obj(), counts, displs, core.BYTE)
 }
 
+// Validation hooks shared by the rooted/vector collectives. The data
+// pattern follows §VI-F: segment payloads are byte(seed+i), with the
+// seed mixing the iteration and the contributing rank so misrouted or
+// stale segments are detected, not just corrupted bytes. The uniform
+// v-variants carry exactly the base operation's data, so they reuse
+// these hooks.
+
+// prepGather: every rank stamps its contribution with its own rank.
+func prepGather(ep endpoint, s, _ msgBuf, iter, n int) {
+	s.populateAt(iter+ep.rank(), 0, n)
+}
+
+// checkGather: the root holds p segments, segment k from rank k.
+func checkGather(ep endpoint, _, r msgBuf, iter, n int) error {
+	if ep.rank() != collRoot {
+		return nil
+	}
+	for k := 0; k < ep.size(); k++ {
+		if err := r.verifyAt(iter+k, k*n, n); err != nil {
+			return fmt.Errorf("gather segment from rank %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// prepScatter: the root stamps segment k with destination rank k.
+func prepScatter(ep endpoint, s, _ msgBuf, iter, n int) {
+	if ep.rank() != collRoot {
+		return
+	}
+	for k := 0; k < ep.size(); k++ {
+		s.populateAt(iter+k, k*n, n)
+	}
+}
+
+// checkScatter: every rank received the segment stamped for it.
+func checkScatter(ep endpoint, _, r msgBuf, iter, n int) error {
+	return r.verifyAt(iter+ep.rank(), 0, n)
+}
+
+// checkAllgather: every rank holds every contribution.
+func checkAllgather(ep endpoint, _, r msgBuf, iter, n int) error {
+	for k := 0; k < ep.size(); k++ {
+		if err := r.verifyAt(iter+k, k*n, n); err != nil {
+			return fmt.Errorf("allgather segment from rank %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// prepAlltoall: segment d of the send buffer is stamped with
+// (source, destination), so every (src, dst) pair is distinct.
+func prepAlltoall(ep endpoint, s, _ msgBuf, iter, n int) {
+	for d := 0; d < ep.size(); d++ {
+		s.populateAt(iter+ep.rank()+2*d, d*n, n)
+	}
+}
+
+// checkAlltoall: segment k arrived from rank k, stamped for us.
+func checkAlltoall(ep endpoint, _, r msgBuf, iter, n int) error {
+	for k := 0; k < ep.size(); k++ {
+		if err := r.verifyAt(iter+k+2*ep.rank(), k*n, n); err != nil {
+			return fmt.Errorf("alltoall segment from rank %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// prepReduce / checkReduce: identical contributions, so the SUM at the
+// root is the pattern scaled by the communicator size.
+func prepReduce(ep endpoint, s, _ msgBuf, iter, n int) {
+	s.populate(iter, n)
+}
+
+func checkReduce(ep endpoint, _, r msgBuf, iter, n int) error {
+	if ep.rank() != collRoot {
+		return nil
+	}
+	return r.verifySum(iter, n, ep.size())
+}
+
 // collCases maps benchmark names to shapes and bodies.
 func collCases() map[string]collCase {
 	return map[string]collCase{
@@ -179,7 +260,8 @@ func collCases() map[string]collCase {
 		"reduce": {sendTimes: 1, recvTimes: 1,
 			run: func(ep endpoint, s, r msgBuf, n int) error {
 				return ep.collReduce(s, r, n)
-			}},
+			},
+			prep: prepReduce, check: checkReduce},
 		"allreduce": {sendTimes: 1, recvTimes: 1,
 			run: func(ep endpoint, s, r msgBuf, n int) error {
 				return ep.collAllreduce(s, r, n)
@@ -196,35 +278,43 @@ func collCases() map[string]collCase {
 		"gather": {sendTimes: 1, recvTimes: -1,
 			run: func(ep endpoint, s, r msgBuf, n int) error {
 				return ep.collGather(s, r, n)
-			}},
+			},
+			prep: prepGather, check: checkGather},
 		"scatter": {sendTimes: -1, recvTimes: 1,
 			run: func(ep endpoint, s, r msgBuf, n int) error {
 				return ep.collScatter(s, r, n)
-			}},
+			},
+			prep: prepScatter, check: checkScatter},
 		"allgather": {sendTimes: 1, recvTimes: -1,
 			run: func(ep endpoint, s, r msgBuf, n int) error {
 				return ep.collAllgather(s, r, n)
-			}},
+			},
+			prep: prepGather, check: checkAllgather},
 		"alltoall": {sendTimes: -1, recvTimes: -1,
 			run: func(ep endpoint, s, r msgBuf, n int) error {
 				return ep.collAlltoall(s, r, n)
-			}},
+			},
+			prep: prepAlltoall, check: checkAlltoall},
 		"gatherv": {sendTimes: 1, recvTimes: -1,
 			run: func(ep endpoint, s, r msgBuf, n int) error {
 				return ep.collGatherv(s, r, n)
-			}},
+			},
+			prep: prepGather, check: checkGather},
 		"scatterv": {sendTimes: -1, recvTimes: 1,
 			run: func(ep endpoint, s, r msgBuf, n int) error {
 				return ep.collScatterv(s, r, n)
-			}},
+			},
+			prep: prepScatter, check: checkScatter},
 		"allgatherv": {sendTimes: 1, recvTimes: -1,
 			run: func(ep endpoint, s, r msgBuf, n int) error {
 				return ep.collAllgatherv(s, r, n)
-			}},
+			},
+			prep: prepGather, check: checkAllgather},
 		"alltoallv": {sendTimes: -1, recvTimes: -1,
 			run: func(ep endpoint, s, r msgBuf, n int) error {
 				return ep.collAlltoallv(s, r, n)
-			}},
+			},
+			prep: prepAlltoall, check: checkAlltoall},
 	}
 }
 

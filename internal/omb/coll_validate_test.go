@@ -1,0 +1,65 @@
+package omb
+
+import (
+	"testing"
+)
+
+// TestCollectiveValidation exercises Opts.Validate (§VI-F) for every
+// collective that supports it, in every payload mode, on a 2x2 job —
+// so rooted segments, all-to-all routing, and the reduction sum are
+// each verified against the stamped patterns.
+func TestCollectiveValidation(t *testing.T) {
+	names := []string{
+		"bcast", "reduce", "allreduce",
+		"gather", "scatter", "allgather", "alltoall",
+		"gatherv", "scatterv", "allgatherv", "alltoallv",
+	}
+	o := Options{MinSize: 1, MaxSize: 64, Iters: 3, Warmup: 1,
+		LargeThreshold: 64 << 10, LargeIters: 2, Validate: true}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			for _, mode := range []Mode{ModeBuffer, ModeArrays, ModeNative} {
+				rows, err := CollectiveLatency(name, mv2(2, 2, mode, o))
+				if err != nil {
+					t.Fatalf("%s %v: %v", name, mode, err)
+				}
+				if len(rows) != 7 {
+					t.Fatalf("%s %v: %d rows", name, mode, len(rows))
+				}
+			}
+		})
+	}
+}
+
+// TestVerifyAtDetectsCorruption checks the segment primitives the
+// collective hooks are built from: a stamped region verifies, a
+// flipped byte fails, and an unstamped region does not pass.
+func TestVerifyAtDetectsCorruption(t *testing.T) {
+	b := nativeBuf{make([]byte, 64)}
+	b.populateAt(5, 16, 32)
+	if err := b.verifyAt(5, 16, 32); err != nil {
+		t.Fatalf("fresh pattern did not verify: %v", err)
+	}
+	b.b[20] ^= 0xFF
+	if err := b.verifyAt(5, 16, 32); err == nil {
+		t.Fatal("corrupted segment verified")
+	}
+	if err := b.verifyAt(5, 0, 8); err == nil {
+		t.Fatal("unpopulated segment verified")
+	}
+}
+
+// TestValidateRejectsUnsupported pins the CollectiveLatency guard: a
+// benchmark without hooks must refuse -validate rather than silently
+// skip it. Barrier has no payload, so it can never grow hooks.
+func TestValidateRejectsUnsupported(t *testing.T) {
+	for name, cc := range collCases() {
+		if cc.prep == nil {
+			o := smallOpts()
+			o.Validate = true
+			if _, err := CollectiveLatency(name, mv2(1, 2, ModeBuffer, o)); err == nil {
+				t.Fatalf("%s accepted -validate without hooks", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package omb
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mv2j/internal/faults"
+	"mv2j/internal/metrics"
+	"mv2j/internal/trace"
+	"mv2j/internal/vtime"
+)
+
+var update = flag.Bool("update", false, "rewrite the observability golden files")
+
+// obsOpts is the fixed sweep every observability test runs: small
+// enough for fast goldens, large enough to exercise staging, eager and
+// multi-packet paths.
+func obsOpts() Options {
+	return Options{MinSize: 1, MaxSize: 16, Iters: 2, Warmup: 1,
+		LargeThreshold: 64 << 10, LargeIters: 2, Window: 4, Validate: true}
+}
+
+// obsRun executes one benchmark with the full observability layer
+// attached.
+func obsRun(t *testing.T, name string, cfg Config) (*trace.Recorder, *metrics.Registry) {
+	t.Helper()
+	rec := trace.New(0)
+	reg := metrics.NewRegistry()
+	cfg.Core.Trace = rec
+	cfg.Core.Metrics = reg
+	if _, err := RunBenchmark(name, cfg); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return rec, reg
+}
+
+// renderArtifacts produces the three export formats as byte strings.
+func renderArtifacts(t *testing.T, rec *trace.Recorder, reg *metrics.Registry, ppn int) (jsonl, chrome, mjson []byte) {
+	t.Helper()
+	var jl, ct, mj bytes.Buffer
+	if err := rec.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	opts := trace.ChromeOptions{NodeOf: func(rank int) int { return rank / ppn }}
+	if err := rec.WriteChromeTrace(&ct, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&mj); err != nil {
+		t.Fatal(err)
+	}
+	return jl.Bytes(), ct.Bytes(), mj.Bytes()
+}
+
+// goldenConfig is the pinned scenario: ping-pong over Java arrays (so
+// both staging copies appear) under a seeded 5% drop plan (so the
+// reliability phases appear). Everything downstream is a pure function
+// of this configuration.
+func goldenConfig() Config {
+	return withPlan(mv2(2, 1, ModeArrays, obsOpts()), faults.Uniform(0xC0FFEE, 0.05))
+}
+
+// TestGoldenArtifacts locks the three export formats down byte for
+// byte. Run with -update to re-record after an intentional format
+// change.
+func TestGoldenArtifacts(t *testing.T) {
+	rec, reg := obsRun(t, "latency", goldenConfig())
+	jl, ct, mj := renderArtifacts(t, rec, reg, 1)
+	for _, g := range []struct {
+		name string
+		got  []byte
+	}{
+		{"latency_trace.jsonl", jl},
+		{"latency_chrome.json", ct},
+		{"latency_metrics.json", mj},
+	} {
+		path := filepath.Join("testdata", g.name)
+		if *update {
+			if err := os.WriteFile(path, g.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden (run `go test ./internal/omb -run TestGoldenArtifacts -update`): %v", err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s drifted from golden: got %d bytes, want %d bytes; "+
+				"if the format change is intentional, re-record with -update",
+				g.name, len(g.got), len(want))
+		}
+	}
+}
+
+// TestArtifactsDeterministicAcrossRuns is the in-process half of the
+// determinism guarantee: two complete executions of the same seeded
+// configuration — fresh world, fresh goroutines, fresh recorder — must
+// export byte-identical artifacts. CI repeats the suite under -race,
+// where goroutine interleaving varies most.
+func TestArtifactsDeterministicAcrossRuns(t *testing.T) {
+	render := func() (j, c, m []byte) {
+		rec, reg := obsRun(t, "latency", goldenConfig())
+		return renderArtifacts(t, rec, reg, 1)
+	}
+	j1, c1, m1 := render()
+	j2, c2, m2 := render()
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSONL trace differs between identical runs")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("Chrome trace differs between identical runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics JSON differs between identical runs")
+	}
+}
+
+// checkPhases asserts the structural invariants of a phase breakdown:
+// every span is well-formed and inside the run, phase totals are
+// non-negative, and the serial phases of a blocking ping-pong cannot
+// exceed the makespan.
+func checkPhases(t *testing.T, events []trace.Event, lossy bool) {
+	t.Helper()
+	var makespan vtime.Time
+	for _, e := range events {
+		if e.Start < 0 || e.End < e.Start {
+			t.Fatalf("ill-formed span: %+v", e)
+		}
+		if e.End > makespan {
+			makespan = e.End
+		}
+	}
+	var totalRetx, totalAck vtime.Duration
+	for rank, p := range trace.PhasesByRank(events) {
+		for name, d := range map[string]vtime.Duration{
+			"copyin": p.CopyIn, "wire": p.Wire, "copyout": p.CopyOut,
+			"ack": p.Ack, "retx": p.Retransmit, "gc": p.GC, "coll": p.Coll,
+		} {
+			if d < 0 {
+				t.Fatalf("rank %d: negative %s phase %v", rank, name, d)
+			}
+		}
+		// Staging and wire time of a blocking ping-pong are serial:
+		// their sum must fit in the job's end-to-end duration.
+		if serial := p.CopyIn + p.Wire + p.CopyOut; vtime.Time(serial) > makespan {
+			t.Fatalf("rank %d: serial phases %v exceed makespan %v", rank, serial, makespan)
+		}
+		if p.CopyIn == 0 || p.Wire == 0 {
+			t.Fatalf("rank %d: arrays-mode ping-pong without copyin/wire time: %+v", rank, p)
+		}
+		totalRetx += p.Retransmit
+		totalAck += p.Ack
+	}
+	if lossy {
+		if totalRetx <= 0 {
+			t.Fatal("5% drop plan produced zero retransmission time")
+		}
+		if totalAck <= 0 {
+			t.Fatal("5% drop plan produced zero ack round-trip time")
+		}
+	} else {
+		if totalRetx != 0 || totalAck != 0 {
+			t.Fatalf("lossless run charged reliability phases: retx=%v ack=%v", totalRetx, totalAck)
+		}
+	}
+}
+
+// TestPhaseConservation reconciles the protocol-phase breakdown with
+// the end-to-end virtual durations, with and without injected faults.
+func TestPhaseConservation(t *testing.T) {
+	recClean, regClean := obsRun(t, "latency", mv2(2, 1, ModeArrays, obsOpts()))
+	checkPhases(t, recClean.Events(), false)
+
+	recLossy, _ := obsRun(t, "latency", goldenConfig())
+	checkPhases(t, recLossy.Events(), true)
+
+	// Metrics-side conservation: every staging buffer borrowed from the
+	// pool was returned, and the high-water mark saw at least one
+	// borrow.
+	for rank := 0; rank < 2; rank++ {
+		gets := regClean.Counter(rank, "pool", "gets")
+		frees := regClean.Counter(rank, "pool", "frees")
+		if gets == 0 || gets != frees {
+			t.Fatalf("rank %d: pool gets=%d frees=%d", rank, gets, frees)
+		}
+		if inUse := regClean.Gauge(rank, "pool", "in_use_bytes"); inUse != 0 {
+			t.Fatalf("rank %d: %d staging bytes still out after the run", rank, inUse)
+		}
+		if hw := regClean.Gauge(rank, "pool", "high_water_bytes"); hw <= 0 {
+			t.Fatalf("rank %d: high-water mark %d after %d gets", rank, hw, gets)
+		}
+		// The histogram side must agree with the event side: as many
+		// send observations as send spans.
+		h := regClean.HistogramSnapshot(rank, "p2p", "send_ps")
+		var sends int64
+		for _, e := range recClean.Events() {
+			if e.Rank == rank && e.Kind == trace.KindSend {
+				sends++
+			}
+		}
+		if h.Count != sends {
+			t.Fatalf("rank %d: %d send observations, %d send spans", rank, h.Count, sends)
+		}
+	}
+}

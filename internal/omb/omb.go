@@ -171,21 +171,30 @@ type msgBuf interface {
 	// verifySum checks the pattern summed from `factor` identical
 	// contributions (byte arithmetic wraps) — reduction validation.
 	verifySum(iter, n, factor int) error
+	// populateAt writes the pattern byte(seed+i) into the n elements
+	// starting at off — a segment of a rooted/vector collective buffer.
+	populateAt(seed, off, n int)
+	// verifyAt checks the pattern byte(seed+i) over [off, off+n).
+	verifyAt(seed, off, n int) error
 }
 
 type arrayBuf struct{ arr jvm.Array }
 
-func (b arrayBuf) obj() any    { return b.arr }
-func (b arrayBuf) raw() []byte { return nil }
-func (b arrayBuf) populate(iter, n int) {
+func (b arrayBuf) obj() any             { return b.arr }
+func (b arrayBuf) raw() []byte          { return nil }
+func (b arrayBuf) populate(iter, n int) { b.populateAt(iter, 0, n) }
+func (b arrayBuf) verify(iter, n int) error {
+	return b.verifyAt(iter, 0, n)
+}
+func (b arrayBuf) populateAt(seed, off, n int) {
 	for i := 0; i < n; i++ {
-		b.arr.SetInt(i, int64(byte(iter+i)))
+		b.arr.SetInt(off+i, int64(byte(seed+i)))
 	}
 }
-func (b arrayBuf) verify(iter, n int) error {
+func (b arrayBuf) verifyAt(seed, off, n int) error {
 	for i := 0; i < n; i++ {
-		if got := byte(b.arr.Int(i)); got != byte(iter+i) {
-			return fmt.Errorf("omb: validation failed at %d: %#x != %#x", i, got, byte(iter+i))
+		if got := byte(b.arr.Int(off + i)); got != byte(seed+i) {
+			return fmt.Errorf("omb: validation failed at %d: %#x != %#x", off+i, got, byte(seed+i))
 		}
 	}
 	return nil
@@ -201,17 +210,21 @@ func (b arrayBuf) verifySum(iter, n, factor int) error {
 
 type directBuf struct{ bb *jvm.ByteBuffer }
 
-func (b directBuf) obj() any    { return b.bb }
-func (b directBuf) raw() []byte { return nil }
-func (b directBuf) populate(iter, n int) {
+func (b directBuf) obj() any             { return b.bb }
+func (b directBuf) raw() []byte          { return nil }
+func (b directBuf) populate(iter, n int) { b.populateAt(iter, 0, n) }
+func (b directBuf) verify(iter, n int) error {
+	return b.verifyAt(iter, 0, n)
+}
+func (b directBuf) populateAt(seed, off, n int) {
 	for i := 0; i < n; i++ {
-		b.bb.PutByteAt(i, byte(iter+i))
+		b.bb.PutByteAt(off+i, byte(seed+i))
 	}
 }
-func (b directBuf) verify(iter, n int) error {
+func (b directBuf) verifyAt(seed, off, n int) error {
 	for i := 0; i < n; i++ {
-		if got := b.bb.ByteAt(i); got != byte(iter+i) {
-			return fmt.Errorf("omb: validation failed at %d: %#x != %#x", i, got, byte(iter+i))
+		if got := b.bb.ByteAt(off + i); got != byte(seed+i) {
+			return fmt.Errorf("omb: validation failed at %d: %#x != %#x", off+i, got, byte(seed+i))
 		}
 	}
 	return nil
@@ -227,17 +240,21 @@ func (b directBuf) verifySum(iter, n, factor int) error {
 
 type nativeBuf struct{ b []byte }
 
-func (b nativeBuf) obj() any    { return nil }
-func (b nativeBuf) raw() []byte { return b.b }
-func (b nativeBuf) populate(iter, n int) {
+func (b nativeBuf) obj() any             { return nil }
+func (b nativeBuf) raw() []byte          { return b.b }
+func (b nativeBuf) populate(iter, n int) { b.populateAt(iter, 0, n) }
+func (b nativeBuf) verify(iter, n int) error {
+	return b.verifyAt(iter, 0, n)
+}
+func (b nativeBuf) populateAt(seed, off, n int) {
 	for i := 0; i < n; i++ {
-		b.b[i] = byte(iter + i)
+		b.b[off+i] = byte(seed + i)
 	}
 }
-func (b nativeBuf) verify(iter, n int) error {
+func (b nativeBuf) verifyAt(seed, off, n int) error {
 	for i := 0; i < n; i++ {
-		if b.b[i] != byte(iter+i) {
-			return fmt.Errorf("omb: validation failed at %d", i)
+		if b.b[off+i] != byte(seed+i) {
+			return fmt.Errorf("omb: validation failed at %d", off+i)
 		}
 	}
 	return nil

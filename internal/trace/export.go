@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mv2j/internal/vtime"
+)
+
+// Structured exporters. Both formats are pure functions of the
+// recorder's (deterministically ordered) event list, so a seeded run
+// exports byte-identical artifacts every time — the property the
+// golden-file suites pin down.
+//
+//   - JSONL: one self-describing JSON object per line; machine-diffable
+//     and round-trippable through ParseJSONL.
+//   - Chrome trace_event JSON: loadable in chrome://tracing or Perfetto,
+//     with one process row per simulated node and one thread row per
+//     rank.
+
+// jsonlLine is the one-line wire form of the JSONL stream. Type "ev"
+// lines carry an event; the single trailing "end" line carries the
+// completeness marker (total recorded events and the count dropped past
+// the recorder's bound).
+type jsonlLine struct {
+	T       string `json:"t"`
+	Rank    int    `json:"rank,omitempty"`
+	Kind    string `json:"kind,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	Peer    int    `json:"peer,omitempty"`
+	Bytes   int    `json:"bytes,omitempty"`
+	Start   int64  `json:"start,omitempty"` // virtual picoseconds
+	End     int64  `json:"end,omitempty"`
+	Events  int    `json:"events,omitempty"`
+	Dropped int64  `json:"dropped,omitempty"`
+}
+
+// WriteJSONL writes every event as one JSON line, terminated by an
+// "end" marker line that carries the event count and the number of
+// events dropped past the recorder's bound — a truncated trace is
+// thereby self-declaring, never silently incomplete.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	events := r.Events()
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		line := jsonlLine{
+			T: "ev", Rank: ev.Rank, Kind: string(ev.Kind), Detail: ev.Detail,
+			Peer: ev.Peer, Bytes: ev.Bytes, Start: int64(ev.Start), End: int64(ev.End),
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	end := jsonlLine{T: "end", Events: len(events), Dropped: r.Dropped()}
+	if err := enc.Encode(end); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL is the inverse of WriteJSONL: it decodes the event stream
+// and returns the events plus the dropped-event count declared by the
+// trailing marker. A stream without an "end" marker is an error — it
+// was truncated in transit.
+func ParseJSONL(rd io.Reader) (events []Event, dropped int64, err error) {
+	dec := json.NewDecoder(rd)
+	sawEnd := false
+	for {
+		var line jsonlLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, 0, fmt.Errorf("trace: bad JSONL line %d: %w", len(events)+1, err)
+		}
+		if sawEnd {
+			return nil, 0, fmt.Errorf("trace: data after the end marker")
+		}
+		switch line.T {
+		case "ev":
+			events = append(events, Event{
+				Rank: line.Rank, Kind: Kind(line.Kind), Detail: line.Detail,
+				Peer: line.Peer, Bytes: line.Bytes,
+				Start: vtime.Time(line.Start), End: vtime.Time(line.End),
+			})
+		case "end":
+			sawEnd = true
+			dropped = line.Dropped
+			if line.Events != len(events) {
+				return nil, 0, fmt.Errorf("trace: end marker declares %d events, stream has %d",
+					line.Events, len(events))
+			}
+		default:
+			return nil, 0, fmt.Errorf("trace: unknown line type %q", line.T)
+		}
+	}
+	if !sawEnd {
+		return nil, 0, fmt.Errorf("trace: stream has no end marker (truncated)")
+	}
+	return events, dropped, nil
+}
+
+// ChromeOptions configures the Chrome trace_event export.
+type ChromeOptions struct {
+	// NodeOf maps a rank to its simulated node, which becomes the
+	// Chrome pid (one process row per node). Nil puts every rank on
+	// node 0.
+	NodeOf func(rank int) int
+}
+
+// chromeEvent is one trace_event entry. Complete spans use ph "X" with
+// a duration; zero-duration events export as thread-scoped instants
+// (ph "i") so they remain visible in the viewer.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	Scope string         `json:"s,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   *float64       `json:"dur,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace writes the recorder in Chrome trace_event JSON:
+// open chrome://tracing (or https://ui.perfetto.dev) and load the file.
+// Each simulated node is one pid, each rank one tid within it.
+func (r *Recorder) WriteChromeTrace(w io.Writer, opts ChromeOptions) error {
+	nodeOf := opts.NodeOf
+	if nodeOf == nil {
+		nodeOf = func(int) int { return 0 }
+	}
+	events := r.Events()
+
+	// Name the process and thread rows, in deterministic rank order.
+	seenNode := map[int]bool{}
+	seenRank := map[int]bool{}
+	var out []chromeEvent
+	for _, ev := range events {
+		node := nodeOf(ev.Rank)
+		if !seenNode[node] {
+			seenNode[node] = true
+			out = append(out, chromeEvent{
+				Name: "process_name", Phase: "M", PID: node,
+				Args: map[string]any{"name": fmt.Sprintf("node %d", node)},
+			})
+		}
+		if !seenRank[ev.Rank] {
+			seenRank[ev.Rank] = true
+			out = append(out, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: node, TID: ev.Rank,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", ev.Rank)},
+			})
+		}
+	}
+	for _, ev := range events {
+		name := string(ev.Kind)
+		if ev.Detail != "" {
+			name += " " + ev.Detail
+		}
+		args := map[string]any{"bytes": ev.Bytes}
+		if ev.Peer >= 0 {
+			args["peer"] = ev.Peer
+		}
+		ce := chromeEvent{
+			Name: name, Cat: string(ev.Kind),
+			PID: nodeOf(ev.Rank), TID: ev.Rank,
+			TS: vtime.Duration(ev.Start).Micros(), Args: args,
+		}
+		if ev.End > ev.Start {
+			dur := ev.End.Sub(ev.Start).Micros()
+			ce.Phase, ce.Dur = "X", &dur
+		} else {
+			ce.Phase, ce.Scope = "i", "t"
+		}
+		out = append(out, ce)
+	}
+	doc := chromeTrace{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"events":  len(events),
+			"dropped": r.Dropped(),
+		},
+	}
+	if len(out) == 0 {
+		doc.TraceEvents = []chromeEvent{}
+	}
+	b, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

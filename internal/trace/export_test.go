@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mv2j/internal/vtime"
+)
+
+func sampleRecorder() *Recorder {
+	r := New(0)
+	r.Record(Event{Rank: 0, Kind: KindCopyIn, Bytes: 64, Start: 0, End: 100})
+	r.Record(Event{Rank: 0, Kind: KindSend, Peer: 1, Bytes: 64, Start: 100, End: 350})
+	r.Record(Event{Rank: 1, Kind: KindRecv, Peer: 0, Bytes: 64, Start: 80, End: 500})
+	r.Record(Event{Rank: 1, Kind: KindCopyOut, Bytes: 64, Start: 500, End: 620})
+	r.Record(Event{Rank: 1, Kind: KindFault, Detail: "drop match seq=1 attempt=0", Peer: 0, Start: 90, End: 90})
+	r.Record(Event{Rank: 0, Kind: KindColl, Detail: "bcast", Peer: -1, Bytes: 4, Start: 400, End: 900})
+	return r
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := sampleRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, dropped, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	want := r.Events()
+	if len(events) != len(want) {
+		t.Fatalf("round trip lost events: %d != %d", len(events), len(want))
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d changed: %+v != %+v", i, events[i], want[i])
+		}
+	}
+}
+
+func TestJSONLTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleRecorder().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the end marker off: the parser must refuse.
+	s := buf.String()
+	lines := strings.Split(strings.TrimSuffix(s, "\n"), "\n")
+	truncated := strings.Join(lines[:len(lines)-1], "\n")
+	if _, _, err := ParseJSONL(strings.NewReader(truncated)); err == nil {
+		t.Fatal("truncated stream parsed without error")
+	}
+}
+
+// TestDroppedEventsSurfaced is the silent-event-loss regression test:
+// a recorder past its bound must count the overflow, and both
+// exporters must declare it.
+func TestDroppedEventsSurfaced(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Rank: 0, Kind: KindSend, Start: vtime.Time(i), End: vtime.Time(i + 1)})
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", r.Len())
+	}
+
+	var jl bytes.Buffer
+	if err := r.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	events, dropped, err := ParseJSONL(&jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || dropped != 3 {
+		t.Fatalf("JSONL marker: events=%d dropped=%d, want 2/3", len(events), dropped)
+	}
+
+	var ct bytes.Buffer
+	if err := r.WriteChromeTrace(&ct, ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(ct.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := doc.OtherData["dropped"].(float64); !ok || got != 3 {
+		t.Fatalf("Chrome trace dropped marker = %v, want 3", doc.OtherData["dropped"])
+	}
+
+	var rep bytes.Buffer
+	if err := r.WriteReport(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "3 dropped") {
+		t.Fatalf("report does not surface the drop count:\n%s", rep.String())
+	}
+
+	// A nil recorder reports no drops.
+	var nilRec *Recorder
+	if nilRec.Dropped() != 0 {
+		t.Fatal("nil recorder reported drops")
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	r := sampleRecorder()
+	var buf bytes.Buffer
+	nodeOf := func(rank int) int { return rank } // 1 ppn: rank == node
+	if err := r.WriteChromeTrace(&buf, ChromeOptions{NodeOf: nodeOf}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			TS    float64        `json:"ts"`
+			Dur   *float64       `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	var meta, spans, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			if ev.Dur == nil || *ev.Dur <= 0 {
+				t.Fatalf("span %q without positive dur", ev.Name)
+			}
+		case "i":
+			instants++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Phase)
+		}
+		if ev.PID != ev.TID && ev.Phase != "M" {
+			t.Fatalf("with 1 ppn pid must equal tid: %+v", ev)
+		}
+	}
+	// 2 process_name + 2 thread_name metadata rows, 5 spans, 1 instant
+	// (the zero-duration fault).
+	if meta != 4 || spans != 5 || instants != 1 {
+		t.Fatalf("meta=%d spans=%d instants=%d", meta, spans, instants)
+	}
+}
+
+func TestExportsAreDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		r := sampleRecorder()
+		var jl, ct bytes.Buffer
+		if err := r.WriteJSONL(&jl); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteChromeTrace(&ct, ChromeOptions{NodeOf: func(r int) int { return r / 2 }}); err != nil {
+			t.Fatal(err)
+		}
+		return jl.String(), ct.String()
+	}
+	j1, c1 := render()
+	j2, c2 := render()
+	if j1 != j2 {
+		t.Fatal("JSONL export not deterministic")
+	}
+	if c1 != c2 {
+		t.Fatal("Chrome export not deterministic")
+	}
+}
+
+func TestRollupAndPhases(t *testing.T) {
+	r := sampleRecorder()
+	roll := Rollup(r.Events())
+	if s := roll[RollupKey{0, KindSend}]; s.Count != 1 || s.Bytes != 64 || s.Time != 250 {
+		t.Fatalf("rank-0 send rollup: %+v", s)
+	}
+	if s := roll[RollupKey{1, KindRecv}]; s.Count != 1 || s.Time != 420 {
+		t.Fatalf("rank-1 recv rollup: %+v", s)
+	}
+	ph := PhasesByRank(r.Events())
+	p0, p1 := ph[0], ph[1]
+	if p0.CopyIn != 100 || p0.Wire != 250 || p0.Coll != 500 {
+		t.Fatalf("rank-0 phases: %+v", p0)
+	}
+	if p1.Wire != 420 || p1.CopyOut != 120 || p1.Ack != 0 || p1.Retransmit != 0 {
+		t.Fatalf("rank-1 phases: %+v", p1)
+	}
+	// Coll is the envelope, excluded from the additive sum.
+	if p0.Sum() != 100+250 {
+		t.Fatalf("rank-0 phase sum = %v", p0.Sum())
+	}
+	var rep bytes.Buffer
+	if err := r.WriteReport(&rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"copyin", "wire", "coll", "rank"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, rep.String())
+		}
+	}
+}
+
+func TestParseJSONLRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"t":"wat"}`,
+		`{"t":"end","events":3}`, // declares more events than present
+		`not json at all`,
+		`{"t":"end","events":0}` + "\n" + `{"t":"ev"}`, // data after end
+	}
+	for _, c := range cases {
+		if _, _, err := ParseJSONL(strings.NewReader(c)); err == nil {
+			t.Fatalf("ParseJSONL(%q) accepted garbage", c)
+		}
+	}
+}

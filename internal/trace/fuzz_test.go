@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mv2j/internal/vtime"
+)
+
+// FuzzJSONLRoundTrip drives the JSONL trace codec from both ends:
+// events synthesized from arbitrary fuzz input must encode and decode
+// back to themselves exactly, and the raw input bytes fed straight to
+// the parser must never panic (they may, of course, fail to parse).
+func FuzzJSONLRoundTrip(f *testing.F) {
+	f.Add([]byte{}, int64(0), int64(1))
+	f.Add([]byte(`{"t":"ev","rank":1,"kind":"send"}`), int64(5), int64(9))
+	f.Add([]byte(`{"t":"end","events":0}`), int64(-3), int64(3))
+	f.Add([]byte("\xff\x00 detail with \"quotes\" and \\ slashes\nnewline"), int64(1<<40), int64(1<<41))
+
+	f.Fuzz(func(t *testing.T, raw []byte, a, b int64) {
+		// Direction 1: arbitrary bytes into the parser. Errors are
+		// fine; panics and false round-trips are not.
+		if evs, dropped, err := ParseJSONL(bytes.NewReader(raw)); err == nil {
+			// Whatever parsed must re-encode parseable with identical
+			// content.
+			r := New(len(evs) + 1)
+			for _, ev := range evs {
+				r.Record(ev)
+			}
+			_ = dropped
+			var out bytes.Buffer
+			if err := r.WriteJSONL(&out); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			back, _, err := ParseJSONL(&out)
+			if err != nil {
+				t.Fatalf("re-encoded stream unparseable: %v", err)
+			}
+			sorted := r.Events()
+			if len(back) != len(sorted) {
+				t.Fatalf("re-encode changed event count: %d != %d", len(back), len(sorted))
+			}
+			for i := range sorted {
+				if back[i] != sorted[i] {
+					t.Fatalf("event %d mutated: %+v != %+v", i, back[i], sorted[i])
+				}
+			}
+		}
+
+		// Direction 2: a synthesized event with hostile strings and
+		// extreme timestamps must round-trip exactly.
+		r := New(4)
+		ev := Event{
+			Rank:   int(a % 1024),
+			Kind:   Kind(strings.ToValidUTF8(string(raw), "�")),
+			Detail: strings.ToValidUTF8(string(raw), "�"),
+			Peer:   int(b % 1024),
+			Bytes:  int(a%(1<<30)) - (1 << 29),
+			Start:  vtime.Time(a),
+			End:    vtime.Time(b),
+		}
+		r.Record(ev)
+		var buf bytes.Buffer
+		if err := r.WriteJSONL(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, dropped, err := ParseJSONL(&buf)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if dropped != 0 || len(back) != 1 || back[0] != ev {
+			t.Fatalf("round trip mutated event: %+v -> %+v (dropped %d)", ev, back, dropped)
+		}
+	})
+}

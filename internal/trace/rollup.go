@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mv2j/internal/vtime"
+)
+
+// Rollups and the protocol-phase breakdown: the aggregate views behind
+// the -report flag and the phase-accounting conservation tests.
+
+// RollupKey identifies one (rank, kind) aggregation cell.
+type RollupKey struct {
+	Rank int
+	Kind Kind
+}
+
+// Rollup aggregates the events per (rank, kind).
+func Rollup(events []Event) map[RollupKey]Stat {
+	out := map[RollupKey]Stat{}
+	for _, ev := range events {
+		k := RollupKey{ev.Rank, ev.Kind}
+		s := out[k]
+		s.Count++
+		s.Bytes += int64(ev.Bytes)
+		s.Time += ev.Duration()
+		out[k] = s
+	}
+	return out
+}
+
+// Phases is the protocol-phase decomposition of one rank's virtual
+// time: where a transfer's end-to-end latency actually went. CopyIn
+// and CopyOut are the bindings-layer staging costs (the JNI copy cost
+// the paper's figures isolate), Wire is native transport time (send
+// injection, receive delivery, one-sided operations), Ack and
+// Retransmit are the reliability sublayer's contributions (zero on a
+// lossless fabric), and GC is collector pauses. Coll is the envelope
+// time of collective calls; it is reported separately because the
+// sends and receives a collective issues are already accounted under
+// Wire, so adding Coll into a sum would double-count.
+type Phases struct {
+	CopyIn     vtime.Duration
+	Wire       vtime.Duration
+	CopyOut    vtime.Duration
+	Ack        vtime.Duration
+	Retransmit vtime.Duration
+	GC         vtime.Duration
+	Coll       vtime.Duration
+}
+
+// Sum returns the additive phase total: every phase except the Coll
+// envelope.
+func (p Phases) Sum() vtime.Duration {
+	return p.CopyIn + p.Wire + p.CopyOut + p.Ack + p.Retransmit + p.GC
+}
+
+// phaseOf classifies an event kind into its phase accumulator, or
+// returns nil for kinds outside the breakdown (faults are instants,
+// compute is application time).
+func phaseOf(p *Phases, k Kind) *vtime.Duration {
+	switch k {
+	case KindCopyIn:
+		return &p.CopyIn
+	case KindSend, KindRecv, KindRMA:
+		return &p.Wire
+	case KindCopyOut:
+		return &p.CopyOut
+	case KindAck:
+		return &p.Ack
+	case KindRetransmit:
+		return &p.Retransmit
+	case KindGC:
+		return &p.GC
+	case KindColl:
+		return &p.Coll
+	default:
+		return nil
+	}
+}
+
+// PhasesByRank decomposes the events into per-rank phase totals.
+func PhasesByRank(events []Event) map[int]Phases {
+	out := map[int]Phases{}
+	for _, ev := range events {
+		p := out[ev.Rank]
+		if d := phaseOf(&p, ev.Kind); d != nil {
+			*d += ev.Duration()
+		}
+		out[ev.Rank] = p
+	}
+	return out
+}
+
+// WriteReport writes the human-readable observability report: the
+// per-kind rollup per rank, the protocol-phase breakdown, and the
+// completeness marker. All tables are emitted in sorted order.
+func (r *Recorder) WriteReport(w io.Writer) error {
+	events := r.Events()
+	roll := Rollup(events)
+	keys := make([]RollupKey, 0, len(roll))
+	for k := range roll {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Rank != keys[j].Rank {
+			return keys[i].Rank < keys[j].Rank
+		}
+		return keys[i].Kind < keys[j].Kind
+	})
+	if _, err := fmt.Fprintf(w, "events: %d recorded, %d dropped\n", len(events), r.Dropped()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\n%-6s %-8s %8s %12s %14s\n", "rank", "kind", "count", "bytes", "time"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		s := roll[k]
+		if _, err := fmt.Fprintf(w, "%-6d %-8s %8d %12d %14s\n",
+			k.Rank, k.Kind, s.Count, s.Bytes, s.Time); err != nil {
+			return err
+		}
+	}
+	phases := PhasesByRank(events)
+	ranks := make([]int, 0, len(phases))
+	for rank := range phases {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	if _, err := fmt.Fprintf(w, "\n%-6s %12s %12s %12s %12s %12s %12s %12s\n",
+		"rank", "copyin", "wire", "copyout", "ack", "retx", "gc", "coll"); err != nil {
+		return err
+	}
+	for _, rank := range ranks {
+		p := phases[rank]
+		if _, err := fmt.Fprintf(w, "%-6d %12s %12s %12s %12s %12s %12s %12s\n",
+			rank, p.CopyIn, p.Wire, p.CopyOut, p.Ack, p.Retransmit, p.GC, p.Coll); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -32,6 +32,12 @@ const (
 	KindRetransmit Kind = "retx"
 	// KindAck marks acknowledgement traffic of the reliability layer.
 	KindAck Kind = "ack"
+	// KindCopyIn marks the sender-side staging of a user buffer into
+	// its native view (JNI boundary + buffering-layer copies).
+	KindCopyIn Kind = "copyin"
+	// KindCopyOut marks the receiver-side landing of native data back
+	// into the user buffer.
+	KindCopyOut Kind = "copyout"
 )
 
 // Event is one recorded operation.
@@ -51,9 +57,10 @@ func (e Event) Duration() vtime.Duration { return e.End.Sub(e.Start) }
 // Recorder accumulates events from all ranks. It is safe for
 // concurrent use (rank goroutines record in parallel).
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	limit  int
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped int64
 }
 
 // New returns a recorder bounded to limit events (0 = 1<<20). When the
@@ -75,7 +82,23 @@ func (r *Recorder) Record(ev Event) {
 	defer r.mu.Unlock()
 	if len(r.events) < r.limit {
 		r.events = append(r.events, ev)
+		return
 	}
+	// Past the bound events are discarded, but never silently: the
+	// exporters surface this count so a truncated trace cannot pass
+	// itself off as complete.
+	r.dropped++
+}
+
+// Dropped reports how many events were discarded because the recorder
+// was full.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Events returns a copy, sorted by start time then rank.
