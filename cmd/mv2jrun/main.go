@@ -31,18 +31,20 @@ func say(format string, args ...any) {
 
 // apps maps names to SPMD bodies.
 var apps = map[string]func(mpi *core.MPI) error{
-	"hello": hello,
-	"ring":  ring,
-	"stats": stats,
+	"hello":     hello,
+	"ring":      ring,
+	"stats":     stats,
+	"resilient": resilient,
 }
 
 func main() {
-	app := flag.String("app", "hello", "demo program: hello | ring | stats")
+	app := flag.String("app", "hello", "demo program: hello | ring | stats | resilient")
 	nodes := flag.Int("nodes", 2, "simulated nodes")
 	ppn := flag.Int("ppn", 2, "ranks per node")
 	lib := flag.String("lib", "mvapich2", "native library: mvapich2 | openmpi")
 	doTrace := flag.Bool("trace", false, "print the virtual-time event timeline after the run")
-	faultS := flag.String("faults", "", `fault-injection plan, e.g. "seed=42,drop=0.01" (see internal/faults)`)
+	faultS := flag.String("faults", "", `fault-injection plan, e.g. "seed=42,drop=0.01" or "crash=2@60us" (see internal/faults)`)
+	ft := flag.Bool("ft", false, "enable ULFM-style fault tolerance: rank crashes surface as recoverable errors (Revoke/Shrink/AgreeShrink) instead of aborting; try -app resilient -ft -faults crash=2@60us")
 	var sink obs.Sink
 	sink.AddFlags()
 	flag.Parse()
@@ -66,7 +68,7 @@ func main() {
 	if prof.Name == "openmpi" {
 		flavor = core.OpenMPIJ
 	}
-	cfg := core.Config{Nodes: *nodes, PPN: *ppn, Lib: prof, Flavor: flavor}
+	cfg := core.Config{Nodes: *nodes, PPN: *ppn, Lib: prof, Flavor: flavor, FT: *ft}
 	if *faultS != "" {
 		plan, err := faults.ParseSpec(*faultS)
 		if err != nil {
@@ -136,6 +138,62 @@ func ring(mpi *core.MPI) error {
 	}
 	token.SetInt(0, token.Int(0)+1)
 	return world.Send(token, 1, core.LONG, (me+1)%p, 0)
+}
+
+// resilient iterates an allreduce and survives injected rank crashes
+// with the ULFM recipe: revoke the broken communicator, shrink it via
+// one agreement, agree on the rollback iteration with a MIN reduction,
+// and continue on the survivors. Run it with
+//
+//	mv2jrun -app resilient -ft -faults crash=2@60us -nodes 1 -ppn 4
+//
+// Without -ft the same crash aborts the whole job, as plain MPI would.
+func resilient(mpi *core.MPI) error {
+	world := mpi.CommWorld()
+	comm := world
+	me := world.Rank()
+	send := mpi.JVM().MustArray(jvm.Long, 1)
+	recv := mpi.JVM().MustArray(jvm.Long, 1)
+	const iters = 8
+	for iter := 0; iter < iters; {
+		send.SetInt(0, int64(me+1))
+		err := comm.Allreduce(send, recv, 1, core.LONG, core.SUM)
+		if err == nil {
+			if comm.Rank() == 0 {
+				say("iter %d: %d ranks, sum=%d (t=%v)", iter, comm.Size(), recv.Int(0), mpi.Clock().Now())
+			}
+			iter++
+			continue
+		}
+		if !core.IsFailure(err) {
+			return err
+		}
+		for {
+			if err := comm.Revoke(); err != nil {
+				return err
+			}
+			_, nc, failed, aerr := comm.AgreeShrink(^uint64(0))
+			if aerr != nil {
+				if core.IsFailure(aerr) {
+					continue
+				}
+				return aerr
+			}
+			send.SetInt(0, int64(iter))
+			if merr := nc.Allreduce(send, recv, 1, core.LONG, core.MIN); merr != nil {
+				if core.IsFailure(merr) {
+					comm = nc
+					continue
+				}
+				return merr
+			}
+			say("rank %d: recovered — lost %v, %d survivors, rolling back to iteration %d",
+				me, failed, nc.Size(), recv.Int(0))
+			comm, iter = nc, int(recv.Int(0))
+			break
+		}
+	}
+	return nil
 }
 
 // stats runs a few collectives and prints per-rank runtime counters.

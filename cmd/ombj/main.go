@@ -37,6 +37,7 @@ func main() {
 		warmup   = flag.Int("x", 5, "warmup iterations per size")
 		window   = flag.Int("w", 64, "bandwidth window size")
 		validate = flag.Bool("validate", false, "populate and verify payloads inside the timed region")
+		ft       = flag.Bool("ft", false, "run collectives under the fault-tolerant driver: injected rank crashes shrink the communicator and the sweep resumes from the last agreed iteration instead of aborting (pair with -faults \"crash=R@T\")")
 		faultS   = flag.String("faults", "", `fault-injection plan, e.g. "seed=42,drop=0.01" or "inter.drop=0.05,target=drop:2>5:match:3" (see internal/faults)`)
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 	)
@@ -101,6 +102,7 @@ func main() {
 			Iters: *iters, Warmup: *warmup,
 			LargeThreshold: 64 << 10, LargeIters: max(2, *iters/5),
 			Window: *window, Validate: *validate,
+			FT: *ft,
 		},
 	}
 
@@ -116,6 +118,9 @@ func main() {
 	}
 	if plan != nil {
 		fmt.Printf("# fault injection: %s\n", *faultS)
+	}
+	if *ft {
+		fmt.Println("# fault tolerance: shrink-and-continue")
 	}
 	isBW := *bench == "bw" || *bench == "bibw"
 	if isBW {

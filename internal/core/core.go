@@ -109,6 +109,11 @@ type Config struct {
 	// runtime then engages its reliability sublayer (checksums, acks,
 	// retransmission). Nil = lossless fabric.
 	Faults *faults.Plan
+	// FT enables the ULFM-style failure policy: a rank crash (or an
+	// exhausted retransmit budget) surfaces as an ErrProcFailed-class
+	// error with Revoke/Shrink/AgreeFT recovery available, instead of
+	// aborting the job.
+	FT bool
 	// UnpooledBuffers disables the mpjbuf pool (ablation: a fresh
 	// direct buffer is allocated and destroyed per array message).
 	UnpooledBuffers bool
@@ -173,6 +178,9 @@ func Run(cfg Config, main func(mpi *MPI) error) error {
 		fab.WithFaults(cfg.Faults)
 	}
 	world := nativempi.NewWorld(topo, fab, cfg.Lib)
+	if cfg.FT {
+		world.EnableFT()
+	}
 	world.SetRecorder(cfg.Trace)
 	world.SetMetrics(cfg.Metrics)
 	// Each rank parks its MPI object here (indexed by rank, so writes

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+
+	"mv2j/internal/nativempi"
+)
+
+// ULFM-style fault tolerance surface of the bindings layer. Enabled by
+// Config.FT; each call is one JNI downcall into the native recovery
+// machinery (see internal/nativempi/ft.go for the failure model).
+
+// Failure-class errors, re-exported so applications can classify
+// without importing the native layer.
+var (
+	// ErrProcFailed reports an operation that involved a failed
+	// process (MPI_ERR_PROC_FAILED).
+	ErrProcFailed = nativempi.ErrProcFailed
+	// ErrRevoked reports an operation on a revoked communicator
+	// (MPI_ERR_REVOKED).
+	ErrRevoked = nativempi.ErrRevoked
+)
+
+// IsFailure reports whether err is either failure-class error — the
+// condition under which a fault-tolerant application should recover
+// (revoke, shrink, roll back) rather than propagate.
+func IsFailure(err error) bool {
+	return errors.Is(err, ErrProcFailed) || errors.Is(err, ErrRevoked)
+}
+
+// Revoke poisons the communicator on every member (MPIX_Comm_revoke):
+// all pending and future operations on it fail with ErrRevoked,
+// flushing survivors out of half-finished collectives.
+func (c *Comm) Revoke() error {
+	c.mpi.enterNative()
+	return c.native.Revoke()
+}
+
+// Shrink agrees on the failed membership and returns the survivors'
+// communicator (MPIX_Comm_shrink). Collective over the live members.
+func (c *Comm) Shrink() (*Comm, error) {
+	c.mpi.enterNative()
+	n, err := c.native.Shrink()
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{mpi: c.mpi, native: n}, nil
+}
+
+// AgreeFT performs fault-tolerant agreement on a flag word
+// (MPIX_Comm_agree): every live member receives the bitwise AND of
+// the contributions, despite failures mid-protocol.
+func (c *Comm) AgreeFT(flag uint64) (uint64, error) {
+	c.mpi.enterNative()
+	return c.native.AgreeFT(flag)
+}
+
+// AgreeShrink couples agreement with communicator repair: one
+// collective round returns the agreed flag, the communicator to
+// continue on (the receiver itself when nobody failed, the survivors'
+// rebuild otherwise), and the failed member ranks. A member that
+// finished its work and a member that hit a failure can call this
+// concurrently and land on the same decision, which makes it the
+// natural epoch boundary for checkpointed loops.
+func (c *Comm) AgreeShrink(flag uint64) (uint64, *Comm, []int, error) {
+	c.mpi.enterNative()
+	out, nn, failed, err := c.native.AgreeShrink(flag)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if nn == c.native {
+		return out, c, failed, nil
+	}
+	return out, &Comm{mpi: c.mpi, native: nn}, failed, nil
+}
+
+// FailedMembers returns the communicator ranks this rank knows to be
+// dead, ascending.
+func (c *Comm) FailedMembers() []int { return c.native.FailedMembers() }
+
+// Revoked reports whether this communicator has been revoked, as seen
+// by the calling rank.
+func (c *Comm) Revoked() bool { return c.native.Revoked() }

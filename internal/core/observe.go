@@ -127,6 +127,9 @@ func scrapeMetrics(reg *metrics.Registry, mpis []*MPI) {
 			{"acks_sent", ps.AcksSent},
 			{"acks_received", ps.AcksReceived},
 			{"peer_failures", ps.PeerFailures},
+			{"peer_suspects", ps.PeerSuspects},
+			{"peer_confirms", ps.PeerConfirms},
+			{"revokes_seen", ps.RevokesSeen},
 		} {
 			reg.Add(rank, "proc", c.label, c.v)
 		}

@@ -180,3 +180,9 @@ func (f *Fabric) DataVerdict(src, dst int, stream faults.Stream, seq uint64, att
 func (f *Fabric) AckDropped(src, dst int, stream faults.Stream, seq uint64, attempt int) bool {
 	return f.faults.AckDropped(f.IsIntra(src, dst), src, dst, stream, seq, attempt)
 }
+
+// CrashOf returns the crash scheduled for a rank by the attached fault
+// plan, if any.
+func (f *Fabric) CrashOf(rank int) (faults.Crash, bool) {
+	return f.faults.CrashOf(rank)
+}

@@ -181,9 +181,32 @@ func (t Target) String() string {
 	return s
 }
 
+// Crash schedules the death of one rank — the process-failure fault
+// kind behind the ULFM-style recovery layer. Exactly one trigger must
+// be set: At kills the rank at the first MPI operation it enters at or
+// after that virtual time, AfterOps kills it on entry to its
+// AfterOps-th (1-based) operation. Like every other verdict the
+// schedule is pure data, so a crash is identical across runs.
+type Crash struct {
+	// Rank is the world rank that dies.
+	Rank int
+	// At is the virtual-time trigger (0 = unset).
+	At vtime.Time
+	// AfterOps is the operation-count trigger (0 = unset).
+	AfterOps uint64
+}
+
+func (c Crash) String() string {
+	if c.AfterOps > 0 {
+		return fmt.Sprintf("crash:%d:op%d", c.Rank, c.AfterOps)
+	}
+	return fmt.Sprintf("crash:%d@%v", c.Rank, vtime.Duration(c.At))
+}
+
 // Plan is a complete fault schedule: seeded probabilistic rates per
-// channel class plus targeted one-shot faults. A nil *Plan means a
-// lossless fabric everywhere a plan is accepted.
+// channel class plus targeted one-shot faults and scheduled rank
+// crashes. A nil *Plan means a lossless fabric everywhere a plan is
+// accepted.
 type Plan struct {
 	// Seed drives every probabilistic verdict.
 	Seed uint64
@@ -192,6 +215,21 @@ type Plan struct {
 	Intra, Inter Rates
 	// Targets are one-shot faults, applied on first transmission.
 	Targets []Target
+	// Crashes are scheduled rank deaths (at most one per rank).
+	Crashes []Crash
+}
+
+// CrashOf returns the crash scheduled for a rank, if any.
+func (p *Plan) CrashOf(rank int) (Crash, bool) {
+	if p == nil {
+		return Crash{}, false
+	}
+	for _, c := range p.Crashes {
+		if c.Rank == rank {
+			return c, true
+		}
+	}
+	return Crash{}, false
 }
 
 // Uniform returns a plan applying the same drop probability to both
@@ -219,6 +257,19 @@ func (p *Plan) Validate() error {
 		if t.Nth == 0 {
 			return fmt.Errorf("faults: target %v: Nth is 1-based", t)
 		}
+	}
+	seen := map[int]bool{}
+	for _, c := range p.Crashes {
+		if c.Rank < 0 {
+			return fmt.Errorf("faults: crash %v has negative rank", c)
+		}
+		if (c.At > 0) == (c.AfterOps > 0) {
+			return fmt.Errorf("faults: crash %v needs exactly one of a time or an op-count trigger", c)
+		}
+		if seen[c.Rank] {
+			return fmt.Errorf("faults: rank %d has more than one scheduled crash", c.Rank)
+		}
+		seen[c.Rank] = true
 	}
 	return nil
 }
@@ -353,5 +404,5 @@ func (p *Plan) AckDropped(intra bool, src, dst int, stream Stream, seq uint64, a
 // all-zero one (useful for overhead measurements), so this is
 // informational.
 func (p *Plan) Active() bool {
-	return p != nil && (!p.Intra.Zero() || !p.Inter.Zero() || len(p.Targets) > 0)
+	return p != nil && (!p.Intra.Zero() || !p.Inter.Zero() || len(p.Targets) > 0 || len(p.Crashes) > 0)
 }

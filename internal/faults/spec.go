@@ -23,8 +23,16 @@ import (
 //	                       (eager|cts|data|rma|rmareply) message from
 //	                       world rank S to world rank D; DUR sets the
 //	                       delay for K=delay
+//	crash=R@TIME           rank R dies at the first MPI operation it
+//	                       enters at or after the virtual time TIME
+//	crash=R:opN            rank R dies on entry to its N-th (1-based)
+//	                       MPI operation
+//	                       Either form takes a +-separated rank list
+//	                       ("crash=1+3@40us") to fell a whole partition
+//	                       at one instant.
 //
 // Example: "seed=42,drop=0.01,delay=0.002,delaymax=20us,target=drop:2>5:eager:3"
+// Example: "seed=7,drop=0.05,crash=2@40us"
 func ParseSpec(spec string) (*Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -65,6 +73,13 @@ func (p *Plan) applyKey(key, val string) error {
 			return err
 		}
 		p.Targets = append(p.Targets, t)
+		return nil
+	case "crash":
+		cs, err := parseCrash(val)
+		if err != nil {
+			return err
+		}
+		p.Crashes = append(p.Crashes, cs...)
 		return nil
 	}
 	// Rate keys, optionally class-qualified.
@@ -154,6 +169,48 @@ func parseTarget(val string) (Target, error) {
 		t.Delay = d
 	}
 	return t, nil
+}
+
+// parseCrash parses "ranks@time" or "ranks:opN", where ranks is a
+// +-separated world-rank list.
+func parseCrash(val string) ([]Crash, error) {
+	var proto Crash
+	var rankList string
+	if rs, ts, ok := strings.Cut(val, "@"); ok {
+		d, err := parseDur(ts)
+		if err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("faults: crash time %q must be positive", ts)
+		}
+		rankList = rs
+		proto.At = vtime.Time(0).Add(d)
+	} else if rs, os, ok := strings.Cut(val, ":"); ok {
+		ns, found := strings.CutPrefix(os, "op")
+		if !found {
+			return nil, fmt.Errorf("faults: bad crash trigger %q, want opN", os)
+		}
+		n, err := strconv.ParseUint(ns, 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("faults: bad crash op ordinal %q (1-based)", ns)
+		}
+		rankList = rs
+		proto.AfterOps = n
+	} else {
+		return nil, fmt.Errorf("faults: bad crash %q, want rank@time or rank:opN", val)
+	}
+	var out []Crash
+	for _, rs := range strings.Split(rankList, "+") {
+		r, err := strconv.Atoi(rs)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("faults: bad crash rank %q", rs)
+		}
+		c := proto
+		c.Rank = r
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // parseDur parses a virtual duration with an ns/us/ms/s suffix.

@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+
+	"mv2j/internal/vtime"
+)
+
+func TestParseSpecCrashForms(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want []Crash
+	}{
+		{"crash=2@40us", []Crash{{Rank: 2, At: vtime.Time(0).Add(vtime.Micros(40))}}},
+		{"crash=1:op6", []Crash{{Rank: 1, AfterOps: 6}}},
+		{"crash=1+3@40us", []Crash{
+			{Rank: 1, At: vtime.Time(0).Add(vtime.Micros(40))},
+			{Rank: 3, At: vtime.Time(0).Add(vtime.Micros(40))},
+		}},
+		{"crash=0+2:op1", []Crash{{Rank: 0, AfterOps: 1}, {Rank: 2, AfterOps: 1}}},
+		{"seed=9,drop=0.05,crash=3:op1,crash=0:op14", []Crash{
+			{Rank: 3, AfterOps: 1},
+			{Rank: 0, AfterOps: 14},
+		}},
+	} {
+		p, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(p.Crashes, tc.want) {
+			t.Errorf("ParseSpec(%q).Crashes = %+v, want %+v", tc.spec, p.Crashes, tc.want)
+		}
+	}
+}
+
+func TestParseSpecCrashErrors(t *testing.T) {
+	for _, spec := range []string{
+		"crash=1",           // no trigger
+		"crash=1@0us",       // time must be positive
+		"crash=1@40",        // missing unit
+		"crash=1:6",         // op ordinal needs the op prefix
+		"crash=1:op0",       // 1-based
+		"crash=1:opx",       // not a number
+		"crash=-1:op1",      // negative rank
+		"crash=x:op1",       // non-numeric rank
+		"crash=1+:op1",      // empty rank in list
+		"crash=1:op1,crash=1@40us", // duplicate rank across stanzas
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+func TestCrashValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Plan
+	}{
+		{"no trigger", Plan{Crashes: []Crash{{Rank: 1}}}},
+		{"both triggers", Plan{Crashes: []Crash{{Rank: 1, At: 40, AfterOps: 2}}}},
+		{"negative rank", Plan{Crashes: []Crash{{Rank: -1, AfterOps: 2}}}},
+		{"duplicate rank", Plan{Crashes: []Crash{{Rank: 1, AfterOps: 2}, {Rank: 1, At: 40}}}},
+	} {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: plan validated without error", tc.name)
+		}
+	}
+	ok := Plan{Crashes: []Crash{{Rank: 0, AfterOps: 1}, {Rank: 3, At: 40}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid crash plan rejected: %v", err)
+	}
+}
+
+func TestCrashOf(t *testing.T) {
+	p := &Plan{Crashes: []Crash{{Rank: 2, AfterOps: 6}}}
+	if c, ok := p.CrashOf(2); !ok || c.AfterOps != 6 {
+		t.Fatalf("CrashOf(2) = %+v, %v", c, ok)
+	}
+	if _, ok := p.CrashOf(1); ok {
+		t.Fatal("CrashOf(1) found a crash that is not scheduled")
+	}
+	var nilPlan *Plan
+	if _, ok := nilPlan.CrashOf(0); ok {
+		t.Fatal("nil plan reported a crash")
+	}
+}
+
+// FuzzParseSpec hammers the spec grammar — including the crash and
+// partition (multi-rank crash) stanzas — checking the invariants the
+// simulator relies on: a parse that succeeds yields a plan that
+// validates, and its crash schedule re-parses to the same schedule via
+// the Crash.String round-trip syntax.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"seed=42,drop=0.01,dup=0.005,corrupt=0.002,delay=0.1,delaymax=20us",
+		"seed=7,drop=0.05,crash=2@40us",
+		"crash=1:op6",
+		"crash=1+3@40us",
+		"crash=0+2:op1,inter.drop=0.02",
+		"crash=3:op1,crash=0:op14",
+		"target=drop:2>5:eager:3,target=delay:0>1:data:2:50us",
+		"intra.corrupt=0.001,crash=5@1ms",
+		"crash=",
+		"crash=1@",
+		"crash=9999999999999999999:op1",
+		"crash=1@-40us",
+		"crash=1+1@40us",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if !utf8.ValidString(spec) {
+			t.Skip()
+		}
+		p, err := ParseSpec(spec)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if p == nil {
+			t.Fatalf("ParseSpec(%q) = nil plan, nil error", spec)
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted a plan that fails Validate: %v", spec, verr)
+		}
+		// Crash stanzas round-trip: rebuilding the spec form from the
+		// parsed schedule must parse back to the same schedule.
+		for _, c := range p.Crashes {
+			var form string
+			if c.AfterOps > 0 {
+				form = fmt.Sprintf("crash=%d:op%d", c.Rank, c.AfterOps)
+			} else {
+				form = fmt.Sprintf("crash=%d@%dns", c.Rank, int64(c.At.Sub(vtime.Time(0))/vtime.Nanosecond))
+			}
+			rt, rerr := ParseSpec(form)
+			if rerr != nil {
+				t.Fatalf("crash %+v from %q does not re-parse as %q: %v", c, spec, form, rerr)
+			}
+			if len(rt.Crashes) != 1 || rt.Crashes[0] != c {
+				t.Fatalf("crash %+v round-trips to %+v", c, rt.Crashes)
+			}
+		}
+	})
+}

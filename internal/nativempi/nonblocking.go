@@ -123,9 +123,11 @@ func (r *CollRequest) Test() (bool, error) {
 			return false, nil
 		}
 		// Round communication finished: absorb completion times, run
-		// locals, move on.
+		// locals, move on. Absorption consumes the round's requests —
+		// they are never handed to the caller.
 		for _, req := range r.pending {
 			r.c.p.clock.AdvanceTo(req.completeAt)
+			req.consume()
 			if req.err != nil && r.err == nil {
 				r.err = req.err
 			}

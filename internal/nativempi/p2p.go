@@ -16,6 +16,7 @@ type Comm struct {
 	ptCtx   int32
 	collCtx int32
 	collSeq int // rolling tag for collective operations
+	ftSeq   int // rolling agreement counter for recovery operations (ft.go)
 }
 
 // Rank returns the calling process's rank within the communicator.
@@ -109,6 +110,8 @@ type sendOpts struct {
 
 // isendOn injects a message toward world rank wdst.
 func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
+	p.checkCrash()
+	p.inflight++
 	sendStart := p.clock.Now()
 	ch := p.channel(wdst)
 	soft := p.sendSoft(wdst)
@@ -123,13 +126,18 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 	if n <= p.eagerLimit(wdst) {
 		// Eager: the CPU copies the payload into a wire buffer; the
 		// send completes locally as soon as the copy is injected.
+		// Deliberately NO dead-peer or revocation check here: like an
+		// MPI buffered send, an eager send to a dead rank completes
+		// locally and the payload evaporates. Failing it would make
+		// control flow depend on when this rank's knowledge arrived —
+		// a host-scheduling race the buffered semantics avoid.
 		p.stats.EagerSends++
 		start := vtime.Max(p.clock.Now(), p.nicFree)
 		p.nicFree = start.Add(ch.SerializeTime(n))
 		p.clock.AdvanceTo(p.nicFree)
 		data := make([]byte, n)
 		copy(data, buf)
-		p.post(wdst, &packet{
+		err := p.post(wdst, &packet{
 			kind:     pktEager,
 			src:      p.rank,
 			dst:      wdst,
@@ -146,23 +154,31 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 			done:       true,
 			completeAt: p.clock.Now(),
 			status:     Status{Source: wdst, Tag: tag, Bytes: n},
+			err:        err,
 		}
 	}
 
 	// Rendezvous: advertise with an RTS; the payload moves (and the
-	// request completes) when the CTS comes back.
+	// request completes) when the CTS comes back. A rendezvous toward a
+	// confirmed-dead peer or on a revoked context fails at entry: no
+	// CTS is coming, and the failure time the pending request would
+	// reach via the notice is the same deterministic instant.
 	p.stats.RndvSends++
+	if req, failed := p.entryCheckSend(wdst, tag, o.ctx); failed {
+		return req
+	}
 	p.nextReq++
 	req := &Request{
-		p:       p,
-		id:      p.nextReq,
-		sendBuf: buf,
-		dst:     wdst,
-		tag:     tag,
-		ctx:     o.ctx,
+		p:        p,
+		id:       p.nextReq,
+		sendBuf:  buf,
+		dst:      wdst,
+		tag:      tag,
+		ctx:      o.ctx,
+		postedAt: p.clock.Now(),
 	}
 	p.sendPending[req.id] = req
-	p.post(wdst, &packet{
+	if err := p.post(wdst, &packet{
 		kind:     pktRTS,
 		src:      p.rank,
 		dst:      wdst,
@@ -172,13 +188,18 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 		reqID:    req.id,
 		sentAt:   p.clock.Now(),
 		arriveAt: p.clock.Now().Add(ch.Latency),
-	})
+	}); err != nil {
+		delete(p.sendPending, req.id)
+		p.failReq(req, p.clock.Now(), err)
+	}
 	return req
 }
 
 // irecvOn posts a receive for (wsrc, tag) on a context. wsrc may be
 // AnySource.
 func (p *Proc) irecvOn(buf []byte, wsrc, tag int, o sendOpts) *Request {
+	p.checkCrash()
+	p.inflight++
 	req := &Request{
 		p:        p,
 		buf:      buf,
@@ -191,6 +212,9 @@ func (p *Proc) irecvOn(buf []byte, wsrc, tag int, o sendOpts) *Request {
 		req.extraRecvCost = p.w.prof.CollMsgOverhead
 	}
 	// Drain arrived traffic, then look for an already-queued match.
+	// The mailbox's FIFO guarantee means a dead peer's pre-death sends
+	// are always dispatched before its failure notice, so the
+	// already-arrived match (if any) wins over the failure check below.
 	p.poll()
 	for i, pkt := range p.unexpected {
 		if matches(req, pkt) {
@@ -198,6 +222,9 @@ func (p *Proc) irecvOn(buf []byte, wsrc, tag int, o sendOpts) *Request {
 			p.deliver(req, pkt)
 			return req
 		}
+	}
+	if p.entryCheckRecv(req) {
+		return req
 	}
 	p.posted = append(p.posted, req)
 	return req
@@ -323,11 +350,24 @@ func (r *Request) Wait() (Status, error) {
 		p.progressOnce()
 	}
 	p.clock.AdvanceTo(r.completeAt)
-	r.waited = true
+	r.consume()
 	return r.commStatus(), r.err
 }
 
-// Test polls for completion without blocking.
+// consume marks the request as handed back to the program, balancing
+// the inflight count taken at issue time. The count is pure program
+// order — issue and consumption both happen on the rank's own call
+// path — which is what lets checkCrash use it as a quiescence gate
+// without depending on host-scheduling-sensitive engine state.
+func (r *Request) consume() {
+	if !r.waited {
+		r.waited = true
+		r.p.inflight--
+	}
+}
+
+// Test polls for completion without blocking. A successful Test
+// consumes the request, exactly as MPI_Test frees it on completion.
 func (r *Request) Test() (Status, bool, error) {
 	if r == nil {
 		return Status{}, false, ErrRequest
@@ -337,6 +377,7 @@ func (r *Request) Test() (Status, bool, error) {
 		return Status{}, false, nil
 	}
 	r.p.clock.AdvanceTo(r.completeAt)
+	r.consume()
 	return r.commStatus(), true, r.err
 }
 

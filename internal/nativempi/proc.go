@@ -17,8 +17,10 @@ const (
 	pktData
 	pktRMA      // one-sided operation toward a window
 	pktRMAReply // data reply to an RMA Get
-	pktAbort    // job abort: wakes and kills blocked ranks
-	pktAck      // reliability-layer acknowledgement (fault plans only)
+	pktAbort      // job abort: wakes and kills blocked ranks
+	pktAck        // reliability-layer acknowledgement (fault plans only)
+	pktFailNotice // failure-detector verdict: src is the dead rank (FT worlds)
+	pktRevoke     // ULFM revoke poison: ctx/tag carry the comm's two contexts
 )
 
 // packet is one unit on the simulated wire. arriveAt is the virtual
@@ -62,7 +64,14 @@ type ProcStats struct {
 	DupDrops      int64 // duplicate frames this rank suppressed
 	AcksSent      int64
 	AcksReceived  int64
-	PeerFailures  int64 // retransmit budgets exhausted (job aborted)
+	PeerFailures  int64 // retransmit budgets exhausted (abort, or ErrProcFailed under FT)
+
+	// Failure-detector counters (non-zero only in fault-tolerant
+	// worlds). Each peer death drives this rank through one
+	// suspect→confirm transition, charged to the virtual clock.
+	PeerSuspects int64 // peers this rank's detector moved to suspected
+	PeerConfirms int64 // suspected peers confirmed dead
+	RevokesSeen  int64 // distinct communicator revocations applied
 }
 
 // Proc is one MPI rank: its clock, mailbox, matching queues, and
@@ -92,6 +101,15 @@ type Proc struct {
 	// rel is the reliability-sublayer state, non-nil exactly when the
 	// fabric carries a fault plan (see reliability.go).
 	rel *relState
+
+	// Fault-tolerance state (see ft.go), live only in FT worlds.
+	crash       *faults.Crash        // this rank's scheduled death, if any
+	crashed     bool                 // the schedule has fired
+	crashHold   int                  // >0 suppresses checkCrash (atomic protocol commits)
+	opCount     uint64               // MPI operations entered (crash trigger odometer)
+	inflight    int                  // requests issued but not yet consumed by Wait/Test
+	failedPeers map[int]vtime.Time   // world rank → virtual time its death was confirmed here
+	revokedAt   map[int32]vtime.Time // revoked context id → poison time
 }
 
 func newProc(w *World, rank int) *Proc {
@@ -105,6 +123,10 @@ func newProc(w *World, rank int) *Proc {
 	}
 	if w.fab.Faults() != nil {
 		p.rel = newRelState()
+	}
+	if c, ok := w.fab.CrashOf(rank); ok {
+		crash := c
+		p.crash = &crash
 	}
 	p.world = &Comm{
 		p:       p,
@@ -172,13 +194,16 @@ func (p *Proc) eagerLimit(dst int) int {
 
 // post delivers a packet toward world rank dst: straight into the
 // mailbox on a lossless fabric, through the reliability sublayer's
-// ack/retransmit protocol under a fault plan.
-func (p *Proc) post(dst int, pkt *packet) {
+// ack/retransmit protocol under a fault plan. The error is non-nil
+// only in fault-tolerant worlds, when the retransmit budget toward dst
+// is exhausted (ErrProcFailed); without FT that condition aborts the
+// job instead.
+func (p *Proc) post(dst int, pkt *packet) error {
 	if p.rel == nil {
 		p.postRaw(dst, pkt)
-		return
+		return nil
 	}
-	p.reliablePost(dst, pkt)
+	return p.reliablePost(dst, pkt)
 }
 
 // postRaw bypasses the reliability layer (acks, aborts, and the
@@ -205,9 +230,10 @@ func matches(req *Request, pkt *packet) bool {
 func (p *Proc) dispatch(pkt *packet) {
 	if p.rel != nil {
 		switch pkt.kind {
-		case pktAbort:
-			// Aborts bypass reliability: they must get through even
-			// when the fabric is on fire.
+		case pktAbort, pktFailNotice, pktRevoke:
+			// Control traffic bypasses reliability: aborts, detector
+			// verdicts, and revocations must get through even when the
+			// fabric is on fire.
 		case pktAck:
 			p.handleAck(pkt)
 			return
@@ -247,6 +273,10 @@ func (p *Proc) dispatch(pkt *packet) {
 			panic(fmt.Sprintf("nativempi: rank %d got RMA traffic for unknown window %d", p.rank, pkt.ctx))
 		}
 		st.incoming = append(st.incoming, pkt)
+	case pktFailNotice:
+		p.handleFailNotice(pkt)
+	case pktRevoke:
+		p.handleRevoke(pkt)
 	case pktAbort:
 		// Propagates as a panic so even deeply nested blocking calls
 		// unwind; World.Run recovers it into this rank's error.
@@ -312,7 +342,12 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 			sentAt:   readyAt,
 			arriveAt: readyAt.Add(ch.Latency),
 		}
-		p.post(pkt.src, cts)
+		if err := p.post(pkt.src, cts); err != nil {
+			// The rendezvous partner is unreachable: the receive fails
+			// in place instead of waiting for data that will never come.
+			delete(p.recvPending, pkt.reqID)
+			p.failReq(req, readyAt, err)
+		}
 	default:
 		panic("nativempi: deliver on control packet")
 	}
@@ -348,8 +383,9 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 		sentAt:   start,
 		arriveAt: start.Add(ch.TransferTime(len(data))),
 	}
-	p.post(req.dst, pkt)
+	err := p.post(req.dst, pkt)
 	req.completeAt = injected
+	req.err = err
 	req.done = true
 	p.recordSend(req.dst, len(data), start, req.completeAt)
 }

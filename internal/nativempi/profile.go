@@ -131,6 +131,15 @@ type Profile struct {
 	RetransmitBackoff int
 	MaxRetransmits    int
 
+	// Failure-detector tuning (fault-tolerant worlds only). Every rank
+	// conceptually heartbeats every HeartbeatPeriod; a silent peer is
+	// suspected after SuspectBeats missed beats and confirmed dead one
+	// beat later. Like ack timing, the detector is charged to virtual
+	// clocks: survivors learn of a death (and their pending operations
+	// toward it fail) at confirm time, never instantaneously.
+	HeartbeatPeriod vtime.Duration
+	SuspectBeats    int
+
 	// Algorithm selectors, by payload bytes and communicator size.
 	// Nil selectors fall back to reasonable defaults (see normalize).
 	SelectBcast     func(nbytes, p int) BcastAlg
@@ -162,6 +171,12 @@ func (pr Profile) normalize() Profile {
 	}
 	if pr.MaxRetransmits < 1 {
 		pr.MaxRetransmits = 12
+	}
+	if pr.HeartbeatPeriod <= 0 {
+		pr.HeartbeatPeriod = 20 * vtime.Microsecond
+	}
+	if pr.SuspectBeats < 1 {
+		pr.SuspectBeats = 3
 	}
 	if pr.SelectBcast == nil {
 		pr.SelectBcast = func(nbytes, p int) BcastAlg {

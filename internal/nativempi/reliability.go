@@ -31,8 +31,11 @@ import (
 // sides of the protocol honest.
 //
 // A message still unacknowledged after Profile.MaxRetransmits attempts
-// means the peer is unreachable: the sender escalates to the MPI_Abort
-// path (waking every blocked rank) instead of deadlocking.
+// means the peer is unreachable. Without fault tolerance the sender
+// escalates to the MPI_Abort path (waking every blocked rank) instead
+// of deadlocking; in an FT world the same condition surfaces as an
+// ErrProcFailed-class error on the operation, one recovery policy
+// among several (see ft.go).
 
 // ErrPeerUnreachable is the failure-detection error: a peer did not
 // acknowledge a transfer within the retransmission budget.
@@ -121,8 +124,9 @@ func (p *Proc) relSeqFor(dst int, pkt *packet, stream faults.Stream) uint64 {
 
 // reliablePost runs the sender half of the ack/retransmit protocol for
 // one packet whose first transmission leaves at pkt.sentAt and would
-// arrive at pkt.arriveAt on a clean wire.
-func (p *Proc) reliablePost(dst int, pkt *packet) {
+// arrive at pkt.arriveAt on a clean wire. It returns an error only in
+// fault-tolerant worlds, when the retransmit budget is exhausted.
+func (p *Proc) reliablePost(dst int, pkt *packet) error {
 	stream := streamOf(pkt.kind)
 	seq := p.relSeqFor(dst, pkt, stream)
 	ch := p.channel(dst)
@@ -197,6 +201,18 @@ func (p *Proc) reliablePost(dst int, pkt *packet) {
 			p.rank, dst, stream, seq, prof.MaxRetransmits)
 		p.stats.PeerFailures++
 		p.recordRel(trace.KindFault, "peer-failure: "+reason, dst, n, sendT)
+		if p.w.ft {
+			// ULFM policy: declare the peer failed locally and let the
+			// operation report MPI_ERR_PROC_FAILED instead of
+			// escalating to MPI_Abort.
+			if p.failedPeers == nil {
+				p.failedPeers = map[int]vtime.Time{}
+			}
+			if _, known := p.failedPeers[dst]; !known {
+				p.failedPeers[dst] = sendT
+			}
+			return fmt.Errorf("%w: rank %d unreachable after %d attempts", ErrProcFailed, dst, prof.MaxRetransmits)
+		}
 		p.w.Abort(p.rank, reason)
 		panic(abortError{origin: p.rank, reason: reason})
 	}
@@ -205,6 +221,7 @@ func (p *Proc) reliablePost(dst int, pkt *packet) {
 	if n > 0 && lastSendT > pkt.sentAt {
 		p.nicFree = vtime.Max(p.nicFree, lastSendT.Add(ch.SerializeTime(n)))
 	}
+	return nil
 }
 
 // admit runs the receiver half: checksum verification, duplicate

@@ -23,6 +23,15 @@ type World struct {
 	rec       *trace.Recorder
 	met       *metrics.Registry
 	abortOnce sync.Once
+
+	// Fault-tolerance state (see ft.go). ft selects the ULFM-style
+	// policy: a rank crash becomes a survivable event instead of a job
+	// abort. deathAt is the global failure registry (virtual death
+	// times), guarded by failMu while rank goroutines run.
+	ft          bool
+	failMu      sync.Mutex
+	deathAt     map[int]vtime.Time
+	deadLetters int64
 }
 
 // Context ids 0 and 1 are MPI_COMM_WORLD's point-to-point and
@@ -115,6 +124,12 @@ func (w *World) Run(fn func(p *Proc) error) error {
 						errs[p.rank] = ae
 						return
 					}
+					if _, ok := r.(rankCrash); ok {
+						// A scheduled death under fault tolerance is
+						// scenario, not job failure: the rank simply
+						// stops contributing and survivors recover.
+						return
+					}
 					errs[p.rank] = fmt.Errorf("rank %d panicked: %v", p.rank, r)
 					w.Abort(p.rank, fmt.Sprintf("peer panic: %v", r))
 				}
@@ -165,13 +180,25 @@ func joinErrors(errs []error) error {
 // never attempted, the ranks are done. Draining one rank can push
 // fresh acks into another's mailbox, hence the fixpoint loop; rank
 // order keeps it deterministic.
+// In fault-tolerant worlds the drain has a second job: a dead rank's
+// mailbox keeps accumulating traffic after its death (peers that had
+// not yet learned, acks, detector notices), and every payload-class
+// packet must still pass the reliability layer's admission exactly as
+// it would have in life — generating the ack the sender's protocol
+// settled on. The NIC acks posthumously: without this, whether a
+// sender's counters see an ack would depend on when the victim died
+// relative to host scheduling. Packets admitted at a dead rank are
+// counted as dead letters; nothing is delivered. Detector notices and
+// revocations are processed here too, so knowledge counters reach the
+// same fixpoint whether a rank saw them in life or not.
 func (w *World) drainPending() {
-	if w.fab.Faults() == nil {
+	if w.fab.Faults() == nil && !w.ft {
 		return
 	}
 	for {
 		again := false
 		for _, p := range w.procs {
+			_, dead := w.deathAt[p.rank]
 			for {
 				pkt, ok := p.mb.tryPop()
 				if !ok {
@@ -183,8 +210,18 @@ func (w *World) drainPending() {
 					p.handleAck(pkt)
 				case pktAbort:
 					// The job is already past the point of aborting.
+				case pktFailNotice:
+					p.handleFailNotice(pkt)
+				case pktRevoke:
+					p.handleRevoke(pkt)
 				default:
-					p.admit(pkt)
+					if dead {
+						w.deadLetters++
+						w.met.Add(p.rank, "ft", "dead_letters", 1)
+					}
+					if p.rel != nil {
+						p.admit(pkt)
+					}
 				}
 			}
 		}

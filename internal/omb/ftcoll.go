@@ -1,0 +1,250 @@
+package omb
+
+import (
+	"fmt"
+
+	"mv2j/internal/core"
+	"mv2j/internal/jvm"
+	"mv2j/internal/trace"
+	"mv2j/internal/vtime"
+)
+
+// Fault-tolerant collective driver: the OMB collective sweep rebuilt as
+// a checkpoint/rollback loop on top of the ULFM-style recovery surface
+// (Revoke / AgreeShrink). Each per-size sweep is an epoch: run the
+// iteration segment, then close it with one agreement that doubles as
+// the exit barrier. A rank that hits a failure-class error revokes the
+// communicator, joins the same agreement, and every survivor rolls
+// back to the slowest survivor's iteration boundary on the shrunken
+// communicator. Results are validated against the membership that
+// produced them, and each recovery is reported as a trace span plus an
+// "ft" metrics family entry — so a sweep that survives a crash shows
+// exactly where the recovery latency went.
+
+// ftCase is a collective body parametrized by the (possibly shrunken)
+// communicator instead of the endpoint's hardwired COMM_WORLD. Roots
+// and validation factors follow the current communicator, so results
+// stay exact across shrinks.
+type ftCase struct {
+	run   func(c *core.Comm, s, r msgBuf, n int) error
+	prep  func(c *core.Comm, s, r msgBuf, iter, n int)
+	check func(c *core.Comm, s, r msgBuf, iter, n int) error
+}
+
+// ftCases lists the collectives the FT driver supports: the paper's
+// headline latency collectives, all with size-independent buffer
+// shapes (sendTimes/recvTimes == 1).
+func ftCases() map[string]ftCase {
+	return map[string]ftCase{
+		"bcast": {
+			run: func(c *core.Comm, s, _ msgBuf, n int) error {
+				return c.Bcast(s.obj(), n, core.BYTE, collRoot)
+			},
+			prep: func(c *core.Comm, s, _ msgBuf, iter, n int) {
+				if c.Rank() == collRoot {
+					s.populate(iter, n)
+				}
+			},
+			check: func(c *core.Comm, s, _ msgBuf, iter, n int) error {
+				return s.verify(iter, n)
+			},
+		},
+		"reduce": {
+			run: func(c *core.Comm, s, r msgBuf, n int) error {
+				var recv any
+				if c.Rank() == collRoot {
+					recv = r.obj()
+				}
+				return c.Reduce(s.obj(), recv, n, core.BYTE, core.SUM, collRoot)
+			},
+			prep: func(_ *core.Comm, s, _ msgBuf, iter, n int) {
+				s.populate(iter, n)
+			},
+			check: func(c *core.Comm, _, r msgBuf, iter, n int) error {
+				if c.Rank() != collRoot {
+					return nil
+				}
+				return r.verifySum(iter, n, c.Size())
+			},
+		},
+		"allreduce": {
+			run: func(c *core.Comm, s, r msgBuf, n int) error {
+				return c.Allreduce(s.obj(), r.obj(), n, core.BYTE, core.SUM)
+			},
+			prep: func(_ *core.Comm, s, _ msgBuf, iter, n int) {
+				s.populate(iter, n)
+			},
+			check: func(c *core.Comm, _, r msgBuf, iter, n int) error {
+				return r.verifySum(iter, n, c.Size())
+			},
+		},
+	}
+}
+
+// ftSync closes an epoch: one shrink-coupled agreement over the
+// current communicator, merging ranks that finished the segment with
+// ranks that are recovering from a failure. When nobody failed it
+// reports clean and the epoch commits. Otherwise the survivors agree
+// on the slowest member's step (the rollback target) with an untimed
+// MIN-allreduce on the shrunken communicator and resume from there.
+// Further failures mid-sync re-enter the loop until a decision lands
+// on an all-live communicator.
+func ftSync(c *core.Comm, j int, sl, rl jvm.Array) (nc *core.Comm, resume int, clean bool, err error) {
+	for {
+		_, next, failed, aerr := c.AgreeShrink(^uint64(0))
+		if aerr != nil {
+			if core.IsFailure(aerr) {
+				c.Revoke()
+				continue
+			}
+			return nil, 0, false, aerr
+		}
+		if len(failed) == 0 {
+			return next, j, true, nil
+		}
+		sl.SetInt(0, int64(j))
+		if merr := next.Allreduce(sl, rl, 1, core.LONG, core.MIN); merr != nil {
+			if core.IsFailure(merr) {
+				next.Revoke()
+				c = next
+				continue
+			}
+			return nil, 0, false, merr
+		}
+		return next, int(rl.Int(0)), false, nil
+	}
+}
+
+// ftAvgUs combines the per-rank latency averages with an untimed
+// reduction over the current communicator; the result is valid at comm
+// rank 0 only.
+func ftAvgUs(c *core.Comm, v float64, ss, sr jvm.Array) (float64, error) {
+	ss.SetFloat(0, v)
+	var recv any
+	if c.Rank() == collRoot {
+		recv = sr
+	}
+	if err := c.Reduce(ss, recv, 1, core.DOUBLE, core.SUM, collRoot); err != nil {
+		return 0, err
+	}
+	if c.Rank() != collRoot {
+		return 0, nil
+	}
+	return sr.Float(0) / float64(c.Size()), nil
+}
+
+// recordRecovery reports one completed rollback as a recovery-phase
+// trace span and an "ft" metrics observation, per surviving rank.
+func recordRecovery(m *core.MPI, size, resume int, start vtime.Time) {
+	w := m.Proc().World()
+	end := m.Clock().Now()
+	if rec := w.Recorder(); rec != nil {
+		rec.Record(trace.Event{
+			Rank: m.Proc().Rank(), Kind: trace.KindRecovery,
+			Detail: fmt.Sprintf("rollback size=%d to=%d", size, resume),
+			Peer:   -1, Start: start, End: end,
+		})
+	}
+	w.Metrics().Observe(m.Proc().Rank(), "ft", "recovery_ps", int64(end.Sub(start)))
+	w.Metrics().Add(m.Proc().Rank(), "ft", "recoveries", 1)
+}
+
+// FTCollectiveLatency runs the named collective benchmark with the
+// fault-tolerant epoch loop. The sweep completes on the survivors'
+// communicator when ranks crash mid-sweep; without any failure it
+// reports the same rows as CollectiveLatency modulo the (untimed)
+// epoch agreements.
+func FTCollectiveLatency(name string, cfg Config) ([]Result, error) {
+	fc, ok := ftCases()[name]
+	if !ok {
+		return nil, fmt.Errorf("omb: collective %q has no fault-tolerant driver (have bcast, reduce, allreduce)", name)
+	}
+	if cfg.Mode == ModeNative {
+		return nil, fmt.Errorf("omb: the fault-tolerant driver needs the bindings layer; native mode is not supported")
+	}
+	if cfg.Opts.Validate && fc.prep == nil {
+		return nil, fmt.Errorf("omb: %s does not support -validate", name)
+	}
+	cfg.Core.FT = true
+	sizeJVM(&cfg.Core, cfg.Opts.MaxSize)
+	sink := &resultSink{}
+	err := core.Run(cfg.Core, func(m *core.MPI) error {
+		sbuf, err := newBuf(m, cfg.Mode, cfg.Opts.MaxSize)
+		if err != nil {
+			return err
+		}
+		rbuf, err := newBuf(m, cfg.Mode, cfg.Opts.MaxSize)
+		if err != nil {
+			return err
+		}
+		ss := m.JVM().MustArray(jvm.Double, 1)
+		sr := m.JVM().MustArray(jvm.Double, 1)
+		sl := m.JVM().MustArray(jvm.Long, 1)
+		rl := m.JVM().MustArray(jvm.Long, 1)
+		c := m.CommWorld()
+		for _, size := range cfg.Opts.Sizes() {
+			iters, warm := cfg.Opts.itersFor(size)
+			steps := warm + iters
+			ts := make([]vtime.Duration, steps)
+			j := 0
+			for {
+				// Run the remaining segment of this epoch. A rollback
+				// re-enters here at the agreed step and overwrites the
+				// discarded timings.
+				segErr := func() error {
+					for ; j < steps; j++ {
+						iter := j - warm
+						if cfg.Opts.Validate {
+							fc.prep(c, sbuf, rbuf, iter, size)
+						}
+						sw := vtime.StartStopwatch(m.Clock())
+						if err := fc.run(c, sbuf, rbuf, size); err != nil {
+							return err
+						}
+						ts[j] = sw.Elapsed()
+						if cfg.Opts.Validate {
+							if err := fc.check(c, sbuf, rbuf, iter, size); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				}()
+				var avg float64
+				if segErr == nil {
+					var total vtime.Duration
+					for _, d := range ts[warm:] {
+						total += d
+					}
+					avg, segErr = ftAvgUs(c, avgLatencyUs(total, iters), ss, sr)
+				}
+				recStart := m.Clock().Now()
+				if segErr != nil {
+					if !core.IsFailure(segErr) {
+						return segErr
+					}
+					// Flush peers out of the broken collective; the
+					// sync below merges us with them.
+					c.Revoke()
+				}
+				nc, resume, clean, serr := ftSync(c, j, sl, rl)
+				if serr != nil {
+					return serr
+				}
+				if clean && segErr == nil {
+					if c.Rank() == collRoot {
+						sink.add(Result{Size: size, LatencyUs: avg})
+					}
+					break
+				}
+				recordRecovery(m, size, resume, recStart)
+				c, j = nc, resume
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sink.sorted(), nil
+}

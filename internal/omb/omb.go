@@ -64,6 +64,11 @@ type Options struct {
 	// Window is the number of in-flight messages in the bandwidth
 	// benchmarks (OMB default 64).
 	Window int
+	// FT runs the collective benchmarks under the fault-tolerant epoch
+	// driver (see ftcoll.go): rank crashes shrink the communicator and
+	// the sweep restarts from the last agreed iteration boundary
+	// instead of aborting. Forces core.Config.FT.
+	FT bool
 }
 
 // DefaultOptions mirrors the OMB defaults, scaled for simulation.

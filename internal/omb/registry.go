@@ -38,6 +38,9 @@ func RunBenchmark(name string, cfg Config) ([]Result, error) {
 		return NonBlockingLatency(name, cfg)
 	default:
 		if _, ok := collCases()[name]; ok {
+			if cfg.Opts.FT {
+				return FTCollectiveLatency(name, cfg)
+			}
 			return CollectiveLatency(name, cfg)
 		}
 		return nil, fmt.Errorf("omb: unknown benchmark %q (have %v)", name, Benchmarks())

@@ -41,6 +41,9 @@ func Rollup(events []Event) map[RollupKey]Stat {
 // time of collective calls; it is reported separately because the
 // sends and receives a collective issues are already accounted under
 // Wire, so adding Coll into a sum would double-count.
+// Recovery, like Coll, is an envelope: it wraps the agreement sends
+// and receives (already under Wire) plus rollback bookkeeping, so it
+// too stays out of Sum.
 type Phases struct {
 	CopyIn     vtime.Duration
 	Wire       vtime.Duration
@@ -49,6 +52,7 @@ type Phases struct {
 	Retransmit vtime.Duration
 	GC         vtime.Duration
 	Coll       vtime.Duration
+	Recovery   vtime.Duration
 }
 
 // Sum returns the additive phase total: every phase except the Coll
@@ -76,6 +80,8 @@ func phaseOf(p *Phases, k Kind) *vtime.Duration {
 		return &p.GC
 	case KindColl:
 		return &p.Coll
+	case KindRecovery:
+		return &p.Recovery
 	default:
 		return nil
 	}
@@ -129,14 +135,14 @@ func (r *Recorder) WriteReport(w io.Writer) error {
 		ranks = append(ranks, rank)
 	}
 	sort.Ints(ranks)
-	if _, err := fmt.Fprintf(w, "\n%-6s %12s %12s %12s %12s %12s %12s %12s\n",
-		"rank", "copyin", "wire", "copyout", "ack", "retx", "gc", "coll"); err != nil {
+	if _, err := fmt.Fprintf(w, "\n%-6s %12s %12s %12s %12s %12s %12s %12s %12s\n",
+		"rank", "copyin", "wire", "copyout", "ack", "retx", "gc", "coll", "recovery"); err != nil {
 		return err
 	}
 	for _, rank := range ranks {
 		p := phases[rank]
-		if _, err := fmt.Fprintf(w, "%-6d %12s %12s %12s %12s %12s %12s %12s\n",
-			rank, p.CopyIn, p.Wire, p.CopyOut, p.Ack, p.Retransmit, p.GC, p.Coll); err != nil {
+		if _, err := fmt.Fprintf(w, "%-6d %12s %12s %12s %12s %12s %12s %12s %12s\n",
+			rank, p.CopyIn, p.Wire, p.CopyOut, p.Ack, p.Retransmit, p.GC, p.Coll, p.Recovery); err != nil {
 			return err
 		}
 	}

@@ -38,6 +38,13 @@ const (
 	// KindCopyOut marks the receiver-side landing of native data back
 	// into the user buffer.
 	KindCopyOut Kind = "copyout"
+	// KindDetect marks a failure-detector transition on the observing
+	// rank: the span runs from suspecting a silent peer to confirming
+	// it dead.
+	KindDetect Kind = "detect"
+	// KindRecovery marks fault-tolerance recovery work: agreement,
+	// communicator shrink, and checkpoint rollback after a rank death.
+	KindRecovery Kind = "recovery"
 )
 
 // Event is one recorded operation.
@@ -101,17 +108,34 @@ func (r *Recorder) Dropped() int64 {
 	return r.dropped
 }
 
-// Events returns a copy, sorted by start time then rank.
+// Events returns a copy in canonical order: a total order over every
+// field, so the result is independent of recording order. (Start,
+// Rank) alone is not enough — one rank can complete two requests at
+// the same virtual instant, and which completion the host processed
+// first must not leak into exported artifacts.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]Event, len(r.events))
 	copy(out, r.events)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Start != b.Start:
+			return a.Start < b.Start
+		case a.Rank != b.Rank:
+			return a.Rank < b.Rank
+		case a.End != b.End:
+			return a.End < b.End
+		case a.Kind != b.Kind:
+			return a.Kind < b.Kind
+		case a.Peer != b.Peer:
+			return a.Peer < b.Peer
+		case a.Bytes != b.Bytes:
+			return a.Bytes < b.Bytes
+		default:
+			return a.Detail < b.Detail
 		}
-		return out[i].Rank < out[j].Rank
 	})
 	return out
 }
