@@ -1,0 +1,92 @@
+// Command mv2jbench runs the deterministic host-performance harness
+// over the OMB-J suites and writes BENCH_OMB.json — host ns/op and
+// allocs/op for each suite next to the virtual-time figures the same
+// sweep produces. Virtual results are byte-identical regardless of
+// host speed; this tool measures what the simulation costs, never what
+// it computes.
+//
+// Usage:
+//
+//	mv2jbench                 # full tier: latency/bw + allreduce np∈{2,8,32,128}
+//	mv2jbench -quick          # CI tier: short sweeps at np∈{2,8}
+//	mv2jbench -compare BENCH_OMB.json
+//	                          # allocs/op guardrail vs a checked-in baseline
+//
+// With -compare, the exit status is 1 if any suite's allocs/op
+// regressed beyond -tolerance (or the suite plans diverged); large
+// improvements only warn, prompting a baseline re-pin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"mv2j/internal/hostbench"
+)
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run the short CI tier (np∈{2,8}, small sweeps)")
+	out := flag.String("out", "BENCH_OMB.json", "output path for the report")
+	compare := flag.String("compare", "", "baseline BENCH_OMB.json to apply the allocs/op guardrail against")
+	tol := flag.Float64("tolerance", 0.20, "fractional allocs/op tolerance for -compare")
+	flag.Parse()
+
+	rep, err := hostbench.Run(*quick, gitSHA(), func(line string) {
+		fmt.Fprintln(os.Stderr, line)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mv2jbench:", err)
+		os.Exit(1)
+	}
+	data, err := rep.Marshal()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mv2jbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mv2jbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d suites)\n", *out, len(rep.Entries))
+
+	if *compare == "" {
+		return
+	}
+	baseData, err := os.ReadFile(*compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mv2jbench:", err)
+		os.Exit(1)
+	}
+	baseline, err := hostbench.Parse(baseData)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mv2jbench:", err)
+		os.Exit(1)
+	}
+	deltas, failed := hostbench.Compare(baseline, rep, *tol)
+	improved := false
+	for _, d := range deltas {
+		fmt.Fprintln(os.Stderr, d)
+		if d.Verdict == hostbench.Improvement {
+			improved = true
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "mv2jbench: allocs/op guardrail FAILED (tolerance ±%.0f%%)\n", *tol*100)
+		os.Exit(1)
+	}
+	if improved {
+		fmt.Fprintf(os.Stderr, "mv2jbench: allocs/op improved beyond %.0f%% — re-pin the baseline (%s) to lock it in\n", *tol*100, *compare)
+	}
+	fmt.Fprintln(os.Stderr, "mv2jbench: guardrail ok")
+}

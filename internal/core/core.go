@@ -125,6 +125,11 @@ type Config struct {
 	// internal/metrics). Scraped once after the job completes, so the
 	// registry contents are deterministic per seed.
 	Metrics *metrics.Registry
+	// HostStats, when non-nil, receives the world's aggregated
+	// host-side reuse/queue counters after the run (mailbox batching,
+	// scratch-arena traffic). Host observability only — these numbers
+	// depend on host scheduling and never enter Metrics or Trace.
+	HostStats *nativempi.HostStats
 }
 
 func (c Config) withDefaults() Config {
@@ -220,6 +225,9 @@ func Run(cfg Config, main func(mpi *MPI) error) error {
 		return main(mpi)
 	})
 	scrapeMetrics(cfg.Metrics, mpis)
+	if cfg.HostStats != nil {
+		*cfg.HostStats = world.HostStats()
+	}
 	return err
 }
 

@@ -181,6 +181,26 @@ func (f *Fabric) AckDropped(src, dst int, stream faults.Stream, seq uint64, atte
 	return f.faults.AckDropped(f.IsIntra(src, dst), src, dst, stream, seq, attempt)
 }
 
+// BurstVerdicts adjudicates one reliable message's whole transmission
+// burst in a single call: the per-attempt verdicts up to and including
+// the attempt the protocol settles on (an intact copy whose ack
+// survives), or all maxAttempts of them when the budget is exhausted.
+// settled is that attempt's index, or -1 on exhaustion. Verdicts are
+// appended to vs, which callers recycle across messages so the burst
+// costs no allocation; the per-attempt answers are identical to
+// calling DataVerdict and AckDropped attempt by attempt.
+func (f *Fabric) BurstVerdicts(src, dst int, stream faults.Stream, seq uint64, maxAttempts int, vs []faults.Verdict) (_ []faults.Verdict, settled int) {
+	intra := f.IsIntra(src, dst)
+	for k := 0; k < maxAttempts; k++ {
+		v := f.faults.Data(intra, src, dst, stream, seq, k)
+		vs = append(vs, v)
+		if !v.Drop && v.CorruptPos < 0 && !f.faults.AckDropped(intra, src, dst, stream, seq, k) {
+			return vs, k
+		}
+	}
+	return vs, -1
+}
+
 // CrashOf returns the crash scheduled for a rank by the attached fault
 // plan, if any.
 func (f *Fabric) CrashOf(rank int) (faults.Crash, bool) {

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"mv2j/internal/cluster"
+	"mv2j/internal/faults"
 	"mv2j/internal/vtime"
 )
 
@@ -125,5 +126,55 @@ func TestTransferDecompositionProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBurstVerdictsMatchesPerAttempt: the one-call burst adjudication
+// must agree, attempt by attempt, with the incremental DataVerdict/
+// AckDropped protocol it replaces — including where it stops.
+func TestBurstVerdictsMatchesPerAttempt(t *testing.T) {
+	topo := cluster.New(2, 2)
+	plan := &faults.Plan{
+		Seed:  42,
+		Intra: faults.Rates{Drop: 0.3, Duplicate: 0.1, Corrupt: 0.15, Delay: 0.2},
+		Inter: faults.Rates{Drop: 0.4, Duplicate: 0.05, Corrupt: 0.2, Delay: 0.1},
+	}
+	f := New(topo, FronteraShm(), FronteraIB()).WithFaults(plan)
+	const maxAttempts = 8
+	var buf []faults.Verdict
+	for src := 0; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			if src == dst {
+				continue
+			}
+			for seq := uint64(1); seq <= 50; seq++ {
+				buf, _ = f.BurstVerdicts(src, dst, faults.StreamMatch, seq, maxAttempts, buf[:0])
+				vs, settled := f.BurstVerdicts(src, dst, faults.StreamMatch, seq, maxAttempts, nil)
+				wantSettled := -1
+				for k := 0; k < maxAttempts; k++ {
+					v := f.DataVerdict(src, dst, faults.StreamMatch, seq, k)
+					if k < len(vs) && vs[k] != v {
+						t.Fatalf("%d->%d seq %d attempt %d: burst %+v, incremental %+v", src, dst, seq, k, vs[k], v)
+					}
+					if !v.Drop && v.CorruptPos < 0 && !f.AckDropped(src, dst, faults.StreamMatch, seq, k) {
+						wantSettled = k
+						break
+					}
+				}
+				if settled != wantSettled {
+					t.Fatalf("%d->%d seq %d: settled %d, want %d", src, dst, seq, settled, wantSettled)
+				}
+				wantLen := wantSettled + 1
+				if wantSettled < 0 {
+					wantLen = maxAttempts
+				}
+				if len(vs) != wantLen {
+					t.Fatalf("%d->%d seq %d: %d verdicts, want %d", src, dst, seq, len(vs), wantLen)
+				}
+				if len(buf) != len(vs) {
+					t.Fatalf("recycled buffer produced %d verdicts, fresh %d", len(buf), len(vs))
+				}
+			}
+		}
 	}
 }

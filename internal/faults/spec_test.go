@@ -39,15 +39,15 @@ func TestParseSpecCrashForms(t *testing.T) {
 
 func TestParseSpecCrashErrors(t *testing.T) {
 	for _, spec := range []string{
-		"crash=1",           // no trigger
-		"crash=1@0us",       // time must be positive
-		"crash=1@40",        // missing unit
-		"crash=1:6",         // op ordinal needs the op prefix
-		"crash=1:op0",       // 1-based
-		"crash=1:opx",       // not a number
-		"crash=-1:op1",      // negative rank
-		"crash=x:op1",       // non-numeric rank
-		"crash=1+:op1",      // empty rank in list
+		"crash=1",                  // no trigger
+		"crash=1@0us",              // time must be positive
+		"crash=1@40",               // missing unit
+		"crash=1:6",                // op ordinal needs the op prefix
+		"crash=1:op0",              // 1-based
+		"crash=1:opx",              // not a number
+		"crash=-1:op1",             // negative rank
+		"crash=x:op1",              // non-numeric rank
+		"crash=1+:op1",             // empty rank in list
 		"crash=1:op1,crash=1@40us", // duplicate rank across stanzas
 	} {
 		if _, err := ParseSpec(spec); err == nil {

@@ -1,0 +1,96 @@
+package hostbench
+
+import "fmt"
+
+// Verdict classifies one baseline comparison.
+type Verdict int
+
+const (
+	// OK: within tolerance of the baseline.
+	OK Verdict = iota
+	// Regression: allocs/op grew beyond tolerance — the guardrail fails.
+	Regression
+	// Improvement: allocs/op shrank beyond tolerance — warn, so the
+	// baseline gets re-pinned and the win is locked in.
+	Improvement
+	// Unmatched: present on only one side (suite plan changed).
+	Unmatched
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "ok"
+	case Regression:
+		return "REGRESSION"
+	case Improvement:
+		return "improvement"
+	case Unmatched:
+		return "unmatched"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Delta is one entry's movement against the baseline.
+type Delta struct {
+	Key      string
+	Verdict  Verdict
+	Baseline int64 // baseline allocs/op (-1 if unmatched)
+	Current  int64 // current allocs/op (-1 if unmatched)
+}
+
+func (d Delta) String() string {
+	switch d.Verdict {
+	case Unmatched:
+		return fmt.Sprintf("%-24s %s (baseline %d, current %d)", d.Key, d.Verdict, d.Baseline, d.Current)
+	default:
+		pct := 0.0
+		if d.Baseline > 0 {
+			pct = 100 * (float64(d.Current) - float64(d.Baseline)) / float64(d.Baseline)
+		}
+		return fmt.Sprintf("%-24s %s: allocs/op %d -> %d (%+.1f%%)", d.Key, d.Verdict, d.Baseline, d.Current, pct)
+	}
+}
+
+// Compare applies the allocs/op guardrail: each current entry is
+// matched to the baseline by (suite, np, mode) and its allocs/op must
+// stay within ±tol (fractional, e.g. 0.20). Only allocations are
+// compared — host ns/op depends on the machine, allocs/op does not.
+// Failed reports whether any regression or unmatched entry exists.
+func Compare(baseline, current *Report, tol float64) (deltas []Delta, failed bool) {
+	base := map[string]Entry{}
+	for _, e := range baseline.Entries {
+		base[e.Key()] = e
+	}
+	seen := map[string]bool{}
+	for _, e := range current.Entries {
+		seen[e.Key()] = true
+		b, ok := base[e.Key()]
+		if !ok {
+			deltas = append(deltas, Delta{Key: e.Key(), Verdict: Unmatched, Baseline: -1, Current: e.AllocsPerOp})
+			failed = true
+			continue
+		}
+		d := Delta{Key: e.Key(), Baseline: b.AllocsPerOp, Current: e.AllocsPerOp}
+		hi := float64(b.AllocsPerOp) * (1 + tol)
+		lo := float64(b.AllocsPerOp) * (1 - tol)
+		switch {
+		case float64(e.AllocsPerOp) > hi:
+			d.Verdict = Regression
+			failed = true
+		case float64(e.AllocsPerOp) < lo:
+			d.Verdict = Improvement
+		default:
+			d.Verdict = OK
+		}
+		deltas = append(deltas, d)
+	}
+	for _, e := range baseline.Entries {
+		if !seen[e.Key()] {
+			deltas = append(deltas, Delta{Key: e.Key(), Verdict: Unmatched, Baseline: e.AllocsPerOp, Current: -1})
+			failed = true
+		}
+	}
+	return deltas, failed
+}

@@ -1,0 +1,149 @@
+package hostbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(entries ...Entry) *Report {
+	return &Report{Schema: Schema, Entries: entries}
+}
+
+func entry(suite string, np int, allocs int64) Entry {
+	return Entry{Suite: suite, NP: np, Mode: "buffer", AllocsPerOp: allocs}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := rep(
+		entry("latency", 2, 1000),
+		entry("allreduce", 8, 10000),
+		entry("bw", 2, 50000),
+	)
+	cur := rep(
+		entry("latency", 2, 1100),    // +10% -> ok
+		entry("allreduce", 8, 13000), // +30% -> regression
+		entry("bw", 2, 30000),        // -40% -> improvement
+	)
+	deltas, failed := Compare(base, cur, 0.20)
+	if !failed {
+		t.Fatal("want failed=true (allreduce regressed)")
+	}
+	got := map[string]Verdict{}
+	for _, d := range deltas {
+		got[d.Key] = d.Verdict
+	}
+	want := map[string]Verdict{
+		"latency/np2/buffer":   OK,
+		"allreduce/np8/buffer": Regression,
+		"bw/np2/buffer":        Improvement,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s: verdict %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestCompareWithinToleranceOK(t *testing.T) {
+	base := rep(entry("latency", 2, 1000))
+	cur := rep(entry("latency", 2, 1199)) // +19.9% — inside ±20%
+	deltas, failed := Compare(base, cur, 0.20)
+	if failed {
+		t.Fatalf("want failed=false, deltas=%v", deltas)
+	}
+	if len(deltas) != 1 || deltas[0].Verdict != OK {
+		t.Fatalf("want single OK delta, got %v", deltas)
+	}
+}
+
+func TestCompareUnmatchedBothDirections(t *testing.T) {
+	base := rep(entry("latency", 2, 1000), entry("bw", 2, 5000))
+	cur := rep(entry("latency", 2, 1000), entry("allreduce", 8, 7000))
+	deltas, failed := Compare(base, cur, 0.20)
+	if !failed {
+		t.Fatal("want failed=true (plans diverged)")
+	}
+	unmatched := 0
+	for _, d := range deltas {
+		if d.Verdict == Unmatched {
+			unmatched++
+			if d.Key == "bw/np2/buffer" && d.Current != -1 {
+				t.Errorf("baseline-only entry: Current = %d, want -1", d.Current)
+			}
+			if d.Key == "allreduce/np8/buffer" && d.Baseline != -1 {
+				t.Errorf("current-only entry: Baseline = %d, want -1", d.Baseline)
+			}
+		}
+	}
+	if unmatched != 2 {
+		t.Fatalf("want 2 unmatched deltas, got %d: %v", unmatched, deltas)
+	}
+}
+
+func TestDeltaAndVerdictStrings(t *testing.T) {
+	d := Delta{Key: "latency/np2/buffer", Verdict: Regression, Baseline: 100, Current: 150}
+	if s := d.String(); !strings.Contains(s, "REGRESSION") || !strings.Contains(s, "+50.0%") {
+		t.Errorf("Delta.String() = %q", s)
+	}
+	u := Delta{Key: "bw/np2/buffer", Verdict: Unmatched, Baseline: 5000, Current: -1}
+	if s := u.String(); !strings.Contains(s, "unmatched") {
+		t.Errorf("Delta.String() = %q", s)
+	}
+	if Verdict(99).String() == "" {
+		t.Error("unknown verdict should still render")
+	}
+}
+
+func TestReportMarshalParseRoundTrip(t *testing.T) {
+	r := rep(entry("latency", 2, 1234))
+	r.GitSHA = "deadbeef"
+	r.GoVersion = "go1.22"
+	r.Quick = true
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.GitSHA != "deadbeef" || !back.Quick || len(back.Entries) != 1 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if back.Entries[0].Key() != "latency/np2/buffer" {
+		t.Errorf("key = %q", back.Entries[0].Key())
+	}
+	if _, err := Parse([]byte(`{"schema":"other/1"}`)); err == nil {
+		t.Error("Parse should reject a foreign schema")
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Error("Parse should reject malformed JSON")
+	}
+}
+
+// TestQuickSuitePlanStable pins the quick-tier plan: the CI guardrail
+// compares entries by key against a checked-in baseline, so silently
+// changing the plan would surface as confusing "unmatched" failures.
+func TestQuickSuitePlanStable(t *testing.T) {
+	var keys []string
+	for _, s := range Suites(true) {
+		keys = append(keys, Entry{Suite: s.Bench, NP: s.NP(), Mode: s.Mode.String()}.Key())
+	}
+	want := []string{
+		"latency/np2/buffer",
+		"bw/np2/buffer",
+		"allreduce/np2/buffer",
+		"allreduce/np8/buffer",
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("quick plan = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("quick plan[%d] = %q, want %q", i, keys[i], want[i])
+		}
+	}
+	if len(Suites(false)) <= len(keys) {
+		t.Error("full tier should be a superset of shapes")
+	}
+}

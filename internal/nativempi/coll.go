@@ -21,17 +21,23 @@ func (c *Comm) collTag() int {
 	return c.collSeq
 }
 
-// csend/crecv are blocking sends/receives on the collective context.
-func (c *Comm) csend(buf []byte, dst, tag int) error {
-	req := c.p.isendOn(buf, c.group[dst], tag, sendOpts{ctx: c.collCtx, coll: true})
+// waitRelease waits an internally issued request and recycles it.
+// Requests created inside a collective never escape it, so once Wait
+// observes completion (or failure — failReq also marks done and
+// unlinks) the engine holds no reference and the struct can be reused.
+func (c *Comm) waitRelease(req *Request) error {
 	_, err := req.Wait()
+	c.p.putReq(req)
 	return err
 }
 
+// csend/crecv are blocking sends/receives on the collective context.
+func (c *Comm) csend(buf []byte, dst, tag int) error {
+	return c.waitRelease(c.p.isendOn(buf, c.group[dst], tag, sendOpts{ctx: c.collCtx, coll: true}))
+}
+
 func (c *Comm) crecv(buf []byte, src, tag int) error {
-	req := c.p.irecvOn(buf, c.group[src], tag, sendOpts{ctx: c.collCtx, coll: true})
-	_, err := req.Wait()
-	return err
+	return c.waitRelease(c.p.irecvOn(buf, c.group[src], tag, sendOpts{ctx: c.collCtx, coll: true}))
 }
 
 func (c *Comm) cisend(buf []byte, dst, tag int) *Request {
@@ -45,11 +51,10 @@ func (c *Comm) cirecv(buf []byte, src, tag int) *Request {
 func (c *Comm) csendrecv(sendBuf []byte, dst int, recvBuf []byte, src, tag int) error {
 	rreq := c.cirecv(recvBuf, src, tag)
 	sreq := c.cisend(sendBuf, dst, tag)
-	if _, err := sreq.Wait(); err != nil {
-		return err
+	if err := c.waitRelease(sreq); err != nil {
+		return err // rreq may still be pending: it stays with the engine
 	}
-	_, err := rreq.Wait()
-	return err
+	return c.waitRelease(rreq)
 }
 
 // chargeCompute charges local reduction/copy work of n bytes.
@@ -265,9 +270,11 @@ func (c *Comm) reduceBinomial(sendBuf, recvBuf []byte, kind jvm.Kind, op Op, roo
 	p := c.Size()
 	n := len(sendBuf)
 	v := (c.myRank - root + p) % p
-	acc := make([]byte, n)
+	acc := c.borrowScratch(n)
+	defer c.returnScratch(acc)
 	copy(acc, sendBuf)
-	scratch := make([]byte, n)
+	scratch := c.borrowScratch(n)
+	defer c.returnScratch(scratch)
 	for mask := 1; mask < p; mask <<= 1 {
 		if v&mask != 0 {
 			parent := ((v ^ mask) + root) % p
@@ -294,7 +301,8 @@ func (c *Comm) reduceLinear(sendBuf, recvBuf []byte, kind jvm.Kind, op Op, root,
 	}
 	n := len(sendBuf)
 	copy(recvBuf, sendBuf)
-	scratch := make([]byte, n)
+	scratch := c.borrowScratch(n)
+	defer c.returnScratch(scratch)
 	for r := 0; r < c.Size(); r++ {
 		if r == root {
 			continue
@@ -344,7 +352,8 @@ func (c *Comm) allreduceRecursiveDoubling(sendBuf, recvBuf []byte, kind jvm.Kind
 	n := len(sendBuf)
 	tag := c.collTag()
 	copy(recvBuf, sendBuf)
-	scratch := make([]byte, n)
+	scratch := c.borrowScratch(n)
+	defer c.returnScratch(scratch)
 
 	pof2 := 1
 	for pof2*2 <= p {
@@ -426,7 +435,8 @@ func (c *Comm) allreduceRing(sendBuf, recvBuf []byte, kind jvm.Kind, op Op) erro
 	}
 	right := (c.myRank + 1) % p
 	left := (c.myRank - 1 + p) % p
-	scratch := make([]byte, n)
+	scratch := c.borrowScratch(n)
+	defer c.returnScratch(scratch)
 
 	// Reduce-scatter: after p-1 steps, rank r owns the fully reduced
 	// chunk (r+1)%p.

@@ -48,8 +48,11 @@ func (c *Comm) gatherBinomial(sendBuf, recvBuf []byte, root, tag int) error {
 	n := len(sendBuf)
 	v := (c.myRank - root + p) % p
 
-	// acc holds blocks for vranks [v, v+cnt).
-	acc := make([]byte, 0, n*p)
+	// acc holds blocks for vranks [v, v+cnt); subtree blocks are
+	// received straight into the tail of the borrowed buffer.
+	accBuf := c.borrowScratch(n * p)
+	defer c.returnScratch(accBuf)
+	acc := accBuf[:0]
 	acc = append(acc, sendBuf...)
 	cnt := 1
 	for mask := 1; mask < p; mask <<= 1 {
@@ -63,11 +66,11 @@ func (c *Comm) gatherBinomial(sendBuf, recvBuf []byte, root, tag int) error {
 			if p-partner < sub {
 				sub = p - partner
 			}
-			chunk := make([]byte, sub*n)
+			chunk := acc[len(acc) : len(acc)+sub*n]
 			if err := c.crecv(chunk, (partner+root)%p, tag); err != nil {
 				return err
 			}
-			acc = append(acc, chunk...)
+			acc = acc[:len(acc)+sub*n]
 			cnt += sub
 		}
 	}
@@ -127,9 +130,10 @@ func (c *Comm) scatterBinomial(sendBuf, recvBuf []byte, root, tag int) error {
 
 	// Each rank receives the blocks of its subtree, vrank-ordered.
 	var acc []byte
+	defer func() { c.returnScratch(acc) }()
 	if v == 0 {
 		// Rotate into vrank order once.
-		acc = make([]byte, p*n)
+		acc = c.borrowScratch(p * n)
 		for vr := 0; vr < p; vr++ {
 			r := (vr + root) % p
 			copy(acc[vr*n:(vr+1)*n], sendBuf[r*n:(r+1)*n])
@@ -146,7 +150,7 @@ func (c *Comm) scatterBinomial(sendBuf, recvBuf []byte, root, tag int) error {
 		if p-v < sub {
 			sub = p - v
 		}
-		acc = make([]byte, sub*n)
+		acc = c.borrowScratch(sub * n)
 		parent := ((v - v%(mask*2)) + root) % p
 		if err := c.crecv(acc, parent, tag); err != nil {
 			return err

@@ -25,7 +25,8 @@ func (c *Comm) Scan(sendBuf, recvBuf []byte, kind jvm.Kind, op Op) error {
 	// partial holds the reduction of my block with everything received
 	// from lower ranks so far; at each step I forward the partial (the
 	// prefix of the contiguous range I currently represent).
-	scratch := make([]byte, n)
+	scratch := c.borrowScratch(n)
+	defer c.returnScratch(scratch)
 	for mask := 1; mask < p; mask <<= 1 {
 		dst := c.myRank + mask
 		src := c.myRank - mask
@@ -39,12 +40,12 @@ func (c *Comm) Scan(sendBuf, recvBuf []byte, kind jvm.Kind, op Op) error {
 			sreq = c.cisend(recvBuf, dst, tag)
 		}
 		if sreq != nil {
-			if _, err := sreq.Wait(); err != nil {
+			if err := c.waitRelease(sreq); err != nil {
 				return err
 			}
 		}
 		if rreq != nil {
-			if _, err := rreq.Wait(); err != nil {
+			if err := c.waitRelease(rreq); err != nil {
 				return err
 			}
 			// Incoming partial covers lower ranks: combine on the left.
@@ -73,9 +74,11 @@ func (c *Comm) Exscan(sendBuf, recvBuf []byte, kind jvm.Kind, op Op) error {
 	tag := c.collTag()
 	// partial accumulates my own contribution for forwarding; recvBuf
 	// accumulates everything strictly before me.
-	partial := make([]byte, n)
+	partial := c.borrowScratch(n)
+	defer c.returnScratch(partial)
 	copy(partial, sendBuf)
-	scratch := make([]byte, n)
+	scratch := c.borrowScratch(n)
+	defer c.returnScratch(scratch)
 	seeded := false
 	for mask := 1; mask < p; mask <<= 1 {
 		dst := c.myRank + mask
@@ -88,12 +91,12 @@ func (c *Comm) Exscan(sendBuf, recvBuf []byte, kind jvm.Kind, op Op) error {
 			sreq = c.cisend(partial, dst, tag)
 		}
 		if sreq != nil {
-			if _, err := sreq.Wait(); err != nil {
+			if err := c.waitRelease(sreq); err != nil {
 				return err
 			}
 		}
 		if rreq != nil {
-			if _, err := rreq.Wait(); err != nil {
+			if err := c.waitRelease(rreq); err != nil {
 				return err
 			}
 			if seeded {
@@ -150,9 +153,11 @@ func (c *Comm) ReduceScatter(sendBuf, recvBuf []byte, counts []int, kind jvm.Kin
 		// Ring reduce-scatter: p-1 steps, each moving one block.
 		n := counts[0]
 		tag := c.collTag()
-		work := make([]byte, total)
+		work := c.borrowScratch(total)
+		defer c.returnScratch(work)
 		copy(work, sendBuf)
-		scratch := make([]byte, n)
+		scratch := c.borrowScratch(n)
+		defer c.returnScratch(scratch)
 		right := (c.myRank + 1) % p
 		left := (c.myRank - 1 + p) % p
 		for s := 0; s < p-1; s++ {
@@ -167,7 +172,8 @@ func (c *Comm) ReduceScatter(sendBuf, recvBuf []byte, counts []int, kind jvm.Kin
 			c.chargeCompute(n)
 		}
 		mine := (c.myRank + 1) % p
-		owned := make([]byte, n)
+		owned := c.borrowScratch(n)
+		defer c.returnScratch(owned)
 		copy(owned, work[mine*n:(mine+1)*n])
 		// The ring leaves rank r owning block (r+1)%p; block r sits at
 		// rank r-1, so one neighbour exchange (send right, receive
@@ -182,7 +188,8 @@ func (c *Comm) ReduceScatter(sendBuf, recvBuf []byte, counts []int, kind jvm.Kin
 	// General case: reduce everything to rank 0, scatter the blocks.
 	var full []byte
 	if c.myRank == 0 {
-		full = make([]byte, total)
+		full = c.borrowScratch(total)
+		defer c.returnScratch(full)
 	}
 	if err := c.Reduce(sendBuf, full, kind, op, 0); err != nil {
 		return err

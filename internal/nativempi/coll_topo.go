@@ -92,7 +92,8 @@ func (c *Comm) reduceBinomialSubset(acc []byte, members []int, rootIdx, tag int,
 	}
 	my := indexOf(members, c.myRank)
 	v := (my - rootIdx + m) % m
-	scratch := make([]byte, len(acc))
+	scratch := c.borrowScratch(len(acc))
+	defer c.returnScratch(scratch)
 	for mask := 1; mask < m; mask <<= 1 {
 		if v&mask != 0 {
 			parent := members[((v^mask)+rootIdx)%m]
@@ -121,7 +122,8 @@ func (c *Comm) allreduceRecDblSubset(acc []byte, members []int, tag int, kind jv
 		return nil
 	}
 	my := indexOf(members, c.myRank)
-	scratch := make([]byte, len(acc))
+	scratch := c.borrowScratch(len(acc))
+	defer c.returnScratch(scratch)
 	pof2 := 1
 	for pof2*2 <= m {
 		pof2 *= 2

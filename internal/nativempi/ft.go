@@ -262,6 +262,7 @@ func (p *Proc) handleFailNotice(pkt *packet) {
 		}
 		kept = append(kept, req)
 	}
+	clearTail(p.posted, len(kept))
 	p.posted = kept
 	for id, req := range p.recvPending {
 		if req.rndvFrom == dead {
@@ -315,6 +316,7 @@ func (p *Proc) applyRevoke(ptCtx, collCtx int32, at vtime.Time) {
 		}
 		kept = append(kept, req)
 	}
+	clearTail(p.posted, len(kept))
 	p.posted = kept
 	for id, req := range p.recvPending {
 		if onCtx(req.ctx) {

@@ -7,10 +7,40 @@ import "sync"
 // deadlocks the real (buffered, flow-controlled) network does not have.
 // The owning rank pops packets inside its MPI calls, which is exactly
 // the software-progress model of a polling MPI library.
+//
+// The queue is a two-list design (Ibdxnet-style): producers append to
+// tail under the mutex; the consumer drains a private head list without
+// any locking and, only when it runs dry, swaps the lists in one lock
+// acquisition. A burst of packets therefore costs the consumer one
+// lock round trip instead of one per packet, and no pop ever reslices
+// a head-retaining q[1:] — consumed slots are nilled immediately, and
+// the drained head buffer is recycled as the next tail, so steady-state
+// traffic allocates nothing.
 type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	q    []*packet
+	tail []*packet // producer side, guarded by mu
+
+	// Consumer-private state: only the owning rank touches these.
+	head    []*packet
+	headIdx int
+	spare   []*packet // drained buffer awaiting reuse as tail
+
+	stats MailboxStats
+}
+
+// MailboxStats counts host-side queue activity. These are HOST
+// observability numbers — swap batch sizes depend on when the consumer
+// happened to poll relative to producers, i.e. on host scheduling —
+// so they are deliberately kept out of the deterministic metrics
+// registry and the trace artifacts. The hostbench harness reports them.
+type MailboxStats struct {
+	Pushes      int64 `json:"pushes"`       // packets enqueued
+	PushBatches int64 `json:"push_batches"` // multi-packet producer batches (pushBatch calls)
+	MaxPush     int64 `json:"max_push"`     // largest single producer batch
+	Swaps       int64 `json:"swaps"`        // head/tail swaps (lock acquisitions that found work)
+	Batched     int64 `json:"batched"`      // packets obtained via swaps (== Pushes at drain)
+	MaxBatch    int64 `json:"max_batch"`    // largest single swap
 }
 
 func newMailbox() *mailbox {
@@ -22,31 +52,98 @@ func newMailbox() *mailbox {
 // push enqueues p and wakes the owner if it is blocked in pop.
 func (m *mailbox) push(p *packet) {
 	m.mu.Lock()
-	m.q = append(m.q, p)
+	m.tail = append(m.tail, p)
+	m.stats.Pushes++
 	m.mu.Unlock()
 	m.cond.Signal()
 }
 
+// pushBatch enqueues a burst of packets in FIFO order under a single
+// lock acquisition (and a single wakeup) — the producer-side analogue
+// of the consumer's head/tail swap. A reliability-layer retransmission
+// schedule, for example, materialises every copy of a message at once;
+// delivering them one push at a time would pay one lock round trip per
+// copy for packets that are all bound for the same mailbox anyway.
+func (m *mailbox) pushBatch(pkts []*packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.tail = append(m.tail, pkts...)
+	n := int64(len(pkts))
+	m.stats.Pushes += n
+	if n > 1 {
+		m.stats.PushBatches++
+		if n > m.stats.MaxPush {
+			m.stats.MaxPush = n
+		}
+	}
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// takeHead pops the next packet from the consumer-private head list.
+func (m *mailbox) takeHead() *packet {
+	p := m.head[m.headIdx]
+	m.head[m.headIdx] = nil // no head retention: drop the reference now
+	m.headIdx++
+	if m.headIdx == len(m.head) {
+		// Head drained: park the buffer for reuse as a future tail.
+		m.spare = m.head[:0]
+		m.head = nil
+		m.headIdx = 0
+	}
+	return p
+}
+
+// swapLocked moves the tail to the consumer side. Caller holds mu and
+// has verified the tail is non-empty.
+func (m *mailbox) swapLocked() {
+	m.head = m.tail
+	m.headIdx = 0
+	m.tail = m.spare // recycle the drained head buffer
+	m.spare = nil
+	m.stats.Swaps++
+	n := int64(len(m.head))
+	m.stats.Batched += n
+	if n > m.stats.MaxBatch {
+		m.stats.MaxBatch = n
+	}
+}
+
 // tryPop dequeues the oldest packet without blocking.
 func (m *mailbox) tryPop() (*packet, bool) {
+	if m.headIdx < len(m.head) {
+		return m.takeHead(), true
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.q) == 0 {
+	if len(m.tail) == 0 {
+		m.mu.Unlock()
 		return nil, false
 	}
-	p := m.q[0]
-	m.q = m.q[1:]
-	return p, true
+	m.swapLocked()
+	m.mu.Unlock()
+	return m.takeHead(), true
 }
 
 // pop dequeues the oldest packet, blocking until one is available.
 func (m *mailbox) pop() *packet {
+	if m.headIdx < len(m.head) {
+		return m.takeHead()
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.q) == 0 {
+	for len(m.tail) == 0 {
 		m.cond.Wait()
 	}
-	p := m.q[0]
-	m.q = m.q[1:]
-	return p
+	m.swapLocked()
+	m.mu.Unlock()
+	return m.takeHead()
+}
+
+// Stats snapshots the host-side counters. Only meaningful from the
+// owning rank's goroutine or after the world has quiesced.
+func (m *mailbox) Stats() MailboxStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
 }

@@ -1,0 +1,121 @@
+package nativempi
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMailboxFIFO: packets come out in the order they went in, across
+// both the single-push and the batch producer paths.
+func TestMailboxFIFO(t *testing.T) {
+	m := newMailbox()
+	var want []*packet
+	for i := 0; i < 5; i++ {
+		p := &packet{relSeq: uint64(i)}
+		want = append(want, p)
+		m.push(p)
+	}
+	batch := make([]*packet, 4)
+	for i := range batch {
+		batch[i] = &packet{relSeq: uint64(5 + i)}
+	}
+	want = append(want, batch...)
+	m.pushBatch(batch)
+
+	for i, w := range want {
+		got, ok := m.tryPop()
+		if !ok || got != w {
+			t.Fatalf("pop %d: got %v ok=%v, want %v", i, got, ok, w)
+		}
+	}
+	if _, ok := m.tryPop(); ok {
+		t.Fatal("tryPop on empty mailbox reported a packet")
+	}
+}
+
+// TestMailboxSwapStats: a burst drained after the fact costs the
+// consumer one swap, and the producer batch counters see pushBatch.
+func TestMailboxSwapStats(t *testing.T) {
+	m := newMailbox()
+	batch := make([]*packet, 5)
+	for i := range batch {
+		batch[i] = &packet{relSeq: uint64(i)}
+	}
+	m.pushBatch(batch)
+	for range batch {
+		m.pop()
+	}
+	st := m.Stats()
+	if st.Pushes != 5 || st.PushBatches != 1 || st.MaxPush != 5 {
+		t.Errorf("producer stats: %+v", st)
+	}
+	if st.Swaps != 1 || st.Batched != 5 || st.MaxBatch != 5 {
+		t.Errorf("consumer stats: %+v", st)
+	}
+}
+
+// TestMailboxNoHeadRetention: consumed slots must be nilled in place —
+// the drained head buffer is recycled as the next tail, so a stale
+// reference would keep dead packets alive for the queue's lifetime.
+func TestMailboxNoHeadRetention(t *testing.T) {
+	m := newMailbox()
+	for i := 0; i < 4; i++ {
+		m.push(&packet{relSeq: uint64(i)})
+	}
+	m.pop() // forces the swap: head now holds the 4-packet list
+	head := m.head
+	m.pop()
+	m.pop()
+	for i := 0; i < 3; i++ {
+		if head[i] != nil {
+			t.Errorf("consumed head slot %d still holds a packet", i)
+		}
+	}
+}
+
+// TestMailboxConcurrentStress drives the MPSC queue from many
+// producers at once (run under -race in CI). Per-producer FIFO order
+// must survive batching, swapping, and buffer recycling.
+func TestMailboxConcurrentStress(t *testing.T) {
+	const producers = 8
+	const perProducer = 2000
+	m := newMailbox()
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			seq := uint64(0)
+			for seq < perProducer {
+				if seq%3 == 0 && perProducer-seq >= 4 {
+					// Burst path: four packets, one lock acquisition.
+					batch := make([]*packet, 4)
+					for i := range batch {
+						batch[i] = &packet{src: pr, relSeq: seq}
+						seq++
+					}
+					m.pushBatch(batch)
+				} else {
+					m.push(&packet{src: pr, relSeq: seq})
+					seq++
+				}
+			}
+		}(pr)
+	}
+
+	next := make([]uint64, producers)
+	for n := 0; n < producers*perProducer; n++ {
+		pkt := m.pop()
+		if pkt.relSeq != next[pkt.src] {
+			t.Fatalf("producer %d: popped seq %d, want %d", pkt.src, pkt.relSeq, next[pkt.src])
+		}
+		next[pkt.src]++
+	}
+	wg.Wait()
+	if _, ok := m.tryPop(); ok {
+		t.Fatal("mailbox non-empty after all packets consumed")
+	}
+	if st := m.Stats(); st.Pushes != producers*perProducer {
+		t.Errorf("Pushes = %d, want %d", st.Pushes, producers*perProducer)
+	}
+}

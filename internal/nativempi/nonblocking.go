@@ -52,6 +52,17 @@ type CollRequest struct {
 	started bool
 	done    bool
 	err     error
+	scratch [][]byte // arena buffers on loan until the schedule completes
+}
+
+// releaseScratch hands the schedule's working buffers back to the
+// arena once the last round has run (the rounds reference them).
+func (r *CollRequest) releaseScratch() {
+	for i, b := range r.scratch {
+		r.c.returnScratch(b)
+		r.scratch[i] = nil
+	}
+	r.scratch = r.scratch[:0]
 }
 
 // postRound posts the point-to-point operations of round i.
@@ -96,6 +107,7 @@ func (r *CollRequest) start() {
 	r.started = true
 	if len(r.rounds) == 0 {
 		r.done = true
+		r.releaseScratch()
 		return
 	}
 	r.postRound(0)
@@ -124,13 +136,15 @@ func (r *CollRequest) Test() (bool, error) {
 		}
 		// Round communication finished: absorb completion times, run
 		// locals, move on. Absorption consumes the round's requests —
-		// they are never handed to the caller.
-		for _, req := range r.pending {
+		// they are never handed to the caller, so they recycle here.
+		for i, req := range r.pending {
 			r.c.p.clock.AdvanceTo(req.completeAt)
 			req.consume()
 			if req.err != nil && r.err == nil {
 				r.err = req.err
 			}
+			r.c.p.putReq(req)
+			r.pending[i] = nil
 		}
 		if err := r.runLocals(r.cur); err != nil && r.err == nil {
 			r.err = err
@@ -138,6 +152,7 @@ func (r *CollRequest) Test() (bool, error) {
 		r.cur++
 		if r.cur >= len(r.rounds) {
 			r.done = true
+			r.releaseScratch()
 			return true, r.err
 		}
 		r.postRound(r.cur)
@@ -243,8 +258,9 @@ func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, kind jvm.Kind, op Op) (*CollR
 	}
 	scratch := make([][]byte, steps+1)
 	for i := range scratch {
-		scratch[i] = make([]byte, n)
+		scratch[i] = c.borrowScratch(n)
 	}
+	r.scratch = append(r.scratch, scratch...)
 
 	v := -1
 	switch {
@@ -327,7 +343,8 @@ func (c *Comm) Ireduce(sendBuf, recvBuf []byte, kind jvm.Kind, op Op, root int) 
 	r := &CollRequest{c: c, tag: c.collTag()}
 	v := (c.myRank - root + p) % p
 
-	acc := make([]byte, n)
+	acc := c.borrowScratch(n)
+	r.scratch = append(r.scratch, acc)
 	copy(acc, sendBuf)
 	for mask := 1; mask < p; mask <<= 1 {
 		if v&mask != 0 {
@@ -336,7 +353,8 @@ func (c *Comm) Ireduce(sendBuf, recvBuf []byte, kind jvm.Kind, op Op, root int) 
 			break
 		}
 		if partner := v + mask; partner < p {
-			scratch := make([]byte, n)
+			scratch := c.borrowScratch(n)
+			r.scratch = append(r.scratch, scratch)
 			r.rounds = append(r.rounds, nbRound{ops: []nbOp{
 				{kind: nbRecv, buf: scratch, peer: (partner + root) % p},
 				{kind: nbReduce, dst: acc, src: scratch, rkind: kind, rop: op},

@@ -15,8 +15,9 @@ type Comm struct {
 	myRank  int
 	ptCtx   int32
 	collCtx int32
-	collSeq int // rolling tag for collective operations
-	ftSeq   int // rolling agreement counter for recovery operations (ft.go)
+	collSeq int           // rolling tag for collective operations
+	ftSeq   int           // rolling agreement counter for recovery operations (ft.go)
+	scr     *scratchArena // lazily created scratch arena (pool.go)
 }
 
 // Rank returns the calling process's rank within the communicator.
@@ -135,27 +136,27 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 		start := vtime.Max(p.clock.Now(), p.nicFree)
 		p.nicFree = start.Add(ch.SerializeTime(n))
 		p.clock.AdvanceTo(p.nicFree)
-		data := make([]byte, n)
+		data := getWire(n)
 		copy(data, buf)
-		err := p.post(wdst, &packet{
-			kind:     pktEager,
-			src:      p.rank,
-			dst:      wdst,
-			tag:      tag,
-			ctx:      o.ctx,
-			data:     data,
-			nbytes:   n,
-			sentAt:   start,
-			arriveAt: start.Add(ch.TransferTime(n)),
-		})
+		pkt := getPacket()
+		pkt.kind = pktEager
+		pkt.src = p.rank
+		pkt.dst = wdst
+		pkt.tag = tag
+		pkt.ctx = o.ctx
+		pkt.data = data
+		pkt.ownsData = true
+		pkt.nbytes = n
+		pkt.sentAt = start
+		pkt.arriveAt = start.Add(ch.TransferTime(n))
+		err := p.post(wdst, pkt)
 		p.recordSend(wdst, n, sendStart, p.clock.Now())
-		return &Request{
-			p:          p,
-			done:       true,
-			completeAt: p.clock.Now(),
-			status:     Status{Source: wdst, Tag: tag, Bytes: n},
-			err:        err,
-		}
+		req := p.getReq()
+		req.done = true
+		req.completeAt = p.clock.Now()
+		req.status = Status{Source: wdst, Tag: tag, Bytes: n}
+		req.err = err
+		return req
 	}
 
 	// Rendezvous: advertise with an RTS; the payload moves (and the
@@ -168,27 +169,25 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 		return req
 	}
 	p.nextReq++
-	req := &Request{
-		p:        p,
-		id:       p.nextReq,
-		sendBuf:  buf,
-		dst:      wdst,
-		tag:      tag,
-		ctx:      o.ctx,
-		postedAt: p.clock.Now(),
-	}
+	req := p.getReq()
+	req.id = p.nextReq
+	req.sendBuf = buf
+	req.dst = wdst
+	req.tag = tag
+	req.ctx = o.ctx
+	req.postedAt = p.clock.Now()
 	p.sendPending[req.id] = req
-	if err := p.post(wdst, &packet{
-		kind:     pktRTS,
-		src:      p.rank,
-		dst:      wdst,
-		tag:      tag,
-		ctx:      o.ctx,
-		nbytes:   n,
-		reqID:    req.id,
-		sentAt:   p.clock.Now(),
-		arriveAt: p.clock.Now().Add(ch.Latency),
-	}); err != nil {
+	rts := getPacket()
+	rts.kind = pktRTS
+	rts.src = p.rank
+	rts.dst = wdst
+	rts.tag = tag
+	rts.ctx = o.ctx
+	rts.nbytes = n
+	rts.reqID = req.id
+	rts.sentAt = p.clock.Now()
+	rts.arriveAt = p.clock.Now().Add(ch.Latency)
+	if err := p.post(wdst, rts); err != nil {
 		delete(p.sendPending, req.id)
 		p.failReq(req, p.clock.Now(), err)
 	}
@@ -200,14 +199,12 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 func (p *Proc) irecvOn(buf []byte, wsrc, tag int, o sendOpts) *Request {
 	p.checkCrash()
 	p.inflight++
-	req := &Request{
-		p:        p,
-		buf:      buf,
-		src:      wsrc,
-		tag:      tag,
-		ctx:      o.ctx,
-		postedAt: p.clock.Now(),
-	}
+	req := p.getReq()
+	req.buf = buf
+	req.src = wsrc
+	req.tag = tag
+	req.ctx = o.ctx
+	req.postedAt = p.clock.Now()
 	if o.coll {
 		req.extraRecvCost = p.w.prof.CollMsgOverhead
 	}
@@ -218,7 +215,7 @@ func (p *Proc) irecvOn(buf []byte, wsrc, tag int, o sendOpts) *Request {
 	p.poll()
 	for i, pkt := range p.unexpected {
 		if matches(req, pkt) {
-			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
+			p.removeUnexpected(i)
 			p.deliver(req, pkt)
 			return req
 		}

@@ -15,8 +15,8 @@ const (
 	pktRTS
 	pktCTS
 	pktData
-	pktRMA      // one-sided operation toward a window
-	pktRMAReply // data reply to an RMA Get
+	pktRMA        // one-sided operation toward a window
+	pktRMAReply   // data reply to an RMA Get
 	pktAbort      // job abort: wakes and kills blocked ranks
 	pktAck        // reliability-layer acknowledgement (fault plans only)
 	pktFailNotice // failure-detector verdict: src is the dead rank (FT worlds)
@@ -36,6 +36,12 @@ type packet struct {
 	nbytes   int    // full payload size (meaningful for RTS)
 	arriveAt vtime.Time
 	reqID    uint64 // rendezvous correlation (RTS/CTS/Data)
+
+	// Host-side reuse bookkeeping (see pool.go). ownsData marks a
+	// payload borrowed from the wire pool; freed guards against a
+	// double free of the packet struct itself.
+	ownsData bool
+	freed    bool
 
 	// Reliability-layer fields, populated only under a fault plan.
 	sentAt    vtime.Time    // when this transmission left the sender
@@ -101,6 +107,12 @@ type Proc struct {
 	// rel is the reliability-sublayer state, non-nil exactly when the
 	// fabric carries a fault plan (see reliability.go).
 	rel *relState
+
+	// Host-side reuse state (see pool.go): a free list of Request
+	// structs for the internal collective paths that fully own their
+	// requests, and the rank's aggregated scratch-arena counters.
+	reqFree    []*Request
+	arenaStats ArenaStats
 
 	// Fault-tolerance state (see ft.go), live only in FT worlds.
 	crash       *faults.Crash        // this rank's scheduled death, if any
@@ -203,12 +215,21 @@ func (p *Proc) post(dst int, pkt *packet) error {
 		p.postRaw(dst, pkt)
 		return nil
 	}
-	return p.reliablePost(dst, pkt)
+	// reliablePost materialises framed copies; the original packet (and
+	// its pooled payload, already encoded into the frames) is done.
+	err := p.reliablePost(dst, pkt)
+	freePacket(pkt)
+	return err
 }
 
 // postRaw bypasses the reliability layer (acks, aborts, and the
 // transmissions reliablePost has already adjudicated).
 func (p *Proc) postRaw(dst int, pkt *packet) { p.w.procs[dst].mb.push(pkt) }
+
+// postRawBatch delivers a same-destination burst (e.g. a reliability
+// layer's whole retransmission schedule) into dst's mailbox under a
+// single lock acquisition, preserving FIFO order.
+func (p *Proc) postRawBatch(dst int, pkts []*packet) { p.w.procs[dst].mb.pushBatch(pkts) }
 
 // matches reports whether a posted receive (req) matches a packet.
 func matches(req *Request, pkt *packet) bool {
@@ -236,9 +257,11 @@ func (p *Proc) dispatch(pkt *packet) {
 			// fabric is on fire.
 		case pktAck:
 			p.handleAck(pkt)
+			freePacket(pkt)
 			return
 		default:
 			if !p.admit(pkt) {
+				freePacket(pkt) // checksum/duplicate reject: life ends here
 				return
 			}
 		}
@@ -247,7 +270,7 @@ func (p *Proc) dispatch(pkt *packet) {
 	case pktEager, pktRTS:
 		for i, req := range p.posted {
 			if matches(req, pkt) {
-				p.posted = append(p.posted[:i], p.posted[i+1:]...)
+				p.removePosted(i)
 				p.deliver(req, pkt)
 				return
 			}
@@ -260,6 +283,7 @@ func (p *Proc) dispatch(pkt *packet) {
 		}
 		delete(p.sendPending, pkt.reqID)
 		p.rndvSendData(req, pkt)
+		freePacket(pkt)
 	case pktData:
 		req, ok := p.recvPending[pkt.reqID]
 		if !ok {
@@ -267,6 +291,7 @@ func (p *Proc) dispatch(pkt *packet) {
 		}
 		delete(p.recvPending, pkt.reqID)
 		p.completeRndvRecv(req, pkt)
+		freePacket(pkt)
 	case pktRMA, pktRMAReply:
 		st, ok := p.windows[pkt.ctx]
 		if !ok {
@@ -275,8 +300,10 @@ func (p *Proc) dispatch(pkt *packet) {
 		st.incoming = append(st.incoming, pkt)
 	case pktFailNotice:
 		p.handleFailNotice(pkt)
+		freePacket(pkt)
 	case pktRevoke:
 		p.handleRevoke(pkt)
+		freePacket(pkt)
 	case pktAbort:
 		// Propagates as a panic so even deeply nested blocking calls
 		// unwind; World.Run recovers it into this rank's error.
@@ -298,8 +325,51 @@ func (p *Proc) poll() {
 	}
 }
 
+// removePosted deletes the posted receive at index i, nilling the
+// vacated tail slot so the backing array retains no stale reference.
+func (p *Proc) removePosted(i int) {
+	copy(p.posted[i:], p.posted[i+1:])
+	last := len(p.posted) - 1
+	p.posted[last] = nil
+	p.posted = p.posted[:last]
+}
+
+// removeUnexpected deletes the queued packet at index i, nilling the
+// vacated tail slot (same head-retention discipline as removePosted).
+func (p *Proc) removeUnexpected(i int) {
+	copy(p.unexpected[i:], p.unexpected[i+1:])
+	last := len(p.unexpected) - 1
+	p.unexpected[last] = nil
+	p.unexpected = p.unexpected[:last]
+}
+
+// getReq returns a zeroed Request from the rank-confined free list.
+func (p *Proc) getReq() *Request {
+	if n := len(p.reqFree); n > 0 {
+		r := p.reqFree[n-1]
+		p.reqFree[n-1] = nil
+		p.reqFree = p.reqFree[:n-1]
+		*r = Request{p: p}
+		return r
+	}
+	return &Request{p: p}
+}
+
+// putReq parks a completed Request for reuse. Only callers that fully
+// own a request may release it: the internal collective/engine paths
+// that issued it, waited it to completion, and hold the last
+// reference. User-facing requests are never recycled.
+func (p *Proc) putReq(r *Request) {
+	if r == nil || !r.done {
+		return
+	}
+	p.reqFree = append(p.reqFree, r)
+}
+
 // deliver completes the receive req with an eager payload or, for an
-// RTS, starts the rendezvous reply.
+// RTS, starts the rendezvous reply. The packet's life ends here: both
+// the eager payload (copied out) and the RTS metadata (answered with a
+// CTS) are consumed, so deliver frees it on behalf of every caller.
 func (p *Proc) deliver(req *Request, pkt *packet) {
 	ch := p.channel(pkt.src)
 	switch pkt.kind {
@@ -325,6 +395,7 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 		req.done = true
 		p.stats.MsgsReceived++
 		p.recordRecv(pkt.src, len(pkt.data), req.postedAt, complete)
+		freePacket(pkt)
 	case pktRTS:
 		if pkt.nbytes > len(req.buf) {
 			req.err = fmt.Errorf("%w: %d-byte rendezvous into %d-byte buffer", ErrTruncated, pkt.nbytes, len(req.buf))
@@ -333,19 +404,20 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 		req.rndvFrom = pkt.src
 		req.rndvTag = pkt.tag
 		p.recvPending[pkt.reqID] = req
-		cts := &packet{
-			kind:     pktCTS,
-			src:      p.rank,
-			dst:      pkt.src,
-			ctx:      pkt.ctx,
-			reqID:    pkt.reqID,
-			sentAt:   readyAt,
-			arriveAt: readyAt.Add(ch.Latency),
-		}
-		if err := p.post(pkt.src, cts); err != nil {
+		cts := getPacket()
+		cts.kind = pktCTS
+		cts.src = p.rank
+		cts.dst = pkt.src
+		cts.ctx = pkt.ctx
+		cts.reqID = pkt.reqID
+		cts.sentAt = readyAt
+		cts.arriveAt = readyAt.Add(ch.Latency)
+		src, reqID := pkt.src, pkt.reqID
+		freePacket(pkt)
+		if err := p.post(src, cts); err != nil {
 			// The rendezvous partner is unreachable: the receive fails
 			// in place instead of waiting for data that will never come.
-			delete(p.recvPending, pkt.reqID)
+			delete(p.recvPending, reqID)
 			p.failReq(req, readyAt, err)
 		}
 	default:
@@ -365,24 +437,24 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	// in on).
 	start := vtime.Max(cts.arriveAt, p.nicFree)
 	start = start.Add(ch.RndvHandshake)
-	data := make([]byte, len(req.sendBuf))
+	data := getWire(len(req.sendBuf))
 	copy(data, req.sendBuf)
 	// The send completes when the first injection clears the NIC;
 	// reliablePost may keep the NIC busy later for retransmissions,
 	// but those never block the sender's CPU.
 	injected := start.Add(ch.SerializeTime(len(data)))
 	p.nicFree = injected
-	pkt := &packet{
-		kind:     pktData,
-		src:      p.rank,
-		dst:      req.dst,
-		tag:      req.tag,
-		ctx:      req.ctx,
-		data:     data,
-		reqID:    req.id,
-		sentAt:   start,
-		arriveAt: start.Add(ch.TransferTime(len(data))),
-	}
+	pkt := getPacket()
+	pkt.kind = pktData
+	pkt.src = p.rank
+	pkt.dst = req.dst
+	pkt.tag = req.tag
+	pkt.ctx = req.ctx
+	pkt.data = data
+	pkt.ownsData = true
+	pkt.reqID = req.id
+	pkt.sentAt = start
+	pkt.arriveAt = start.Add(ch.TransferTime(len(data)))
 	err := p.post(req.dst, pkt)
 	req.completeAt = injected
 	req.err = err

@@ -1,0 +1,5 @@
+//go:build !race
+
+package nativempi
+
+const raceEnabled = false

@@ -70,6 +70,11 @@ type relState struct {
 	// the ack stream: payload bytes and the settled attempt's send
 	// time, so the eventual ack can be traced as a full round trip.
 	await map[relKey]relAwait
+	// verdicts/burst are per-message scratch reused across reliablePost
+	// calls: the whole transmission schedule is adjudicated, then
+	// materialised, then delivered as one mailbox batch.
+	verdicts []faults.Verdict
+	burst    []*packet
 }
 
 // relAwait is the sender-side record of one in-flight acknowledgement.
@@ -136,13 +141,19 @@ func (p *Proc) reliablePost(dst int, pkt *packet) error {
 	n := len(pkt.data)
 	hdr := mpjbuf.RelHeader{Stream: uint8(stream), Kind: uint8(pkt.kind), Seq: seq}
 
+	// Adjudicate the whole burst in one fabric call, then materialise
+	// exactly the copies that reach the destination. They all target
+	// one mailbox, so they are delivered as a single batch below —
+	// one lock acquisition for the burst instead of one per copy.
+	rel := p.rel
+	var settled int
+	rel.verdicts, settled = fab.BurstVerdicts(p.rank, dst, stream, seq, prof.MaxRetransmits, rel.verdicts[:0])
+
 	rto := prof.RetransmitRTO
 	sendT := pkt.sentAt
 	prevSendT := pkt.sentAt
 	lastSendT := pkt.sentAt
-	acked := false
-	for k := 0; k < prof.MaxRetransmits; k++ {
-		v := fab.DataVerdict(p.rank, dst, stream, seq, k)
+	for k, v := range rel.verdicts {
 		if k > 0 {
 			p.stats.Retransmits++
 			// The span is the RTO wait that expired to trigger this
@@ -168,35 +179,43 @@ func (p *Proc) reliablePost(dst int, pkt *packet) error {
 				p.recordRel(trace.KindFault,
 					fmt.Sprintf("delay %v seq=%d attempt=%d by %v", stream, seq, k, v.Delay), dst, n, sendT)
 			}
-			cp := *pkt
+			cp := getPacket()
+			*cp = *pkt
+			cp.freed = false
 			cp.wire = frame
 			cp.data = nil // the receiver recovers the payload from the frame
+			cp.ownsData = false
 			cp.relStream, cp.relSeq, cp.attempt = stream, seq, k
 			cp.sentAt = sendT
 			cp.arriveAt = sendT.Add(wireTime + v.Delay)
-			p.postRaw(dst, &cp)
+			rel.burst = append(rel.burst, cp)
 			lastSendT = sendT
 			if v.Duplicate {
-				dup := cp
+				dup := getPacket()
+				*dup = *cp
+				dup.freed = false
 				dup.arriveAt = cp.arriveAt.Add(ch.Latency / 2)
-				p.postRaw(dst, &dup)
+				rel.burst = append(rel.burst, dup)
 				p.stats.FaultDups++
 				p.recordRel(trace.KindFault,
 					fmt.Sprintf("dup %v seq=%d attempt=%d", stream, seq, k), dst, n, sendT)
 			}
-			if v.CorruptPos < 0 && !fab.AckDropped(p.rank, dst, stream, seq, k) {
+			if k == settled {
 				// This copy is intact and its ack will make it back:
 				// the protocol settles on attempt k.
 				p.rel.await[relKey{dst, stream, seq}] = relAwait{bytes: n, sentAt: sendT}
-				acked = true
-				break
 			}
 		}
 		prevSendT = sendT
 		sendT = sendT.Add(rto)
 		rto *= vtime.Duration(prof.RetransmitBackoff)
 	}
-	if !acked {
+	// Deliver the burst: every materialised copy, in attempt order,
+	// under one lock acquisition at the destination mailbox.
+	p.postRawBatch(dst, rel.burst)
+	clearTail(rel.burst, 0)
+	rel.burst = rel.burst[:0]
+	if settled < 0 {
 		reason := fmt.Sprintf("rank %d: peer %d unreachable: no ack for %v seq %d after %d attempts",
 			p.rank, dst, stream, seq, prof.MaxRetransmits)
 		p.stats.PeerFailures++
@@ -254,15 +273,15 @@ func (p *Proc) admit(pkt *packet) bool {
 	if !p.w.fab.AckDropped(pkt.src, p.rank, stream, hdr.Seq, int(hdr.Attempt)) {
 		ch := p.channel(pkt.src)
 		p.stats.AcksSent++
-		p.postRaw(pkt.src, &packet{
-			kind:      pktAck,
-			src:       p.rank,
-			dst:       pkt.src,
-			relStream: stream,
-			relSeq:    hdr.Seq,
-			attempt:   int(hdr.Attempt),
-			arriveAt:  pkt.arriveAt.Add(ch.Latency),
-		})
+		ack := getPacket()
+		ack.kind = pktAck
+		ack.src = p.rank
+		ack.dst = pkt.src
+		ack.relStream = stream
+		ack.relSeq = hdr.Seq
+		ack.attempt = int(hdr.Attempt)
+		ack.arriveAt = pkt.arriveAt.Add(ch.Latency)
+		p.postRaw(pkt.src, ack)
 	} else {
 		p.recordRel(trace.KindFault,
 			fmt.Sprintf("ack drop %v seq=%d attempt=%d", stream, hdr.Seq, hdr.Attempt), pkt.src, 0, pkt.arriveAt)

@@ -129,21 +129,22 @@ func (w *Win) injectRMA(target int, kind pktKind, meta int64, off int, data []by
 	p.clock.AdvanceTo(p.nicFree)
 	var payload []byte
 	if n > 0 {
-		payload = make([]byte, n)
+		payload = getWire(n)
 		copy(payload, data)
 	}
-	p.post(wdst, &packet{
-		kind:     kind,
-		src:      p.rank,
-		dst:      wdst,
-		tag:      off,
-		ctx:      w.id,
-		data:     payload,
-		nbytes:   int(meta),
-		reqID:    reqID,
-		sentAt:   start,
-		arriveAt: start.Add(ch.TransferTime(n)),
-	})
+	pkt := getPacket()
+	pkt.kind = kind
+	pkt.src = p.rank
+	pkt.dst = wdst
+	pkt.tag = off
+	pkt.ctx = w.id
+	pkt.data = payload
+	pkt.ownsData = true
+	pkt.nbytes = int(meta)
+	pkt.reqID = reqID
+	pkt.sentAt = start
+	pkt.arriveAt = start.Add(ch.TransferTime(n))
+	p.post(wdst, pkt)
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(n)
 }
@@ -281,18 +282,26 @@ func (w *Win) Fence() error {
 	var firstErr error
 	applied := 0
 	apply := func() {
-		for len(w.st.incoming) > 0 {
-			pkt := w.st.incoming[0]
-			w.st.incoming = w.st.incoming[1:]
+		// Indexed drain, then reset to the array start: nothing appends
+		// to incoming while apply runs (arrivals land in dispatch, which
+		// only the Fence loop's own polling reaches), so the backing
+		// array can be recycled for the next batch instead of being
+		// abandoned one head-retaining reslice at a time.
+		for i, pkt := range w.st.incoming {
+			w.st.incoming[i] = nil // release now, or the array pins the packet
 			if pkt.kind == pktRMAReply {
 				w.completeReply(pkt)
+				freePacket(pkt)
 				continue
 			}
-			if err := w.applyIncoming(pkt); err != nil && firstErr == nil {
+			err := w.applyIncoming(pkt)
+			freePacket(pkt)
+			if err != nil && firstErr == nil {
 				firstErr = err
 			}
 			applied++
 		}
+		w.st.incoming = w.st.incoming[:0]
 	}
 	getsDone := func() bool {
 		for _, g := range w.getPending {
