@@ -10,11 +10,12 @@
 //	mv2jbench                 # full tier: latency/bw + allreduce np∈{2,8,32,128}
 //	mv2jbench -quick          # CI tier: short sweeps at np∈{2,8}
 //	mv2jbench -compare BENCH_OMB.json
-//	                          # allocs/op guardrail vs a checked-in baseline
+//	                          # host-metric guardrail vs a checked-in baseline
 //
-// With -compare, the exit status is 1 if any suite's allocs/op
-// regressed beyond -tolerance (or the suite plans diverged); large
-// improvements only warn, prompting a baseline re-pin.
+// With -compare, the exit status is 1 if any suite's allocs/op or
+// bytes-copied regressed beyond -tolerance (or the suite plans
+// diverged); large improvements only warn, prompting a baseline
+// re-pin.
 package main
 
 import (
@@ -38,8 +39,8 @@ func gitSHA() string {
 func main() {
 	quick := flag.Bool("quick", false, "run the short CI tier (np∈{2,8}, small sweeps)")
 	out := flag.String("out", "BENCH_OMB.json", "output path for the report")
-	compare := flag.String("compare", "", "baseline BENCH_OMB.json to apply the allocs/op guardrail against")
-	tol := flag.Float64("tolerance", 0.20, "fractional allocs/op tolerance for -compare")
+	compare := flag.String("compare", "", "baseline BENCH_OMB.json to apply the host-metric guardrail against")
+	tol := flag.Float64("tolerance", 0.20, "fractional per-metric tolerance for -compare")
 	flag.Parse()
 
 	rep, err := hostbench.Run(*quick, gitSHA(), func(line string) {
@@ -82,11 +83,11 @@ func main() {
 		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "mv2jbench: allocs/op guardrail FAILED (tolerance ±%.0f%%)\n", *tol*100)
+		fmt.Fprintf(os.Stderr, "mv2jbench: host-metric guardrail FAILED (tolerance ±%.0f%%)\n", *tol*100)
 		os.Exit(1)
 	}
 	if improved {
-		fmt.Fprintf(os.Stderr, "mv2jbench: allocs/op improved beyond %.0f%% — re-pin the baseline (%s) to lock it in\n", *tol*100, *compare)
+		fmt.Fprintf(os.Stderr, "mv2jbench: host metrics improved beyond %.0f%% — re-pin the baseline (%s) to lock it in\n", *tol*100, *compare)
 	}
 	fmt.Fprintln(os.Stderr, "mv2jbench: guardrail ok")
 }

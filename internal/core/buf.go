@@ -172,6 +172,15 @@ func (m *MPI) sendStageImpl(buf any, offset, count int, dt Datatype) (raw []byte
 				ErrCount, nbytes, start, b.Limit())
 		}
 		if b.IsDirect() {
+			// Direct pass-through: the send path hands the runtime a
+			// slice aliasing the buffer's off-heap storage — no mpjbuf
+			// bounce, no host copy, and (matching real JNI, where
+			// GetDirectBufferAddress is a pointer fetch) no virtual
+			// charge either. This is the host half of the zero-copy
+			// datapath: with rendezvous borrowing downstream
+			// (nativempi), a large direct-buffer send moves exactly one
+			// host memcpy, at the receiver. See DESIGN.md §"Copy
+			// elision vs. the virtual-time invariant".
 			view := m.env.GetDirectBufferAddress(b)
 			return view[start : start+nbytes], noop, nil
 		}

@@ -8,9 +8,9 @@ type Verdict int
 const (
 	// OK: within tolerance of the baseline.
 	OK Verdict = iota
-	// Regression: allocs/op grew beyond tolerance — the guardrail fails.
+	// Regression: the metric grew beyond tolerance — the guardrail fails.
 	Regression
-	// Improvement: allocs/op shrank beyond tolerance — warn, so the
+	// Improvement: the metric shrank beyond tolerance — warn, so the
 	// baseline gets re-pinned and the win is locked in.
 	Improvement
 	// Unmatched: present on only one side (suite plan changed).
@@ -32,12 +32,19 @@ func (v Verdict) String() string {
 	}
 }
 
-// Delta is one entry's movement against the baseline.
+// Metric names Compare gates on.
+const (
+	MetricAllocs = "allocs/op"
+	MetricCopied = "bytes_copied"
+)
+
+// Delta is one (entry, metric) movement against the baseline.
 type Delta struct {
 	Key      string
+	Metric   string
 	Verdict  Verdict
-	Baseline int64 // baseline allocs/op (-1 if unmatched)
-	Current  int64 // current allocs/op (-1 if unmatched)
+	Baseline int64 // baseline value (-1 if unmatched)
+	Current  int64 // current value (-1 if unmatched)
 }
 
 func (d Delta) String() string {
@@ -49,14 +56,33 @@ func (d Delta) String() string {
 		if d.Baseline > 0 {
 			pct = 100 * (float64(d.Current) - float64(d.Baseline)) / float64(d.Baseline)
 		}
-		return fmt.Sprintf("%-24s %s: allocs/op %d -> %d (%+.1f%%)", d.Key, d.Verdict, d.Baseline, d.Current, pct)
+		return fmt.Sprintf("%-24s %s: %s %d -> %d (%+.1f%%)", d.Key, d.Verdict, d.Metric, d.Baseline, d.Current, pct)
 	}
 }
 
-// Compare applies the allocs/op guardrail: each current entry is
-// matched to the baseline by (suite, np, mode) and its allocs/op must
-// stay within ±tol (fractional, e.g. 0.20). Only allocations are
-// compared — host ns/op depends on the machine, allocs/op does not.
+// gate classifies one metric against its baseline with ±tol.
+func gate(key, metric string, base, cur int64, tol float64) Delta {
+	d := Delta{Key: key, Metric: metric, Baseline: base, Current: cur}
+	hi := float64(base) * (1 + tol)
+	lo := float64(base) * (1 - tol)
+	switch {
+	case float64(cur) > hi:
+		d.Verdict = Regression
+	case float64(cur) < lo:
+		d.Verdict = Improvement
+	default:
+		d.Verdict = OK
+	}
+	return d
+}
+
+// Compare applies the host-metric guardrails: each current entry is
+// matched to the baseline by Key() and two metrics must each stay
+// within ±tol (fractional, e.g. 0.20): allocs/op and the world's
+// bytes-copied counter. Host ns/op is never compared — it depends on
+// the machine; allocations and copy traffic do not. A baseline entry
+// whose bytes_copied is zero predates the copy counters, so that gate
+// is skipped rather than failed (re-pinning the baseline turns it on).
 // Failed reports whether any regression or unmatched entry exists.
 func Compare(baseline, current *Report, tol float64) (deltas []Delta, failed bool) {
 	base := map[string]Entry{}
@@ -68,27 +94,26 @@ func Compare(baseline, current *Report, tol float64) (deltas []Delta, failed boo
 		seen[e.Key()] = true
 		b, ok := base[e.Key()]
 		if !ok {
-			deltas = append(deltas, Delta{Key: e.Key(), Verdict: Unmatched, Baseline: -1, Current: e.AllocsPerOp})
+			deltas = append(deltas, Delta{Key: e.Key(), Metric: MetricAllocs, Verdict: Unmatched, Baseline: -1, Current: e.AllocsPerOp})
 			failed = true
 			continue
 		}
-		d := Delta{Key: e.Key(), Baseline: b.AllocsPerOp, Current: e.AllocsPerOp}
-		hi := float64(b.AllocsPerOp) * (1 + tol)
-		lo := float64(b.AllocsPerOp) * (1 - tol)
-		switch {
-		case float64(e.AllocsPerOp) > hi:
-			d.Verdict = Regression
+		d := gate(e.Key(), MetricAllocs, b.AllocsPerOp, e.AllocsPerOp, tol)
+		if d.Verdict == Regression {
 			failed = true
-		case float64(e.AllocsPerOp) < lo:
-			d.Verdict = Improvement
-		default:
-			d.Verdict = OK
 		}
 		deltas = append(deltas, d)
+		if b.Host.Copy.BytesCopied > 0 {
+			d = gate(e.Key(), MetricCopied, b.Host.Copy.BytesCopied, e.Host.Copy.BytesCopied, tol)
+			if d.Verdict == Regression {
+				failed = true
+			}
+			deltas = append(deltas, d)
+		}
 	}
 	for _, e := range baseline.Entries {
 		if !seen[e.Key()] {
-			deltas = append(deltas, Delta{Key: e.Key(), Verdict: Unmatched, Baseline: e.AllocsPerOp, Current: -1})
+			deltas = append(deltas, Delta{Key: e.Key(), Metric: MetricAllocs, Verdict: Unmatched, Baseline: e.AllocsPerOp, Current: -1})
 			failed = true
 		}
 	}

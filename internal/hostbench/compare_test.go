@@ -3,6 +3,8 @@ package hostbench
 import (
 	"strings"
 	"testing"
+
+	"mv2j/internal/nativempi"
 )
 
 func rep(entries ...Entry) *Report {
@@ -11,6 +13,11 @@ func rep(entries ...Entry) *Report {
 
 func entry(suite string, np int, allocs int64) Entry {
 	return Entry{Suite: suite, NP: np, Mode: "buffer", AllocsPerOp: allocs}
+}
+
+func withCopied(e Entry, copied int64) Entry {
+	e.Host.Copy = nativempi.CopyStats{BytesCopied: copied}
+	return e
 }
 
 func TestCompareVerdicts(t *testing.T) {
@@ -30,16 +37,60 @@ func TestCompareVerdicts(t *testing.T) {
 	}
 	got := map[string]Verdict{}
 	for _, d := range deltas {
-		got[d.Key] = d.Verdict
+		got[d.Key+" "+d.Metric] = d.Verdict
 	}
 	want := map[string]Verdict{
-		"latency/np2/buffer":   OK,
-		"allreduce/np8/buffer": Regression,
-		"bw/np2/buffer":        Improvement,
+		"latency/np2/buffer allocs/op":   OK,
+		"allreduce/np8/buffer allocs/op": Regression,
+		"bw/np2/buffer allocs/op":        Improvement,
 	}
 	for k, v := range want {
 		if got[k] != v {
 			t.Errorf("%s: verdict %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestCompareBytesCopiedGate(t *testing.T) {
+	base := rep(
+		withCopied(entry("bw", 2, 1000), 1<<20),
+		withCopied(entry("latency", 2, 1000), 4096),
+	)
+	cur := rep(
+		withCopied(entry("bw", 2, 1000), 2<<20),   // copies doubled -> regression
+		withCopied(entry("latency", 2, 1000), 2048), // copies halved -> improvement
+	)
+	deltas, failed := Compare(base, cur, 0.20)
+	if !failed {
+		t.Fatal("want failed=true (bw copy traffic regressed)")
+	}
+	got := map[string]Verdict{}
+	for _, d := range deltas {
+		got[d.Key+" "+d.Metric] = d.Verdict
+	}
+	if got["bw/np2/buffer bytes_copied"] != Regression {
+		t.Errorf("bw bytes_copied verdict = %v, want Regression", got["bw/np2/buffer bytes_copied"])
+	}
+	if got["latency/np2/buffer bytes_copied"] != Improvement {
+		t.Errorf("latency bytes_copied verdict = %v, want Improvement", got["latency/np2/buffer bytes_copied"])
+	}
+	if got["bw/np2/buffer allocs/op"] != OK || got["latency/np2/buffer allocs/op"] != OK {
+		t.Error("allocs/op gates should still be OK")
+	}
+}
+
+// A baseline that predates the copy counters (bytes_copied == 0) must
+// not fail the gate — it is skipped until the baseline is re-pinned.
+func TestCompareSkipsCopyGateOnOldBaseline(t *testing.T) {
+	base := rep(entry("bw", 2, 1000)) // Host.Copy zero-valued
+	cur := rep(withCopied(entry("bw", 2, 1000), 1<<20))
+	deltas, failed := Compare(base, cur, 0.20)
+	if failed {
+		t.Fatalf("want failed=false, deltas=%v", deltas)
+	}
+	for _, d := range deltas {
+		if d.Metric == MetricCopied {
+			t.Fatalf("copy gate should be skipped for a zero baseline, got %v", d)
 		}
 	}
 }
@@ -81,8 +132,12 @@ func TestCompareUnmatchedBothDirections(t *testing.T) {
 }
 
 func TestDeltaAndVerdictStrings(t *testing.T) {
-	d := Delta{Key: "latency/np2/buffer", Verdict: Regression, Baseline: 100, Current: 150}
-	if s := d.String(); !strings.Contains(s, "REGRESSION") || !strings.Contains(s, "+50.0%") {
+	d := Delta{Key: "latency/np2/buffer", Metric: MetricAllocs, Verdict: Regression, Baseline: 100, Current: 150}
+	if s := d.String(); !strings.Contains(s, "REGRESSION") || !strings.Contains(s, "+50.0%") || !strings.Contains(s, "allocs/op") {
+		t.Errorf("Delta.String() = %q", s)
+	}
+	c := Delta{Key: "bw/np2/buffer", Metric: MetricCopied, Verdict: Improvement, Baseline: 1000, Current: 500}
+	if s := c.String(); !strings.Contains(s, "bytes_copied") {
 		t.Errorf("Delta.String() = %q", s)
 	}
 	u := Delta{Key: "bw/np2/buffer", Verdict: Unmatched, Baseline: 5000, Current: -1}
@@ -127,11 +182,13 @@ func TestReportMarshalParseRoundTrip(t *testing.T) {
 func TestQuickSuitePlanStable(t *testing.T) {
 	var keys []string
 	for _, s := range Suites(true) {
-		keys = append(keys, Entry{Suite: s.Bench, NP: s.NP(), Mode: s.Mode.String()}.Key())
+		keys = append(keys, Entry{Suite: s.Bench, Label: s.Label, NP: s.NP(), Mode: s.Mode.String()}.Key())
 	}
 	want := []string{
 		"latency/np2/buffer",
 		"bw/np2/buffer",
+		"bw-1m/np2/buffer",
+		"mr/np8/buffer",
 		"allreduce/np2/buffer",
 		"allreduce/np8/buffer",
 	}

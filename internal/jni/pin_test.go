@@ -1,0 +1,144 @@
+package jni
+
+import (
+	"testing"
+
+	"mv2j/internal/jvm"
+	"mv2j/internal/vtime"
+)
+
+func newPinEnv(t testing.TB) (*Env, *jvm.Machine, *vtime.Clock) {
+	t.Helper()
+	clock := vtime.NewClock()
+	m := jvm.NewMachine(clock, jvm.Options{
+		HeapSize: 1 << 20, ArenaSize: 1 << 20, AllowPinning: true,
+	})
+	return New(m), m, clock
+}
+
+func TestGetArrayElementsPinsOnPinningJVM(t *testing.T) {
+	e, m, _ := newPinEnv(t)
+	a := m.MustArray(jvm.Byte, 16)
+	a.SetInt(3, 7)
+	elems := e.GetArrayElements(a)
+	if elems[3] != 7 {
+		t.Fatal("pinned view missing array contents")
+	}
+	// The view aliases the array: a write through it is immediately
+	// visible (isCopy=false semantics).
+	elems[3] = 42
+	if a.Int(3) != 42 {
+		t.Fatal("pinning JVM must alias the array storage")
+	}
+	if got := e.Stats().ArraysPinned; got != 1 {
+		t.Fatalf("ArraysPinned = %d, want 1", got)
+	}
+	e.ReleaseArrayElements(a, elems, CopyBack)
+	if a.Int(3) != 42 {
+		t.Fatal("contents lost across release")
+	}
+}
+
+func TestPinnedArrayDoesNotMoveDuringGC(t *testing.T) {
+	e, m, _ := newPinEnv(t)
+	junk := m.MustArray(jvm.Byte, 4096) // garbage below the pinned array
+	a := m.MustArray(jvm.Byte, 64)
+	a.SetInt(0, 9)
+	elems := e.GetArrayElements(a)
+	off := a.Offset()
+	junk.Discard()
+	if err := m.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Offset() != off {
+		t.Fatalf("pinned array moved: %d -> %d", off, a.Offset())
+	}
+	if elems[0] != 9 {
+		t.Fatal("pinned view invalidated by GC")
+	}
+	e.ReleaseArrayElements(a, elems, CopyBack)
+	// Unpinned now: the next collection is free to slide it down.
+	if err := m.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Offset() == off {
+		t.Fatal("array still immovable after release")
+	}
+	if a.Int(0) != 9 {
+		t.Fatal("contents lost across compaction")
+	}
+}
+
+func TestReleaseCommitKeepsPin(t *testing.T) {
+	e, m, _ := newPinEnv(t)
+	junk := m.MustArray(jvm.Byte, 4096)
+	a := m.MustArray(jvm.Byte, 64)
+	elems := e.GetArrayElements(a)
+	off := a.Offset()
+	junk.Discard()
+	e.ReleaseArrayElements(a, elems, Commit)
+	if err := m.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Offset() != off {
+		t.Fatal("Commit must keep the array pinned")
+	}
+	e.ReleaseArrayElements(a, elems, CopyBack)
+	if err := m.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Offset() == off {
+		t.Fatal("array still pinned after final release")
+	}
+}
+
+func TestReleaseAbortUnpins(t *testing.T) {
+	e, m, _ := newPinEnv(t)
+	junk := m.MustArray(jvm.Byte, 4096)
+	a := m.MustArray(jvm.Byte, 64)
+	elems := e.GetArrayElements(a)
+	off := a.Offset()
+	junk.Discard()
+	e.ReleaseArrayElements(a, elems, Abort)
+	if err := m.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Offset() == off {
+		t.Fatal("Abort must unpin the array")
+	}
+}
+
+// TestPinningKeepsVirtualCostsAndStats is the invariant the whole
+// satellite rests on: a pinning JVM changes host-side data movement
+// only. Virtual time and the scraped Stats counters must be
+// indistinguishable from the copying JVM's.
+func TestPinningKeepsVirtualCostsAndStats(t *testing.T) {
+	run := func(pin bool) (vtime.Time, Stats) {
+		clock := vtime.NewClock()
+		m := jvm.NewMachine(clock, jvm.Options{
+			HeapSize: 1 << 20, ArenaSize: 1 << 20, AllowPinning: pin,
+		})
+		e := New(m)
+		a := m.MustArray(jvm.Byte, 1024)
+		for i := 0; i < 3; i++ {
+			elems := e.GetArrayElements(a)
+			elems[0] = byte(i)
+			e.ReleaseArrayElements(a, elems, CopyBack)
+		}
+		elems := e.GetArrayElements(a)
+		e.ReleaseArrayElements(a, elems, Abort)
+		return clock.Now(), e.Stats()
+	}
+	tCopy, sCopy := run(false)
+	tPin, sPin := run(true)
+	if tCopy != tPin {
+		t.Fatalf("virtual time differs: copy=%v pin=%v", tCopy, tPin)
+	}
+	if sCopy.ArraysPinned != 0 || sPin.ArraysPinned != 4 {
+		t.Fatalf("ArraysPinned: copy=%d pin=%d", sCopy.ArraysPinned, sPin.ArraysPinned)
+	}
+	sPin.ArraysPinned = 0
+	if sCopy != sPin {
+		t.Fatalf("deterministic stats differ:\ncopy: %+v\npin:  %+v", sCopy, sPin)
+	}
+}

@@ -42,6 +42,7 @@ type objSlot struct {
 	live  bool
 	kind  Kind
 	elems int
+	pins  int // open pin count; pinned objects do not move during GC
 }
 
 // Stats aggregates allocator and collector activity for one machine.
@@ -68,6 +69,13 @@ type Options struct {
 	// Costs overrides the access cost model; the zero value selects
 	// DefaultCosts.
 	Costs *AccessCosts
+	// AllowPinning models a JVM whose collector supports object
+	// pinning (e.g. region-based collectors that can exempt a region
+	// from evacuation). When set, JNI Get<Type>ArrayElements may return
+	// a pointer to the actual array storage instead of a copy — the
+	// possibility the JNI spec leaves open via isCopy. Default JVMs do
+	// not pin, matching the paper's "all modern JVMs copy" observation.
+	AllowPinning bool
 }
 
 // Machine is one simulated JVM instance. Each MPI rank owns exactly
@@ -84,6 +92,7 @@ type Machine struct {
 	critical  int
 	pendingGC bool
 	arena     *arena
+	allowPin  bool
 	stats     Stats
 	gcObs     func(liveBytes int, start, end vtime.Time)
 }
@@ -115,11 +124,45 @@ func NewMachine(clock *vtime.Clock, opts Options) *Machine {
 		costs = *opts.Costs
 	}
 	return &Machine{
-		clock: clock,
-		costs: costs,
-		heap:  make([]byte, heapSize),
-		arena: newArena(arenaSize),
+		clock:    clock,
+		costs:    costs,
+		heap:     make([]byte, heapSize),
+		arena:    newArena(arenaSize),
+		allowPin: opts.AllowPinning,
 	}
+}
+
+// CanPin reports whether this JVM's collector supports object pinning
+// (Options.AllowPinning). On such machines Pin/Unpin bracket a region
+// during which the object's storage is guaranteed not to move.
+func (m *Machine) CanPin() bool { return m.allowPin }
+
+// Pin marks r's object immovable until the matching Unpin. Pins nest.
+// It fails on machines whose collector does not support pinning and on
+// stale references.
+func (m *Machine) Pin(r Ref) error {
+	if !m.allowPin {
+		return errors.New("jvm: collector does not support pinning")
+	}
+	s, err := m.slot(r)
+	if err != nil {
+		return err
+	}
+	s.pins++
+	return nil
+}
+
+// Unpin releases one pin on r's object.
+func (m *Machine) Unpin(r Ref) error {
+	s, err := m.slot(r)
+	if err != nil {
+		return err
+	}
+	if s.pins == 0 {
+		panic("jvm: Unpin without Pin")
+	}
+	s.pins--
+	return nil
 }
 
 // Clock returns the rank clock this machine charges.
@@ -206,6 +249,12 @@ func (m *Machine) discard(r Ref) error {
 	if err != nil {
 		return err
 	}
+	if s.pins > 0 {
+		// Discarding a pinned object means native code still holds its
+		// storage — the use-after-free JNI's copy semantics exist to
+		// prevent. A loud stop beats silent corruption.
+		panic("jvm: discard of pinned object")
+	}
 	s.live = false
 	m.liveBytes -= s.size
 	idx, _ := r.split()
@@ -246,6 +295,14 @@ func (m *Machine) GC() error {
 	moved := int64(0)
 	for _, i := range order {
 		s := &m.slots[i]
+		if s.pins > 0 {
+			// Pinned objects hold their addresses; compaction resumes
+			// past them. Processing in address order keeps dst <= s.off
+			// for every unpinned slot (objects only slide down), so the
+			// copy below never overlaps a pinned region.
+			dst = s.off + s.size
+			continue
+		}
 		if s.off != dst {
 			copy(m.heap[dst:dst+s.size], m.heap[s.off:s.off+s.size])
 			moved += int64(s.size)

@@ -254,16 +254,9 @@ func (p *Proc) handleFailNotice(pkt *packet) {
 	p.w.met.Observe(p.rank, "ft", "detect_ps", int64(confirmAt.Sub(deathAt)))
 
 	err := procFailedErr(dead)
-	kept := p.posted[:0]
-	for _, req := range p.posted {
-		if req.src == dead {
-			p.failReq(req, confirmAt, err)
-			continue
-		}
-		kept = append(kept, req)
-	}
-	clearTail(p.posted, len(kept))
-	p.posted = kept
+	p.posted.failWhere(
+		func(req *Request) bool { return req.src == dead },
+		func(req *Request) { p.failReq(req, confirmAt, err) })
 	for id, req := range p.recvPending {
 		if req.rndvFrom == dead {
 			delete(p.recvPending, id)
@@ -308,16 +301,9 @@ func (p *Proc) applyRevoke(ptCtx, collCtx int32, at vtime.Time) {
 	p.w.met.Add(p.rank, "ft", "revokes_applied", 1)
 	err := fmt.Errorf("%w: contexts %d/%d", ErrRevoked, ptCtx, collCtx)
 	onCtx := func(ctx int32) bool { return ctx == ptCtx || ctx == collCtx }
-	kept := p.posted[:0]
-	for _, req := range p.posted {
-		if onCtx(req.ctx) {
-			p.failReq(req, at, err)
-			continue
-		}
-		kept = append(kept, req)
-	}
-	clearTail(p.posted, len(kept))
-	p.posted = kept
+	p.posted.failWhere(
+		func(req *Request) bool { return onCtx(req.ctx) },
+		func(req *Request) { p.failReq(req, at, err) })
 	for id, req := range p.recvPending {
 		if onCtx(req.ctx) {
 			delete(p.recvPending, id)
@@ -330,6 +316,10 @@ func (p *Proc) applyRevoke(ptCtx, collCtx int32, at vtime.Time) {
 			p.failReq(req, at, err)
 		}
 	}
+	// Unexpected packets on the revoked contexts can never match a
+	// receive again (receives on them fail at entry); drop them so
+	// their pooled payloads return instead of leaking.
+	p.unexp.purgeWhere(func(k matchKey) bool { return onCtx(k.ctx) }, freePacket)
 }
 
 // entryCheckSend fails a rendezvous send at entry when its context is

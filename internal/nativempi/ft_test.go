@@ -416,13 +416,23 @@ func TestFTNoLeaksAfterRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
+	dead := map[int]bool{}
+	for _, r := range w.FailedRanks() {
+		dead[r] = true
+	}
 	for r := 0; r < 4; r++ {
 		p := w.Proc(r)
 		if pkt, ok := p.mb.tryPop(); ok {
 			t.Errorf("rank %d mailbox not drained: leftover %v packet from %d", r, pkt.kind, pkt.src)
 		}
-		if n := len(p.posted); n != 0 {
+		if n := p.posted.pending(); n != 0 {
 			t.Errorf("rank %d leaks %d posted receives", r, n)
+		}
+		if n := p.unexp.pendingFromLive(dead); n != 0 {
+			t.Errorf("rank %d leaks %d unexpected packets from live ranks", r, n)
+		}
+		if n := len(p.finPending); n != 0 {
+			t.Errorf("rank %d leaks %d zero-copy fences", r, n)
 		}
 		if n := len(p.recvPending); n != 0 {
 			t.Errorf("rank %d leaks %d rendezvous receive states", r, n)

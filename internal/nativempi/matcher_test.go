@@ -1,0 +1,135 @@
+package nativempi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMatcher is the original pair of linear scans, kept as the
+// executable specification the indexed matcher must agree with.
+type refMatcher struct {
+	posted []*Request
+	unexp  []*packet
+}
+
+func (r *refMatcher) postRecv(req *Request) *packet {
+	for i, pkt := range r.unexp {
+		if matches(req, pkt) {
+			r.unexp = append(r.unexp[:i], r.unexp[i+1:]...)
+			return pkt
+		}
+	}
+	r.posted = append(r.posted, req)
+	return nil
+}
+
+func (r *refMatcher) arrive(pkt *packet) *Request {
+	for i, req := range r.posted {
+		if matches(req, pkt) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			return req
+		}
+	}
+	r.unexp = append(r.unexp, pkt)
+	return nil
+}
+
+func (r *refMatcher) probe(req *Request) *packet {
+	for _, pkt := range r.unexp {
+		if matches(req, pkt) {
+			return pkt
+		}
+	}
+	return nil
+}
+
+// idxMatcher drives the production queues through the same operations
+// dispatch/irecvOn perform.
+type idxMatcher struct {
+	posted postedQueue
+	unexp  unexpQueue
+}
+
+func newIdxMatcher() *idxMatcher {
+	m := &idxMatcher{}
+	var stats MatchStats
+	m.posted.init(&stats)
+	m.unexp.init(&stats)
+	return m
+}
+
+func (m *idxMatcher) postRecv(req *Request) *packet {
+	if pkt := m.unexp.take(req); pkt != nil {
+		return pkt
+	}
+	m.posted.add(req)
+	return nil
+}
+
+func (m *idxMatcher) arrive(pkt *packet) *Request {
+	if req := m.posted.take(pkt); req != nil {
+		return req
+	}
+	m.unexp.add(pkt)
+	return nil
+}
+
+// TestMatcherAgreesWithReference drives both matchers through long
+// randomized workloads over a small (ctx, src, tag) space — so
+// collisions, wildcard interleavings, and deep buckets all occur —
+// and requires identical matches at every step.
+func TestMatcherAgreesWithReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ref := &refMatcher{}
+		idx := newIdxMatcher()
+		var reqID int
+		for step := 0; step < 4000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // post a receive
+				reqID++
+				req := &Request{id: uint64(reqID), ctx: int32(rng.Intn(2)), src: rng.Intn(3), tag: rng.Intn(4)}
+				if rng.Intn(5) == 0 {
+					req.src = AnySource
+				}
+				if rng.Intn(5) == 0 {
+					req.tag = AnyTag
+				}
+				got := idx.postRecv(req)
+				want := ref.postRecv(req)
+				if got != want {
+					t.Fatalf("seed %d step %d: postRecv(src=%d tag=%d) matched %p, reference %p",
+						seed, step, req.src, req.tag, got, want)
+				}
+			case op < 9: // a packet arrives
+				pkt := &packet{kind: pktEager, ctx: int32(rng.Intn(2)), src: rng.Intn(3), tag: rng.Intn(4)}
+				got := idx.arrive(pkt)
+				want := ref.arrive(pkt)
+				if got != want {
+					t.Fatalf("seed %d step %d: arrive(src=%d tag=%d) matched req %v, reference %v",
+						seed, step, pkt.src, pkt.tag, got, want)
+				}
+			default: // probe
+				req := &Request{ctx: int32(rng.Intn(2)), src: rng.Intn(3), tag: rng.Intn(4)}
+				if rng.Intn(3) == 0 {
+					req.src = AnySource
+				}
+				if rng.Intn(3) == 0 {
+					req.tag = AnyTag
+				}
+				got := idx.unexp.peek(req)
+				want := ref.probe(req)
+				if got != want {
+					t.Fatalf("seed %d step %d: probe(src=%d tag=%d) saw %p, reference %p",
+						seed, step, req.src, req.tag, got, want)
+				}
+			}
+			if got, want := idx.posted.pending(), len(ref.posted); got != want {
+				t.Fatalf("seed %d step %d: posted pending %d, reference %d", seed, step, got, want)
+			}
+			if got, want := idx.unexp.pending(), len(ref.unexp); got != want {
+				t.Fatalf("seed %d step %d: unexp pending %d, reference %d", seed, step, got, want)
+			}
+		}
+	}
+}

@@ -138,6 +138,7 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 		p.clock.AdvanceTo(p.nicFree)
 		data := getWire(n)
 		copy(data, buf)
+		p.copyStats.count(n)
 		pkt := getPacket()
 		pkt.kind = pktEager
 		pkt.src = p.rank
@@ -213,17 +214,14 @@ func (p *Proc) irecvOn(buf []byte, wsrc, tag int, o sendOpts) *Request {
 	// are always dispatched before its failure notice, so the
 	// already-arrived match (if any) wins over the failure check below.
 	p.poll()
-	for i, pkt := range p.unexpected {
-		if matches(req, pkt) {
-			p.removeUnexpected(i)
-			p.deliver(req, pkt)
-			return req
-		}
+	if pkt := p.unexp.take(req); pkt != nil {
+		p.deliver(req, pkt)
+		return req
 	}
 	if p.entryCheckRecv(req) {
 		return req
 	}
-	p.posted = append(p.posted, req)
+	p.posted.add(req)
 	return req
 }
 
@@ -320,15 +318,13 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 	}
 	c.p.poll()
 	probe := &Request{src: wsrc, tag: tag, ctx: c.ptCtx}
-	for _, pkt := range c.p.unexpected {
-		if matches(probe, pkt) {
-			n := len(pkt.data)
-			if pkt.kind == pktRTS {
-				n = pkt.nbytes
-			}
-			src := c.commRankOfWorld(pkt.src)
-			return Status{Source: src, Tag: pkt.tag, Bytes: n}, true, nil
+	if pkt := c.p.unexp.peek(probe); pkt != nil {
+		n := len(pkt.data)
+		if pkt.kind == pktRTS {
+			n = pkt.nbytes
 		}
+		src := c.commRankOfWorld(pkt.src)
+		return Status{Source: src, Tag: pkt.tag, Bytes: n}, true, nil
 	}
 	return Status{}, false, nil
 }

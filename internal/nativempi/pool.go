@@ -43,6 +43,14 @@ func freePacket(p *packet) {
 	if p.freed {
 		panic("nativempi: packet double-free")
 	}
+	if p.borrowed && p.ownsData {
+		// A borrowed payload aliases a live USER buffer. Returning it to
+		// the wire pool would hand that memory to a later message and
+		// corrupt the user's data; the ownership protocol guarantees
+		// borrowed packets never claim pool ownership, so a violation is
+		// a bug worth a loud stop.
+		panic("nativempi: pool release of borrowed payload")
+	}
 	p.freed = true
 	if p.ownsData && p.data != nil {
 		putWire(p.data)
@@ -201,6 +209,32 @@ func (c *Comm) arena() *scratchArena {
 func (c *Comm) borrowScratch(n int) []byte { return c.arena().borrow(n) }
 func (c *Comm) returnScratch(b []byte)     { c.arena().giveBack(b) }
 
+// CopyStats counts host-side payload data movement for one rank: the
+// actual memcpys the simulator performs to carry message bytes from
+// the sender's buffer to the receiver's, and the copies the zero-copy
+// rendezvous datapath elided. Like the other host-side counters these
+// never enter the deterministic registry — eliding a host memcpy must
+// not move a virtual timestamp (see DESIGN.md), so the only place the
+// savings can show up is here and in BENCH_OMB.json.
+type CopyStats struct {
+	Copies       int64 `json:"copies"`
+	BytesCopied  int64 `json:"bytes_copied"`
+	CopiesElided int64 `json:"copies_elided"`
+	BytesElided  int64 `json:"bytes_elided"`
+}
+
+// count records one n-byte host memcpy of payload data.
+func (c *CopyStats) count(n int) {
+	c.Copies++
+	c.BytesCopied += int64(n)
+}
+
+// elide records one n-byte copy avoided by borrowing.
+func (c *CopyStats) elide(n int) {
+	c.CopiesElided++
+	c.BytesElided += int64(n)
+}
+
 // HostStats aggregates the host-side reuse and queue counters of a
 // world across its ranks — the numbers cmd/mv2jbench reports. They
 // describe how much host work the simulation cost, never what the
@@ -209,6 +243,8 @@ func (c *Comm) returnScratch(b []byte)     { c.arena().giveBack(b) }
 type HostStats struct {
 	Mailbox MailboxStats `json:"mailbox"`
 	Arena   ArenaStats   `json:"arena"`
+	Copy    CopyStats    `json:"copy"`
+	Match   MatchStats   `json:"match"`
 }
 
 // HostStats sums the per-rank host-side counters. Call after Run has
@@ -234,6 +270,19 @@ func (w *World) HostStats() HostStats {
 		hs.Arena.Returns += ar.Returns
 		hs.Arena.InUseBytes += ar.InUseBytes
 		hs.Arena.HighWaterBytes += ar.HighWaterBytes
+		cs := p.copyStats
+		hs.Copy.Copies += cs.Copies
+		hs.Copy.BytesCopied += cs.BytesCopied
+		hs.Copy.CopiesElided += cs.CopiesElided
+		hs.Copy.BytesElided += cs.BytesElided
+		ms := p.matchStats
+		hs.Match.PostedLookups += ms.PostedLookups
+		hs.Match.PostedProbes += ms.PostedProbes
+		hs.Match.UnexpLookups += ms.UnexpLookups
+		hs.Match.UnexpProbes += ms.UnexpProbes
+		if ms.MaxBucket > hs.Match.MaxBucket {
+			hs.Match.MaxBucket = ms.MaxBucket
+		}
 	}
 	return hs
 }

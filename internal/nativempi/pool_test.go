@@ -119,6 +119,35 @@ func TestPacketDoubleFreePanics(t *testing.T) {
 	freePacket(p)
 }
 
+// A packet whose payload is borrowed from the sender's user buffer
+// must never claim pool ownership: putting that aliased memory on the
+// wire pool would hand the user's live bytes to a later message.
+func TestPacketBorrowedPayloadReleasePanics(t *testing.T) {
+	p := getPacket()
+	p.data = []byte("user buffer bytes")
+	p.borrowed = true
+	p.ownsData = true // protocol violation under test
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pool release of borrowed payload did not panic")
+		}
+	}()
+	freePacket(p)
+}
+
+// The legal shape — borrowed payload, no ownership — frees quietly
+// and never touches the wire pool.
+func TestPacketBorrowedPayloadWithoutOwnershipFreesCleanly(t *testing.T) {
+	p := getPacket()
+	user := []byte("user buffer bytes")
+	p.data = user
+	p.borrowed = true
+	freePacket(p)
+	if string(user) != "user buffer bytes" {
+		t.Error("freeing a borrowed packet disturbed the user buffer")
+	}
+}
+
 // TestAllreduceAllocsRegression pins steady-state host allocations for
 // a 1 KiB np=8 allreduce. Before the pooling work (mailbox reslice,
 // per-call make for packets/payloads/scratch) this figure was ~127.7

@@ -21,6 +21,7 @@ const (
 	pktAck        // reliability-layer acknowledgement (fault plans only)
 	pktFailNotice // failure-detector verdict: src is the dead rank (FT worlds)
 	pktRevoke     // ULFM revoke poison: ctx/tag carry the comm's two contexts
+	pktRndvFin    // zero-copy completion fence: receiver has copied a borrowed payload
 )
 
 // packet is one unit on the simulated wire. arriveAt is the virtual
@@ -39,9 +40,13 @@ type packet struct {
 
 	// Host-side reuse bookkeeping (see pool.go). ownsData marks a
 	// payload borrowed from the wire pool; freed guards against a
-	// double free of the packet struct itself.
+	// double free of the packet struct itself. borrowed marks a
+	// zero-copy DATA packet whose data aliases the SENDER's live
+	// buffer: read-only, never pool-owned, and fenced by pktRndvFin —
+	// freePacket panics if such a payload ever claims pool ownership.
 	ownsData bool
 	freed    bool
+	borrowed bool
 
 	// Reliability-layer fields, populated only under a fault plan.
 	sentAt    vtime.Time    // when this transmission left the sender
@@ -92,10 +97,11 @@ type Proc struct {
 	// port) next becomes idle; successive sends serialize on it.
 	nicFree vtime.Time
 
-	posted      []*Request          // posted receives, FIFO
-	unexpected  []*packet           // arrived-but-unmatched eager/RTS packets
+	posted      postedQueue         // posted receives, indexed (see match.go)
+	unexp       unexpQueue          // arrived-but-unmatched eager/RTS packets, indexed
 	sendPending map[uint64]*Request // rendezvous sends awaiting CTS
 	recvPending map[uint64]*Request // rendezvous receives awaiting data
+	finPending  map[uint64]*Request // zero-copy sends awaiting the receiver's copy fence
 	nextReq     uint64
 
 	world *Comm
@@ -110,9 +116,12 @@ type Proc struct {
 
 	// Host-side reuse state (see pool.go): a free list of Request
 	// structs for the internal collective paths that fully own their
-	// requests, and the rank's aggregated scratch-arena counters.
+	// requests, and the rank's aggregated scratch-arena, payload-copy
+	// and matcher counters.
 	reqFree    []*Request
 	arenaStats ArenaStats
+	copyStats  CopyStats
+	matchStats MatchStats
 
 	// Fault-tolerance state (see ft.go), live only in FT worlds.
 	crash       *faults.Crash        // this rank's scheduled death, if any
@@ -132,7 +141,10 @@ func newProc(w *World, rank int) *Proc {
 		mb:          newMailbox(),
 		sendPending: map[uint64]*Request{},
 		recvPending: map[uint64]*Request{},
+		finPending:  map[uint64]*Request{},
 	}
+	p.posted.init(&p.matchStats)
+	p.unexp.init(&p.matchStats)
 	if w.fab.Faults() != nil {
 		p.rel = newRelState()
 	}
@@ -268,14 +280,24 @@ func (p *Proc) dispatch(pkt *packet) {
 	}
 	switch pkt.kind {
 	case pktEager, pktRTS:
-		for i, req := range p.posted {
-			if matches(req, pkt) {
-				p.removePosted(i)
-				p.deliver(req, pkt)
+		if p.w.ft {
+			if _, revoked := p.revokedAt[pkt.ctx]; revoked {
+				// Late arrival on a poisoned context. Receives on it fail
+				// at entry and every posted one was failed by the revoke
+				// sweep, so the packet is unmatchable forever — free it
+				// rather than queue it. (applyRevoke purges the ones that
+				// arrived first; this catches the stragglers.) No metric:
+				// whether a packet lands before or after the revoke is
+				// host scheduling, not simulation.
+				freePacket(pkt)
 				return
 			}
 		}
-		p.unexpected = append(p.unexpected, pkt)
+		if req := p.posted.take(pkt); req != nil {
+			p.deliver(req, pkt)
+			return
+		}
+		p.unexp.add(pkt)
 	case pktCTS:
 		req, ok := p.sendPending[pkt.reqID]
 		if !ok {
@@ -304,6 +326,18 @@ func (p *Proc) dispatch(pkt *packet) {
 	case pktRevoke:
 		p.handleRevoke(pkt)
 		freePacket(pkt)
+	case pktRndvFin:
+		// The receiver has copied a borrowed rendezvous payload out of
+		// this rank's buffer; the send may now complete. The fence is a
+		// pure host-side ordering event: the request's completion TIME
+		// was fixed at injection, identically to the wire-copy path.
+		req, ok := p.finPending[pkt.reqID]
+		if !ok {
+			panic(fmt.Sprintf("nativempi: rank %d got FIN for unknown request %d", p.rank, pkt.reqID))
+		}
+		delete(p.finPending, pkt.reqID)
+		req.done = true
+		freePacket(pkt)
 	case pktAbort:
 		// Propagates as a panic so even deeply nested blocking calls
 		// unwind; World.Run recovers it into this rank's error.
@@ -325,22 +359,13 @@ func (p *Proc) poll() {
 	}
 }
 
-// removePosted deletes the posted receive at index i, nilling the
-// vacated tail slot so the backing array retains no stale reference.
-func (p *Proc) removePosted(i int) {
-	copy(p.posted[i:], p.posted[i+1:])
-	last := len(p.posted) - 1
-	p.posted[last] = nil
-	p.posted = p.posted[:last]
-}
-
-// removeUnexpected deletes the queued packet at index i, nilling the
-// vacated tail slot (same head-retention discipline as removePosted).
-func (p *Proc) removeUnexpected(i int) {
-	copy(p.unexpected[i:], p.unexpected[i+1:])
-	last := len(p.unexpected) - 1
-	p.unexpected[last] = nil
-	p.unexpected = p.unexpected[:last]
+// zeroCopyRndv reports whether the rendezvous data phase may borrow
+// the sender's buffer instead of copying into a wire buffer. The
+// profile switch enables it; a fault plan (frames must be mutable for
+// corruption/retransmission) or fault tolerance (failure sweeps may
+// orphan the borrow) forces the wire-copy path.
+func (p *Proc) zeroCopyRndv() bool {
+	return p.w.zeroCopy && p.rel == nil && !p.w.ft
 }
 
 // getReq returns a zeroed Request from the rank-confined free list.
@@ -380,6 +405,7 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 			n = len(req.buf)
 		}
 		copy(req.buf[:n], pkt.data[:n])
+		p.copyStats.count(n)
 		complete := vtime.Max(req.postedAt, pkt.arriveAt).
 			Add(ch.RecvOverhead + p.recvSoft(pkt.src) + req.extraRecvCost)
 		// A message that hit the wire before the receive was posted
@@ -437,12 +463,28 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	// in on).
 	start := vtime.Max(cts.arriveAt, p.nicFree)
 	start = start.Add(ch.RndvHandshake)
-	data := getWire(len(req.sendBuf))
-	copy(data, req.sendBuf)
+	n := len(req.sendBuf)
+	// Zero-copy datapath: the DATA packet borrows the sender's buffer
+	// read-only and the receiver performs the transfer's only host
+	// memcpy. The borrow is safe because the send request is not marked
+	// done (so the caller keeps the buffer immutable, per MPI send
+	// semantics) until the receiver's pktRndvFin fence confirms the
+	// copy-out. Every virtual quantity below — start, injection,
+	// arrival, completion — is computed identically on both paths.
+	zc := p.zeroCopyRndv()
+	var data []byte
+	if zc {
+		data = req.sendBuf
+		p.copyStats.elide(n)
+	} else {
+		data = getWire(n)
+		copy(data, req.sendBuf)
+		p.copyStats.count(n)
+	}
 	// The send completes when the first injection clears the NIC;
 	// reliablePost may keep the NIC busy later for retransmissions,
 	// but those never block the sender's CPU.
-	injected := start.Add(ch.SerializeTime(len(data)))
+	injected := start.Add(ch.SerializeTime(n))
 	p.nicFree = injected
 	pkt := getPacket()
 	pkt.kind = pktData
@@ -451,15 +493,24 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	pkt.tag = req.tag
 	pkt.ctx = req.ctx
 	pkt.data = data
-	pkt.ownsData = true
+	pkt.ownsData = !zc
+	pkt.borrowed = zc
 	pkt.reqID = req.id
 	pkt.sentAt = start
-	pkt.arriveAt = start.Add(ch.TransferTime(len(data)))
+	pkt.arriveAt = start.Add(ch.TransferTime(n))
 	err := p.post(req.dst, pkt)
 	req.completeAt = injected
 	req.err = err
-	req.done = true
-	p.recordSend(req.dst, len(data), start, req.completeAt)
+	if zc {
+		// Completion TIME is fixed now; completion ITSELF waits for the
+		// receiver's fence so the sender cannot reuse the buffer while
+		// the borrow is outstanding (a host-correctness gate only —
+		// Wait/Test still report completeAt = injected).
+		p.finPending[req.id] = req
+	} else {
+		req.done = true
+	}
+	p.recordSend(req.dst, n, start, req.completeAt)
 }
 
 // completeRndvRecv lands the data phase in the user buffer.
@@ -470,9 +521,22 @@ func (p *Proc) completeRndvRecv(req *Request, pkt *packet) {
 		n = len(req.buf) // error already recorded at RTS time
 	}
 	copy(req.buf[:n], pkt.data[:n])
+	p.copyStats.count(n)
 	req.status = Status{Source: pkt.src, Tag: pkt.tag, Bytes: len(pkt.data)}
 	req.completeAt = pkt.arriveAt.Add(ch.RecvOverhead + p.recvSoft(pkt.src) + req.extraRecvCost)
 	req.done = true
 	p.stats.MsgsReceived++
 	p.recordRecv(pkt.src, len(pkt.data), req.postedAt, req.completeAt)
+	if pkt.borrowed {
+		// Release the sender's buffer: the copy-out above was the last
+		// read of the borrow. The fence is raw host traffic — borrowed
+		// payloads only exist on lossless fabrics — and carries no
+		// virtual stamps anyone reads.
+		fin := getPacket()
+		fin.kind = pktRndvFin
+		fin.src = p.rank
+		fin.dst = pkt.src
+		fin.reqID = pkt.reqID
+		p.postRaw(pkt.src, fin)
+	}
 }

@@ -89,6 +89,20 @@ const (
 	ScatterLinear
 )
 
+// Switch is a three-state feature toggle: the zero value defers to the
+// profile's default, so a zero-valued Profile literal keeps its
+// documented behaviour.
+type Switch int
+
+const (
+	// SwitchDefault resolves to the feature's documented default.
+	SwitchDefault Switch = iota
+	// SwitchOn forces the feature on.
+	SwitchOn
+	// SwitchOff forces the feature off.
+	SwitchOff
+)
+
 // Profile is a native library's tuning personality: software overheads
 // layered on the raw fabric costs, protocol thresholds, and collective
 // algorithm selection. internal/profile provides the MVAPICH2-like and
@@ -130,6 +144,18 @@ type Profile struct {
 	RetransmitRTO     vtime.Duration
 	RetransmitBackoff int
 	MaxRetransmits    int
+
+	// ZeroCopyRndv selects the rendezvous data-phase datapath. On (the
+	// default), the DATA packet carries a read-only borrow of the
+	// sender's buffer and the receiver performs the only host memcpy —
+	// the RDMA-style single-copy path. Off restores the framed
+	// wire-buffer copy. The switch governs HOST data movement only:
+	// every virtual timestamp is computed identically on both paths, so
+	// traces, metrics, and measured times are byte-identical either
+	// way. A fault plan or fault tolerance forces the wire-copy path
+	// regardless (retransmission and corruption need a mutable framed
+	// image of the payload).
+	ZeroCopyRndv Switch
 
 	// Failure-detector tuning (fault-tolerant worlds only). Every rank
 	// conceptually heartbeats every HeartbeatPeriod; a silent peer is
@@ -177,6 +203,9 @@ func (pr Profile) normalize() Profile {
 	}
 	if pr.SuspectBeats < 1 {
 		pr.SuspectBeats = 3
+	}
+	if pr.ZeroCopyRndv == SwitchDefault {
+		pr.ZeroCopyRndv = SwitchOn
 	}
 	if pr.SelectBcast == nil {
 		pr.SelectBcast = func(nbytes, p int) BcastAlg {

@@ -168,6 +168,10 @@ func (p *Proc) reliablePost(dst int, pkt *packet) error {
 		} else {
 			hdr.Attempt = uint16(k)
 			frame := mpjbuf.EncodeRelFrame(hdr, pkt.data)
+			// Framing copies the payload into the frame image — host
+			// data movement the zero-copy path can never elide, which is
+			// why a fault plan forces wire-copy rendezvous.
+			p.copyStats.count(n)
 			if v.CorruptPos >= 0 {
 				frame[v.CorruptPos%len(frame)] ^= 0xA5
 				p.stats.FaultCorrupts++

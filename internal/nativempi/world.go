@@ -24,6 +24,12 @@ type World struct {
 	met       *metrics.Registry
 	abortOnce sync.Once
 
+	// zeroCopy caches the world-level half of the zero-copy rendezvous
+	// decision: profile switch on AND no fault plan (framed
+	// retransmission needs a mutable payload image). Procs additionally
+	// require !ft at use time (see Proc.zeroCopyRndv).
+	zeroCopy bool
+
 	// Fault-tolerance state (see ft.go). ft selects the ULFM-style
 	// policy: a rank crash becomes a survivable event instead of a job
 	// abort. deathAt is the global failure registry (virtual death
@@ -47,6 +53,7 @@ func NewWorld(topo *cluster.Topology, fab *fabric.Fabric, prof Profile) *World {
 		panic("nativempi: nil topology or fabric")
 	}
 	w := &World{topo: topo, fab: fab, prof: prof.normalize()}
+	w.zeroCopy = w.prof.ZeroCopyRndv == SwitchOn && fab.Faults() == nil
 	w.nextCtx.Store(2)
 	w.procs = make([]*Proc, topo.Size())
 	for r := range w.procs {

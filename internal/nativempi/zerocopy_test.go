@@ -1,0 +1,237 @@
+package nativempi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mv2j/internal/cluster"
+	"mv2j/internal/fabric"
+	"mv2j/internal/faults"
+	"mv2j/internal/jvm"
+	"mv2j/internal/metrics"
+	"mv2j/internal/trace"
+	"mv2j/internal/vtime"
+)
+
+// zcArtifacts is everything a run is allowed to produce that the
+// deterministic contract covers: receive payloads, per-rank final
+// clocks, the trace JSONL, and the metrics JSON. The zero-copy switch
+// must not move a single byte of any of them.
+type zcArtifacts struct {
+	recvs  [][]byte
+	clocks []vtime.Time
+	trace  []byte
+	met    []byte
+	host   HostStats
+}
+
+// runZCWorkload drives a mixed eager/rendezvous workload — a ring of
+// nonblocking large sends, a small eager exchange with rank 0, and an
+// allreduce — and captures every deterministic artifact plus the
+// host-side counters.
+func runZCWorkload(w *World, size int) (zcArtifacts, error) {
+	n := w.Size()
+	rec := trace.New(0)
+	met := metrics.NewRegistry()
+	w.SetRecorder(rec)
+	w.SetMetrics(met)
+	a := zcArtifacts{
+		recvs:  make([][]byte, n),
+		clocks: make([]vtime.Time, n),
+	}
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		me := p.Rank()
+		next := (me + 1) % n
+		prev := (me - 1 + n) % n
+
+		// Ring shift at the sweep size (rendezvous when size is above
+		// the eager limit).
+		big := pattern(size, byte(me+1))
+		rbuf := make([]byte, size)
+		sreq, err := c.Isend(big, next, 11)
+		if err != nil {
+			return err
+		}
+		rreq, err := c.Irecv(rbuf, prev, 11)
+		if err != nil {
+			return err
+		}
+		if _, err := sreq.Wait(); err != nil {
+			return err
+		}
+		if _, err := rreq.Wait(); err != nil {
+			return err
+		}
+		if want := pattern(size, byte(prev+1)); !bytes.Equal(rbuf, want) {
+			return fmt.Errorf("rank %d: ring payload corrupted", me)
+		}
+
+		// Small eager exchange against rank 0 (n=2 degenerates to one
+		// pair, still exercising unexpected-queue traffic).
+		small := pattern(32, byte(0x40+me))
+		sink := make([]byte, 32)
+		if me == 0 {
+			for r := 1; r < n; r++ {
+				if _, err := c.Recv(sink, r, 13); err != nil {
+					return err
+				}
+			}
+			for r := 1; r < n; r++ {
+				if err := c.Send(small, r, 14); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := c.Send(small, 0, 13); err != nil {
+				return err
+			}
+			if _, err := c.Recv(sink, 0, 14); err != nil {
+				return err
+			}
+		}
+
+		// One collective on top, so the indexed matcher sees the
+		// collTag stream too.
+		acc := make([]byte, 8)
+		if err := c.Allreduce(pattern(8, byte(me)), acc, jvm.Long, OpSum); err != nil {
+			return err
+		}
+
+		a.recvs[me] = append(append([]byte(nil), rbuf...), acc...)
+		a.clocks[me] = p.Clock().Now()
+		return nil
+	})
+	if err != nil {
+		return a, err
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		return a, err
+	}
+	a.trace = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := met.WriteJSON(&buf); err != nil {
+		return a, err
+	}
+	a.met = buf.Bytes()
+	a.host = w.HostStats()
+	return a, nil
+}
+
+func zcWorld(nodes, ppn int, zc Switch, plan *faults.Plan, eagerInter int) *World {
+	topo := cluster.New(nodes, ppn)
+	fab := fabric.Default(topo)
+	if plan != nil {
+		fab = fab.WithFaults(plan)
+	}
+	return NewWorld(topo, fab, Profile{ZeroCopyRndv: zc, EagerInter: eagerInter, EagerIntra: eagerInter})
+}
+
+// assertSameArtifacts checks the full deterministic surface matches.
+func assertSameArtifacts(t *testing.T, on, off zcArtifacts) {
+	t.Helper()
+	for r := range on.recvs {
+		if !bytes.Equal(on.recvs[r], off.recvs[r]) {
+			t.Errorf("rank %d: receive payload differs between zero-copy on/off", r)
+		}
+		if on.clocks[r] != off.clocks[r] {
+			t.Errorf("rank %d: final clock %d (on) vs %d (off)", r, on.clocks[r], off.clocks[r])
+		}
+	}
+	if !bytes.Equal(on.trace, off.trace) {
+		t.Error("trace JSONL differs between zero-copy on/off")
+	}
+	if !bytes.Equal(on.met, off.met) {
+		t.Error("metrics JSON differs between zero-copy on/off")
+	}
+}
+
+// TestZeroCopyDifferential is the core tentpole guarantee: switching
+// the rendezvous datapath between borrowed-payload zero-copy and the
+// framed wire copy changes host counters ONLY. Every virtual artifact
+// — receive buffers, final clocks, trace JSONL, metrics JSON — is
+// byte-identical at np∈{2,4,8}.
+func TestZeroCopyDifferential(t *testing.T) {
+	const size = 128 << 10 // above both eager thresholds
+	shapes := []struct{ nodes, ppn int }{{1, 2}, {2, 2}, {2, 4}}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(fmt.Sprintf("np%d", sh.nodes*sh.ppn), func(t *testing.T) {
+			on, err := runZCWorkload(zcWorld(sh.nodes, sh.ppn, SwitchOn, nil, 0), size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, err := runZCWorkload(zcWorld(sh.nodes, sh.ppn, SwitchOff, nil, 0), size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameArtifacts(t, on, off)
+			if on.host.Copy.CopiesElided == 0 {
+				t.Error("zero-copy on: no copies elided")
+			}
+			if off.host.Copy.CopiesElided != 0 {
+				t.Errorf("zero-copy off: %d copies elided, want 0", off.host.Copy.CopiesElided)
+			}
+			if on.host.Copy.BytesCopied >= off.host.Copy.BytesCopied {
+				t.Errorf("zero-copy on copied %d bytes, off copied %d — elision saved nothing",
+					on.host.Copy.BytesCopied, off.host.Copy.BytesCopied)
+			}
+		})
+	}
+}
+
+// TestZeroCopyDisabledUnderFaults pins the fallback: a fault plan on
+// the fabric forces the framed wire-copy datapath (retransmission
+// needs a stable payload image), and the artifacts still match a
+// plain wire-copy world byte for byte under the same plan.
+func TestZeroCopyDisabledUnderFaults(t *testing.T) {
+	const size = 96 << 10
+	plan := faults.Uniform(5, 0.05)
+	on, err := runZCWorkload(zcWorld(2, 1, SwitchOn, plan, 0), size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.host.Copy.CopiesElided != 0 {
+		t.Errorf("fault plan active but %d copies elided", on.host.Copy.CopiesElided)
+	}
+	off, err := runZCWorkload(zcWorld(2, 1, SwitchOff, plan, 0), size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameArtifacts(t, on, off)
+}
+
+// FuzzZeroCopyEquivalence drives the same differential across the
+// (message size × eager limit × fault plan) space: whatever the
+// protocol boundary and datapath, zero-copy on and off must agree on
+// every virtual artifact.
+func FuzzZeroCopyEquivalence(f *testing.F) {
+	f.Add(uint32(64), uint32(0), false)
+	f.Add(uint32(16<<10), uint32(0), false)
+	f.Add(uint32(128<<10), uint32(0), false)
+	f.Add(uint32(8192), uint32(8192), false)
+	f.Add(uint32(8193), uint32(8192), true)
+	f.Add(uint32(200_000), uint32(1), true)
+	f.Fuzz(func(t *testing.T, rawSize, rawEager uint32, faulty bool) {
+		size := int(rawSize%(256<<10)) + 1
+		eager := int(rawEager % (64 << 10)) // 0 = fabric default
+		var plan *faults.Plan
+		if faulty {
+			plan = faults.Uniform(uint64(rawSize^rawEager), 0.05)
+		}
+		on, err := runZCWorkload(zcWorld(1, 2, SwitchOn, plan, eager), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := runZCWorkload(zcWorld(1, 2, SwitchOff, plan, eager), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameArtifacts(t, on, off)
+		if faulty && on.host.Copy.CopiesElided != 0 {
+			t.Errorf("fault plan active but %d copies elided", on.host.Copy.CopiesElided)
+		}
+	})
+}
