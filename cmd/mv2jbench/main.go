@@ -8,7 +8,8 @@
 // Usage:
 //
 //	mv2jbench                 # full tier: latency/bw + allreduce np∈{2,8,32,128}
-//	mv2jbench -quick          # CI tier: short sweeps at np∈{2,8}
+//	mv2jbench -quick          # CI tier: short sweeps at np∈{2,8} + np-scaling ladder
+//	mv2jbench -workers 1      # pin the engine pool to the serial reference width
 //	mv2jbench -compare BENCH_OMB.json
 //	                          # host-metric guardrail vs a checked-in baseline
 //
@@ -41,9 +42,10 @@ func main() {
 	out := flag.String("out", "BENCH_OMB.json", "output path for the report")
 	compare := flag.String("compare", "", "baseline BENCH_OMB.json to apply the host-metric guardrail against")
 	tol := flag.Float64("tolerance", 0.20, "fractional per-metric tolerance for -compare")
+	workers := flag.Int("workers", 0, "scale-out engine pool width for every suite (0 = GOMAXPROCS, 1 = serial reference)")
 	flag.Parse()
 
-	rep, err := hostbench.Run(*quick, gitSHA(), func(line string) {
+	rep, err := hostbench.Run(*quick, *workers, gitSHA(), func(line string) {
 		fmt.Fprintln(os.Stderr, line)
 	})
 	if err != nil {

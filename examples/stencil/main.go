@@ -29,11 +29,11 @@ const (
 )
 
 func main() {
-	parallel, err := solve()
+	parallel, err := solve(gridN, 2, ranks/2, sweeps, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	reference := solveSerial()
+	reference := solveSerial(gridN, sweeps)
 	fmt.Printf("parallel checksum  = %.6f\n", parallel)
 	fmt.Printf("reference checksum = %.6f\n", reference)
 	if math.Abs(parallel-reference) > 1e-9 {
@@ -43,39 +43,44 @@ func main() {
 }
 
 // heat sets the boundary condition: hot west edge, cold elsewhere.
-func heat(r, c int) float64 {
+func heat(n, r, c int) float64 {
 	if c == 0 {
 		return 100
 	}
-	if r == 0 || r == gridN-1 || c == gridN-1 {
+	if r == 0 || r == n-1 || c == n-1 {
 		return 0
 	}
 	return 0
 }
 
-func solve() (float64, error) {
+// solve runs the distributed Jacobi solve on an n x n grid over
+// nodes x ppn ranks (n must divide evenly by the rank count) for the
+// given number of sweeps, and returns the global checksum. workers
+// sets the scale-out engine's pool width (0 = GOMAXPROCS).
+func solve(n, nodes, ppn, sweeps, workers int) (float64, error) {
 	var mu sync.Mutex
 	checksum := 0.0
 	cfg := core.Config{
-		Nodes: 2, PPN: ranks / 2,
-		Lib:    profile.MVAPICH2(),
-		Flavor: core.MVAPICH2J,
+		Nodes: nodes, PPN: ppn,
+		Lib:           profile.MVAPICH2(),
+		Flavor:        core.MVAPICH2J,
+		EngineWorkers: workers,
 	}
 	err := core.Run(cfg, func(mpi *core.MPI) error {
 		world := mpi.CommWorld()
 		me, p := world.Rank(), world.Size()
-		rows := gridN / p // band height (gridN divisible by p)
+		rows := n / p // band height (n divisible by p)
 		lo := me * rows
 
 		// Local band with one halo row above and below: (rows+2) x N,
 		// flattened into a Java double array.
-		cur := mpi.JVM().MustArray(jvm.Double, (rows+2)*gridN)
-		next := mpi.JVM().MustArray(jvm.Double, (rows+2)*gridN)
-		idx := func(r, c int) int { return (r+1)*gridN + c }
+		cur := mpi.JVM().MustArray(jvm.Double, (rows+2)*n)
+		next := mpi.JVM().MustArray(jvm.Double, (rows+2)*n)
+		idx := func(r, c int) int { return (r+1)*n + c }
 		for r := 0; r < rows; r++ {
-			for c := 0; c < gridN; c++ {
-				cur.SetFloat(idx(r, c), heat(lo+r, c))
-				next.SetFloat(idx(r, c), heat(lo+r, c))
+			for c := 0; c < n; c++ {
+				cur.SetFloat(idx(r, c), heat(n, lo+r, c))
+				next.SetFloat(idx(r, c), heat(n, lo+r, c))
 			}
 		}
 
@@ -85,18 +90,18 @@ func solve() (float64, error) {
 			// row down, receive into the halo rows. The offset
 			// extension stages exactly one row per message.
 			if up >= 0 {
-				if err := world.SendRange(cur, idx(0, 0), gridN, core.DOUBLE, up, 10); err != nil {
+				if err := world.SendRange(cur, idx(0, 0), n, core.DOUBLE, up, 10); err != nil {
 					return err
 				}
-				if _, err := world.RecvRange(cur, idx(-1, 0), gridN, core.DOUBLE, up, 11); err != nil {
+				if _, err := world.RecvRange(cur, idx(-1, 0), n, core.DOUBLE, up, 11); err != nil {
 					return err
 				}
 			}
 			if down < p {
-				if _, err := world.RecvRange(cur, idx(rows, 0), gridN, core.DOUBLE, down, 10); err != nil {
+				if _, err := world.RecvRange(cur, idx(rows, 0), n, core.DOUBLE, down, 10); err != nil {
 					return err
 				}
-				if err := world.SendRange(cur, idx(rows-1, 0), gridN, core.DOUBLE, down, 11); err != nil {
+				if err := world.SendRange(cur, idx(rows-1, 0), n, core.DOUBLE, down, 11); err != nil {
 					return err
 				}
 			}
@@ -104,9 +109,9 @@ func solve() (float64, error) {
 			// Jacobi update on interior points of the band.
 			for r := 0; r < rows; r++ {
 				g := lo + r
-				for c := 0; c < gridN; c++ {
-					if g == 0 || g == gridN-1 || c == 0 || c == gridN-1 {
-						next.SetFloat(idx(r, c), heat(g, c))
+				for c := 0; c < n; c++ {
+					if g == 0 || g == n-1 || c == 0 || c == n-1 {
+						next.SetFloat(idx(r, c), heat(n, g, c))
 						continue
 					}
 					v := 0.25 * (cur.Float(idx(r-1, c)) + cur.Float(idx(r+1, c)) +
@@ -121,7 +126,7 @@ func solve() (float64, error) {
 		local := mpi.JVM().MustArray(jvm.Double, 1)
 		sum := 0.0
 		for r := 0; r < rows; r++ {
-			for c := 0; c < gridN; c++ {
+			for c := 0; c < n; c++ {
 				sum += cur.Float(idx(r, c))
 			}
 		}
@@ -141,20 +146,20 @@ func solve() (float64, error) {
 }
 
 // solveSerial is the single-process reference.
-func solveSerial() float64 {
-	cur := make([]float64, gridN*gridN)
-	next := make([]float64, gridN*gridN)
-	for r := 0; r < gridN; r++ {
-		for c := 0; c < gridN; c++ {
-			cur[r*gridN+c] = heat(r, c)
-			next[r*gridN+c] = heat(r, c)
+func solveSerial(n, sweeps int) float64 {
+	cur := make([]float64, n*n)
+	next := make([]float64, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			cur[r*n+c] = heat(n, r, c)
+			next[r*n+c] = heat(n, r, c)
 		}
 	}
 	for s := 0; s < sweeps; s++ {
-		for r := 1; r < gridN-1; r++ {
-			for c := 1; c < gridN-1; c++ {
-				next[r*gridN+c] = 0.25 * (cur[(r-1)*gridN+c] + cur[(r+1)*gridN+c] +
-					cur[r*gridN+c-1] + cur[r*gridN+c+1])
+		for r := 1; r < n-1; r++ {
+			for c := 1; c < n-1; c++ {
+				next[r*n+c] = 0.25 * (cur[(r-1)*n+c] + cur[(r+1)*n+c] +
+					cur[r*n+c-1] + cur[r*n+c+1])
 			}
 		}
 		cur, next = next, cur

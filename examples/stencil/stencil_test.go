@@ -1,0 +1,56 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStencilSmall pins the example's shipped configuration: the
+// distributed solve matches the serial reference bit-for-bit on the
+// checksum.
+func TestStencilSmall(t *testing.T) {
+	got, err := solve(gridN, 2, ranks/2, sweeps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := solveSerial(gridN, sweeps)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("parallel checksum %.9f != serial reference %.9f", got, want)
+	}
+}
+
+// TestStencil1024 is the ISSUE's scale target: the halo-exchange solve
+// at np=1024 (32 nodes x 32 ppn, 2 rows per rank on a 2048-wide grid)
+// completes in CI-feasible wall time under the worker pool and still
+// matches the serial reference.
+func TestStencil1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("np=1024 job in -short mode")
+	}
+	const n, sw = 2048, 4
+	got, err := solve(n, 32, 32, sw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := solveSerial(n, sw)
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("parallel checksum %.9f != serial reference %.9f", got, want)
+	}
+}
+
+// TestStencilWorkerWidths pins the determinism contract end-to-end at
+// the example level: serial (workers=1) and pooled (workers=8) engines
+// produce the identical checksum.
+func TestStencilWorkerWidths(t *testing.T) {
+	serial, err := solve(gridN, 2, ranks/2, sweeps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := solve(gridN, 2, ranks/2, sweeps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != pooled {
+		t.Fatalf("workers=1 checksum %.12f != workers=8 checksum %.12f", serial, pooled)
+	}
+}

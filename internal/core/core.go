@@ -130,6 +130,11 @@ type Config struct {
 	// scratch-arena traffic). Host observability only — these numbers
 	// depend on host scheduling and never enter Metrics or Trace.
 	HostStats *nativempi.HostStats
+	// EngineWorkers sets the phase-stepped scheduler's worker-pool
+	// width: 0 = GOMAXPROCS (the scale-out default), 1 = serial
+	// reference execution. Every width produces byte-identical virtual
+	// artifacts; the knob trades host parallelism only.
+	EngineWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +188,7 @@ func Run(cfg Config, main func(mpi *MPI) error) error {
 		fab.WithFaults(cfg.Faults)
 	}
 	world := nativempi.NewWorld(topo, fab, cfg.Lib)
+	world.SetEngineWorkers(cfg.EngineWorkers)
 	if cfg.FT {
 		world.EnableFT()
 	}

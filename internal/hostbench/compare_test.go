@@ -191,6 +191,10 @@ func TestQuickSuitePlanStable(t *testing.T) {
 		"mr/np8/buffer",
 		"allreduce/np2/buffer",
 		"allreduce/np8/buffer",
+		"allreduce-scale/np8/buffer",
+		"allreduce-scale/np64/buffer",
+		"allreduce-scale/np256/buffer",
+		"allreduce-scale/np1024/buffer",
 	}
 	if len(keys) != len(want) {
 		t.Fatalf("quick plan = %v, want %v", keys, want)

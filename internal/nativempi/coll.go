@@ -95,6 +95,14 @@ func (c *Comm) Bcast(buf []byte, root int) error {
 			k = 2
 		}
 		return c.bcastShmAware(buf, root, tag, k)
+	case BcastMultiLeader:
+		// Same size-tuned radix as the shm-aware path: wide trees for
+		// small payloads, binomial once full-payload forwards dominate.
+		k := c.p.w.prof.KnomialRadix
+		if len(buf) > 8192 {
+			k = 2
+		}
+		return c.bcastMultiLeader(buf, root, tag, k)
 	case BcastChain:
 		return c.bcastChain(buf, root, tag)
 	default:
@@ -339,6 +347,9 @@ func (c *Comm) Allreduce(sendBuf, recvBuf []byte, kind jvm.Kind, op Op) error {
 		return c.Bcast(recvBuf, 0)
 	case AllreduceShmAware:
 		return c.allreduceShmAware(sendBuf, recvBuf, kind, op, c.p.w.prof.KnomialRadix)
+	case AllreduceMultiLeader:
+		return c.allreduceMultiLeader(sendBuf, recvBuf, kind, op,
+			c.p.w.prof.KnomialRadix, c.p.w.prof.LeadersPerNode)
 	default:
 		return c.allreduceRecursiveDoubling(sendBuf, recvBuf, kind, op)
 	}

@@ -30,6 +30,7 @@ func collProfiles() map[string]Profile {
 		"binarytree":      force("f4", BcastBinaryTree, AllreduceRecursiveDoubling),
 		"flat":            force("f5", BcastFlat, AllreduceReduceBcast),
 		"shmaware":        force("f6", BcastShmAware, AllreduceShmAware),
+		"multileader":     force("f7", BcastMultiLeader, AllreduceMultiLeader),
 		"linear-everything": {
 			Name:            "lin",
 			SelectReduce:    func(n, p int) ReduceAlg { return ReduceLinear },

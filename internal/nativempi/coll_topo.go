@@ -216,6 +216,191 @@ func (c *Comm) bcastShmAware(buf []byte, root, tag, k int) error {
 	return c.bcastKnomialSubset(buf, members, repIdx, tag, k)
 }
 
+// planNodeMembers partitions the communicator's members by node: one
+// comm-rank list per node, members in comm order, node groups ordered
+// by first appearance in the comm — deterministic and identical on
+// every member. Memoized per Comm (membership is immutable; shrink
+// builds a fresh Comm), because rebuilding it on every collective is
+// O(p) per rank — O(p²) per operation across the job.
+func (c *Comm) planNodeMembers() [][]int {
+	if c.nodesML != nil {
+		return c.nodesML
+	}
+	topo := c.p.w.topo
+	idx := map[int]int{}
+	var nodes [][]int
+	for r, wr := range c.group {
+		n := topo.NodeOf(wr)
+		i, ok := idx[n]
+		if !ok {
+			i = len(nodes)
+			idx[n] = i
+			nodes = append(nodes, nil)
+		}
+		nodes[i] = append(nodes[i], r)
+	}
+	c.nodesML = nodes
+	return nodes
+}
+
+// sectionBounds returns the [start, end) bounds of section s when a
+// member list of length m is split into secCount contiguous
+// near-equal sections (the first m%secCount sections get one extra).
+func sectionBounds(m, secCount, s int) (int, int) {
+	base, rem := m/secCount, m%secCount
+	start := s*base + min(s, rem)
+	size := base
+	if s < rem {
+		size++
+	}
+	return start, start + size
+}
+
+// sectionCount picks the uniform per-node section count for the
+// multi-leader collectives: the profile's LeadersPerNode, capped by
+// the SMALLEST node's member count. Uniformity matters for
+// correctness — the inter-node phase pairs same-index sections across
+// nodes, so every node must field the same number of sections.
+func sectionCount(nodes [][]int, leadersPerNode int) int {
+	sc := leadersPerNode
+	for _, mem := range nodes {
+		if len(mem) < sc {
+			sc = len(mem)
+		}
+	}
+	if sc < 1 {
+		sc = 1
+	}
+	return sc
+}
+
+// allreduceMultiLeader is the four-phase multi-leader allreduce for
+// fat nodes at scale. Each node's members split into secCount
+// contiguous sections; (1) each section reduces onto its leader over
+// shared memory, (2) same-index section leaders recursive-double
+// ACROSS nodes — secCount concurrent inter-node streams per node
+// instead of one, (3) each node's section leaders recursive-double
+// intra-node to combine the per-section global partials into the full
+// sum, (4) each leader broadcasts k-nomially back over its section.
+func (c *Comm) allreduceMultiLeader(sendBuf, recvBuf []byte, kind jvm.Kind, op Op, k, leadersPerNode int) error {
+	nodes := c.planNodeMembers()
+	copy(recvBuf, sendBuf)
+	secCount := sectionCount(nodes, leadersPerNode)
+	tag1 := c.collTag()
+	tag2 := c.collTag()
+	tag3 := c.collTag()
+	tag4 := c.collTag()
+	myNode := -1
+	for i, mem := range nodes {
+		if indexOf(mem, c.myRank) >= 0 {
+			myNode = i
+			break
+		}
+	}
+	members := nodes[myNode]
+	my := indexOf(members, c.myRank)
+	mySec := 0
+	var sec []int
+	for s := 0; s < secCount; s++ {
+		lo, hi := sectionBounds(len(members), secCount, s)
+		if my >= lo && my < hi {
+			mySec = s
+			sec = members[lo:hi]
+			break
+		}
+	}
+	// Phase 1: intra-section reduce onto the section leader.
+	if err := c.reduceBinomialSubset(recvBuf, sec, 0, tag1, kind, op); err != nil {
+		return err
+	}
+	if c.myRank == sec[0] {
+		// Phase 2: inter-node allreduce among same-index section
+		// leaders. Groups for distinct section indices are disjoint rank
+		// sets, so the secCount exchanges proceed concurrently.
+		group := make([]int, len(nodes))
+		for i, mem := range nodes {
+			lo, _ := sectionBounds(len(mem), secCount, mySec)
+			group[i] = mem[lo]
+		}
+		if err := c.allreduceRecDblSubset(recvBuf, group, tag2, kind, op); err != nil {
+			return err
+		}
+		// Phase 3: intra-node combine across this node's section
+		// leaders — each holds the global sum of ITS section group, and
+		// the allreduce over them yields the full global sum everywhere.
+		secLeaders := make([]int, secCount)
+		for s := range secLeaders {
+			lo, _ := sectionBounds(len(members), secCount, s)
+			secLeaders[s] = members[lo]
+		}
+		if err := c.allreduceRecDblSubset(recvBuf, secLeaders, tag3, kind, op); err != nil {
+			return err
+		}
+	}
+	// Phase 4: intra-section fan-out from the leader.
+	return c.bcastKnomialSubset(recvBuf, sec, 0, tag4, k)
+}
+
+// bcastMultiLeader is the three-level broadcast: k-nomial among node
+// representatives over the network (the root represents its own
+// node), k-nomial from each node's representative to its section
+// leaders over shared memory, then k-nomial within each section. A
+// root that is not a section leader receives its own payload back in
+// phase 3 — redundant but deterministic, and it keeps every phase a
+// uniform subset broadcast.
+func (c *Comm) bcastMultiLeader(buf []byte, root, tag, k int) error {
+	nodes := c.planNodeMembers()
+	secCount := sectionCount(nodes, c.p.w.prof.LeadersPerNode)
+	topo := c.p.w.topo
+	rootNode := topo.NodeOf(c.group[root])
+	myNode := -1
+	for i, mem := range nodes {
+		if indexOf(mem, c.myRank) >= 0 {
+			myNode = i
+			break
+		}
+	}
+	members := nodes[myNode]
+	// Phase 1: inter-node, one representative per node.
+	reps := make([]int, len(nodes))
+	rootRepIdx := 0
+	for i, mem := range nodes {
+		reps[i] = mem[0]
+		if topo.NodeOf(c.group[mem[0]]) == rootNode {
+			reps[i] = root
+			rootRepIdx = i
+		}
+	}
+	if indexOf(reps, c.myRank) >= 0 {
+		if err := c.bcastKnomialSubset(buf, reps, rootRepIdx, tag, k); err != nil {
+			return err
+		}
+	}
+	// Phase 2: representative → this node's section leaders.
+	rep := reps[myNode]
+	leaders := []int{rep}
+	for s := 0; s < secCount; s++ {
+		lo, _ := sectionBounds(len(members), secCount, s)
+		if members[lo] != rep {
+			leaders = append(leaders, members[lo])
+		}
+	}
+	if indexOf(leaders, c.myRank) >= 0 {
+		if err := c.bcastKnomialSubset(buf, leaders, 0, tag, k); err != nil {
+			return err
+		}
+	}
+	// Phase 3: section leader → section members.
+	my := indexOf(members, c.myRank)
+	for s := 0; s < secCount; s++ {
+		lo, hi := sectionBounds(len(members), secCount, s)
+		if my >= lo && my < hi {
+			return c.bcastKnomialSubset(buf, members[lo:hi], 0, tag, k)
+		}
+	}
+	return nil
+}
+
 // allreduceShmAware combines three phases: an intra-node reduce onto
 // each node leader (shared memory), a recursive-doubling allreduce
 // among leaders (network), and an intra-node broadcast.

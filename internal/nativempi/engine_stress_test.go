@@ -1,0 +1,150 @@
+package nativempi
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mv2j/internal/cluster"
+	"mv2j/internal/fabric"
+	"mv2j/internal/faults"
+	"mv2j/internal/jvm"
+)
+
+// Race-detector stress: hammer every shared structure the worker pool
+// touches — mailboxes (push vs two-list drain), the packet pool and
+// wire pool (the PR-4 double-free panics), the scratch arena and its
+// foreign-return guard (PR 5), and the indexed matcher — from
+// concurrently executing rank goroutines, rotating GOMAXPROCS so the
+// scheduler shapes differ between rounds. The suite asserts nothing
+// about timing; under `go test -race` (CI's vet-race job) it exists to
+// make the detector light up on any engine synchronization hole.
+
+// stressWorkload mixes every traffic class: wildcard eager receives,
+// zero-copy rendezvous rings, nonblocking collectives advanced by Test
+// spins, and blocking allreduces.
+func stressWorkload(p *Proc) error {
+	c := p.CommWorld()
+	n := c.Size()
+	me := p.Rank()
+	next, prev := (me+1)%n, (me-1+n)%n
+	for iter := 0; iter < 4; iter++ {
+		// Rendezvous ring (borrowed payloads + FIN fences when clean).
+		big := pattern(32<<10, byte(me+iter+1))
+		rbuf := make([]byte, len(big))
+		sreq, err := c.Isend(big, next, 21)
+		if err != nil {
+			return err
+		}
+		rreq, err := c.Irecv(rbuf, prev, 21)
+		if err != nil {
+			return err
+		}
+		// Advance via Test spins (exercises engine yield) then Wait.
+		for {
+			if _, ok, err := rreq.Test(); err != nil {
+				return err
+			} else if ok {
+				break
+			}
+		}
+		if _, err := sreq.Wait(); err != nil {
+			return err
+		}
+
+		// Wildcard eager fan-in at rank 0 (indexed matcher under load).
+		small := pattern(64, byte(0x20+me))
+		sink := make([]byte, 64)
+		if me == 0 {
+			for r := 1; r < n; r++ {
+				if _, err := c.Recv(sink, AnySource, AnyTag); err != nil {
+					return err
+				}
+			}
+			for r := 1; r < n; r++ {
+				if err := c.Send(small, r, 23); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := c.Send(small, 0, 22+me); err != nil {
+				return err
+			}
+			if _, err := c.Recv(sink, 0, 23); err != nil {
+				return err
+			}
+		}
+
+		// Nonblocking collective advanced by its own Test spin.
+		acc := make([]byte, 16)
+		creq, err := c.Iallreduce(pattern(16, byte(me)), acc, jvm.Long, OpSum)
+		if err != nil {
+			return err
+		}
+		for {
+			done, err := creq.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+		}
+
+		// Blocking collective on top (scratch arena traffic).
+		out := make([]byte, 256)
+		if err := c.Allreduce(pattern(256, byte(me+1)), out, jvm.Int, OpMax); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestEngineRaceStress rotates GOMAXPROCS and worker widths over clean
+// and lossy fabrics at np=16.
+func TestEngineRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress suite in -short mode")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		for _, lossy := range []bool{false, true} {
+			procs, lossy := procs, lossy
+			t.Run(fmt.Sprintf("gomaxprocs%d/lossy=%v", procs, lossy), func(t *testing.T) {
+				runtime.GOMAXPROCS(procs)
+				topo := cluster.New(4, 4)
+				fab := fabric.Default(topo)
+				if lossy {
+					fab.WithFaults(faults.Uniform(uint64(procs), 0.03))
+				}
+				w := NewWorld(topo, fab, Profile{})
+				if err := w.Run(stressWorkload); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineStressParallelWorlds runs several engine-scheduled worlds
+// concurrently — separate engines must never share state through the
+// global pools without synchronization.
+func TestEngineStressParallelWorlds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress suite in -short mode")
+	}
+	const worlds = 4
+	errs := make(chan error, worlds)
+	for i := 0; i < worlds; i++ {
+		go func() {
+			topo := cluster.New(2, 4)
+			w := NewWorld(topo, fabric.Default(topo), Profile{})
+			errs <- w.Run(stressWorkload)
+		}()
+	}
+	for i := 0; i < worlds; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

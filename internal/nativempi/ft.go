@@ -122,16 +122,26 @@ func (w *World) markDead(rank int, at vtime.Time) {
 	}
 	w.met.Add(rank, "ft", "crashes", 1)
 	confirmAt := w.confirmTime(at)
+	eng := w.eng.Load()
 	for _, q := range w.procs {
 		if q.rank == rank {
 			continue
 		}
 		// sentAt carries the death instant, arriveAt the confirm time;
 		// the receiver derives the suspect transition from the profile.
-		q.mb.push(&packet{
+		pkt := &packet{
 			kind: pktFailNotice, src: rank, dst: q.rank,
 			sentAt: at, arriveAt: confirmAt,
-		})
+		}
+		// markDead runs on the dying rank's goroutine while it still
+		// holds its execution token, so under the engine the notices go
+		// through its outbox like any other emission — flushed at the
+		// barrier its retirement triggers, in canonical merge order.
+		if eng != nil {
+			eng.emit(rank, q.rank, pkt)
+		} else {
+			q.mb.push(pkt)
+		}
 	}
 }
 

@@ -126,6 +126,19 @@ func (m *mailbox) tryPop() (*packet, bool) {
 	return m.takeHead(), true
 }
 
+// empty reports whether the mailbox holds no packets. Used by the
+// phase-stepped engine's barrier (under eng.mu, with the owning rank
+// parked) to decide promotion; the head check is safe there because a
+// parked owner cannot be mutating its consumer-private state.
+func (m *mailbox) empty() bool {
+	if m.headIdx < len(m.head) {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.tail) == 0
+}
+
 // pop dequeues the oldest packet, blocking until one is available.
 func (m *mailbox) pop() *packet {
 	if m.headIdx < len(m.head) {

@@ -132,6 +132,10 @@ func (r *CollRequest) Test() (bool, error) {
 			}
 		}
 		if !allDone {
+			// Schedule stalled on in-flight communication: a caller
+			// spinning on Test must yield to the phase engine so peer
+			// emissions flush and the rounds can advance.
+			r.c.p.engYield()
 			return false, nil
 		}
 		// Round communication finished: absorb completion times, run

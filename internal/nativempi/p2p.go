@@ -18,6 +18,7 @@ type Comm struct {
 	collSeq int           // rolling tag for collective operations
 	ftSeq   int           // rolling agreement counter for recovery operations (ft.go)
 	scr     *scratchArena // lazily created scratch arena (pool.go)
+	nodesML [][]int       // memoized planNodeMembers (comm membership is immutable)
 }
 
 // Rank returns the calling process's rank within the communicator.
@@ -326,6 +327,7 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 		src := c.commRankOfWorld(pkt.src)
 		return Status{Source: src, Tag: pkt.tag, Bytes: n}, true, nil
 	}
+	c.p.engYield() // probe spins must cooperate with the phase engine
 	return Status{}, false, nil
 }
 
@@ -367,6 +369,9 @@ func (r *Request) Test() (Status, bool, error) {
 	}
 	r.p.poll()
 	if !r.done {
+		// A pure Test spin never blocks, so under the phase-stepped
+		// engine it must yield or its peers' packets would never flush.
+		r.p.engYield()
 		return Status{}, false, nil
 	}
 	r.p.clock.AdvanceTo(r.completeAt)

@@ -245,6 +245,7 @@ type HostStats struct {
 	Arena   ArenaStats   `json:"arena"`
 	Copy    CopyStats    `json:"copy"`
 	Match   MatchStats   `json:"match"`
+	Engine  EngineStats  `json:"engine"`
 }
 
 // HostStats sums the per-rank host-side counters. Call after Run has
@@ -284,6 +285,7 @@ func (w *World) HostStats() HostStats {
 			hs.Match.MaxBucket = ms.MaxBucket
 		}
 	}
+	hs.Engine = w.engStats
 	return hs
 }
 

@@ -37,6 +37,7 @@ type packet struct {
 	nbytes   int    // full payload size (meaningful for RTS)
 	arriveAt vtime.Time
 	reqID    uint64 // rendezvous correlation (RTS/CTS/Data)
+	emitSeq  uint64 // per-source emission counter (phase-merge sort key)
 
 	// Host-side reuse bookkeeping (see pool.go). ownsData marks a
 	// payload borrowed from the wire pool; freed guards against a
@@ -235,13 +236,31 @@ func (p *Proc) post(dst int, pkt *packet) error {
 }
 
 // postRaw bypasses the reliability layer (acks, aborts, and the
-// transmissions reliablePost has already adjudicated).
-func (p *Proc) postRaw(dst int, pkt *packet) { p.w.procs[dst].mb.push(pkt) }
+// transmissions reliablePost has already adjudicated). Under the
+// phase-stepped engine the packet is buffered in this rank's outbox
+// and delivered at the next barrier, in merged (arriveAt, src,
+// emitSeq) order; without an engine it goes straight into the
+// destination mailbox, the legacy serialized path.
+func (p *Proc) postRaw(dst int, pkt *packet) {
+	if eng := p.w.eng.Load(); eng != nil {
+		eng.emit(p.rank, dst, pkt)
+		return
+	}
+	p.w.procs[dst].mb.push(pkt)
+}
 
 // postRawBatch delivers a same-destination burst (e.g. a reliability
 // layer's whole retransmission schedule) into dst's mailbox under a
 // single lock acquisition, preserving FIFO order.
-func (p *Proc) postRawBatch(dst int, pkts []*packet) { p.w.procs[dst].mb.pushBatch(pkts) }
+func (p *Proc) postRawBatch(dst int, pkts []*packet) {
+	if eng := p.w.eng.Load(); eng != nil {
+		for _, pkt := range pkts {
+			eng.emit(p.rank, dst, pkt)
+		}
+		return
+	}
+	p.w.procs[dst].mb.pushBatch(pkts)
+}
 
 // matches reports whether a posted receive (req) matches a packet.
 func matches(req *Request, pkt *packet) bool {
@@ -346,7 +365,34 @@ func (p *Proc) dispatch(pkt *packet) {
 }
 
 // progressOnce processes one packet, blocking until one arrives.
-func (p *Proc) progressOnce() { p.dispatch(p.mb.pop()) }
+func (p *Proc) progressOnce() { p.dispatch(p.popBlocking()) }
+
+// popBlocking dequeues the next packet, parking the rank in the
+// phase-stepped engine while its mailbox is empty (the engine's ONLY
+// blocking point). Without an engine it falls back to the mailbox's
+// condition-variable pop. After an engine abort the final tryPop is
+// guaranteed to find the poison packet: abortLocked pushes it to every
+// mailbox before waking anyone.
+func (p *Proc) popBlocking() *packet {
+	for {
+		if pkt, ok := p.mb.tryPop(); ok {
+			return pkt
+		}
+		eng := p.w.eng.Load()
+		if eng == nil {
+			return p.mb.pop()
+		}
+		eng.block(p.rank)
+	}
+}
+
+// engYield lets spin-polling paths (Test/Iprobe loops that never
+// block) cooperate with the phase-stepped engine; a no-op without one.
+func (p *Proc) engYield() {
+	if eng := p.w.eng.Load(); eng != nil {
+		eng.yield(p.rank)
+	}
+}
 
 // poll drains already-arrived packets without blocking.
 func (p *Proc) poll() {

@@ -44,6 +44,13 @@ const (
 	// degenerates to a p-deep pipe — the pathological small-message
 	// choice behind the paper's large broadcast gap.
 	BcastChain
+	// BcastMultiLeader is the three-level scale-out broadcast: k-nomial
+	// among node representatives over the network, k-nomial among each
+	// node's SECTION leaders over shared memory, then k-nomial within
+	// each section — MVAPICH2's multi-leader design for fat nodes,
+	// which keeps several network streams and several memory ports busy
+	// per node instead of funnelling everything through one leader.
+	BcastMultiLeader
 )
 
 const (
@@ -62,6 +69,13 @@ const (
 	// AllreduceShmAware: intra-node reduce onto node leaders, recursive
 	// doubling among leaders, intra-node broadcast.
 	AllreduceShmAware
+	// AllreduceMultiLeader: each node's ranks are split into
+	// LeadersPerNode sections; sections reduce onto their leader,
+	// same-index leaders recursive-double ACROSS nodes concurrently
+	// (multiple network streams per node), the node's section leaders
+	// combine intra-node, and sections broadcast back. The multi-leader
+	// shape MVAPICH2 uses once single-leader trees saturate at scale.
+	AllreduceMultiLeader
 )
 
 const (
@@ -131,6 +145,12 @@ type Profile struct {
 	// KnomialRadix is the tree arity for BcastKnomial (default 4).
 	KnomialRadix int
 
+	// LeadersPerNode is the section-leader count per node for the
+	// multi-leader collectives (default 4). Each leader drives its own
+	// inter-node stream, so the effective network concurrency per node
+	// is min(LeadersPerNode, ranks on the node).
+	LeadersPerNode int
+
 	// ReduceBandwidth is the local elementwise-combine rate in
 	// bytes/second for reduction computation.
 	ReduceBandwidth float64
@@ -186,6 +206,9 @@ func (pr Profile) normalize() Profile {
 	if pr.KnomialRadix < 2 {
 		pr.KnomialRadix = 4
 	}
+	if pr.LeadersPerNode < 1 {
+		pr.LeadersPerNode = 4
+	}
 	if pr.ReduceBandwidth <= 0 {
 		pr.ReduceBandwidth = 8e9
 	}
@@ -209,6 +232,9 @@ func (pr Profile) normalize() Profile {
 	}
 	if pr.SelectBcast == nil {
 		pr.SelectBcast = func(nbytes, p int) BcastAlg {
+			if p >= 256 {
+				return BcastMultiLeader
+			}
 			if nbytes > 64*1024 {
 				return BcastScatterAllgather
 			}
@@ -220,6 +246,9 @@ func (pr Profile) normalize() Profile {
 	}
 	if pr.SelectAllreduce == nil {
 		pr.SelectAllreduce = func(nbytes, p int) AllreduceAlg {
+			if p >= 256 {
+				return AllreduceMultiLeader
+			}
 			if nbytes > 64*1024 {
 				return AllreduceRabenseifner
 			}

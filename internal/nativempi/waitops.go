@@ -50,6 +50,7 @@ func Testall(reqs []*Request) (bool, error) {
 	p.poll()
 	for _, r := range reqs {
 		if r != nil && !r.done {
+			p.engYield() // Testall spins must cooperate with the phase engine
 			return false, nil
 		}
 	}

@@ -24,6 +24,15 @@ type World struct {
 	met       *metrics.Registry
 	abortOnce sync.Once
 
+	// eng is the phase-stepped scale-out scheduler, non-nil exactly
+	// while Run executes (atomic: Abort may be called from outside the
+	// rank goroutines, and tests drive bare Procs with no engine at
+	// all). engWorkers configures the worker-pool width for the next
+	// Run: 0 = GOMAXPROCS, 1 = serial reference execution.
+	eng        atomic.Pointer[engine]
+	engWorkers int
+	engStats   EngineStats
+
 	// zeroCopy caches the world-level half of the zero-copy rendezvous
 	// decision: profile switch on AND no fault plan (framed
 	// retransmission needs a mutable payload image). Procs additionally
@@ -104,11 +113,31 @@ func (e abortError) Error() string {
 // ranks that already finished are unaffected.
 func (w *World) Abort(origin int, reason string) {
 	w.abortOnce.Do(func() {
+		if eng := w.eng.Load(); eng != nil {
+			eng.abort(origin, reason)
+			return
+		}
 		for _, q := range w.procs {
 			q.mb.push(&packet{kind: pktAbort, src: origin, data: []byte(reason)})
 		}
 	})
 }
+
+// SetEngineWorkers configures the phase-stepped engine's worker-pool
+// width for subsequent Run calls: 0 (the default) sizes the pool to
+// GOMAXPROCS, 1 forces serial reference execution, and any n is capped
+// at the rank count. Virtual artifacts are byte-identical at every
+// width — the knob trades host parallelism only.
+func (w *World) SetEngineWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	w.engWorkers = n
+}
+
+// EngineStats reports the scheduler's host-side counters, accumulated
+// across Run calls.
+func (w *World) EngineStats() EngineStats { return w.engStats }
 
 // Run executes fn once per rank, each on its own goroutine, and waits
 // for all of them — the SPMD model of mpirun. A panic in any rank is
@@ -120,11 +149,14 @@ func (w *World) Abort(origin int, reason string) {
 // deadlock the harness.
 func (w *World) Run(fn func(p *Proc) error) error {
 	errs := make([]error, len(w.procs))
+	eng := newEngine(w, w.engWorkers)
+	w.eng.Store(eng)
 	var wg sync.WaitGroup
 	for _, p := range w.procs {
 		wg.Add(1)
 		go func(p *Proc) {
 			defer wg.Done()
+			defer eng.done(p.rank)
 			defer func() {
 				if r := recover(); r != nil {
 					if ae, ok := r.(abortError); ok {
@@ -141,6 +173,7 @@ func (w *World) Run(fn func(p *Proc) error) error {
 					w.Abort(p.rank, fmt.Sprintf("peer panic: %v", r))
 				}
 			}()
+			eng.enter(p.rank)
 			errs[p.rank] = fn(p)
 			if errs[p.rank] != nil {
 				w.Abort(p.rank, errs[p.rank].Error())
@@ -148,6 +181,14 @@ func (w *World) Run(fn func(p *Proc) error) error {
 		}(p)
 	}
 	wg.Wait()
+	w.engStats.Phases += eng.stats.Phases
+	w.engStats.Delivered += eng.stats.Delivered
+	if eng.stats.MaxPhase > w.engStats.MaxPhase {
+		w.engStats.MaxPhase = eng.stats.MaxPhase
+	}
+	w.engStats.Handoffs += eng.stats.Handoffs
+	w.engStats.Yields += eng.stats.Yields
+	w.eng.Store(nil)
 	w.drainPending()
 	var first []error
 	for r, err := range errs {

@@ -150,9 +150,23 @@ func (s *resultSink) sorted() []Result {
 	return out
 }
 
-// sizeJVM returns heap/arena sizes ample for the sweep.
+// sizeJVM returns heap/arena sizes ample for the sweep. The fixed
+// floor shrinks as the job widens: at np=1024 a uniform 16 MiB heap +
+// 16 MiB arena per rank would mean 32 GiB of zeroed backing slices
+// per world, and re-zeroing dirty spans at that volume dominates the
+// whole harness. Wide jobs instead split a fixed per-world budget —
+// exactly how real Java HPC deployments shrink -Xmx as ppn grows.
 func sizeJVM(cfg *core.Config, maxSize int) {
-	need := 8*maxSize + (16 << 20)
+	floor := 16 << 20
+	if np := cfg.Nodes * cfg.PPN; np > 0 {
+		if b := (512 << 20) / np; b < floor {
+			floor = b
+		}
+		if floor < 512<<10 {
+			floor = 512 << 10
+		}
+	}
+	need := 8*maxSize + floor
 	if cfg.HeapSize < need {
 		cfg.HeapSize = need
 	}

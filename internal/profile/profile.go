@@ -32,12 +32,21 @@ func MVAPICH2() nativempi.Profile {
 		KnomialRadix:      8,
 		ReduceBandwidth:   10e9,
 		SelectBcast: func(nbytes, p int) nativempi.BcastAlg {
+			// At scale the single-leader trees funnel every node's
+			// traffic through one rank; MVAPICH2 switches to the
+			// multi-leader hierarchy once the communicator is large.
+			if p >= 256 {
+				return nativempi.BcastMultiLeader
+			}
 			if nbytes > 128*1024 {
 				return nativempi.BcastScatterAllgather
 			}
 			return nativempi.BcastShmAware
 		},
 		SelectAllreduce: func(nbytes, p int) nativempi.AllreduceAlg {
+			if p >= 256 {
+				return nativempi.AllreduceMultiLeader
+			}
 			if nbytes > 32*1024 {
 				return nativempi.AllreduceRabenseifner
 			}

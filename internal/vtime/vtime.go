@@ -88,6 +88,43 @@ func PerElement(n int, each Duration) Duration {
 	return Duration(n) * each
 }
 
+// PhaseKey is the total ordering key of the phase-stepped engine's
+// event merge: events emitted concurrently by ranks runnable at the
+// same virtual tick are delivered in (At, Src, Seq) order. The key is
+// total — two events from the same source always carry distinct
+// sequence numbers — so the merged delivery order is independent of
+// which worker goroutine ran which rank, and the parallel engine's
+// virtual artifacts stay byte-identical to the serial engine's.
+type PhaseKey struct {
+	At  Time   // virtual arrival time of the event
+	Src int    // emitting world rank
+	Seq uint64 // per-source emission counter (monotone within a rank)
+}
+
+// Compare orders a before b when a's key is smaller; it returns a
+// negative number, zero, or a positive number as in cmp.Compare.
+func (a PhaseKey) Compare(b PhaseKey) int {
+	switch {
+	case a.At != b.At:
+		if a.At < b.At {
+			return -1
+		}
+		return 1
+	case a.Src != b.Src:
+		if a.Src < b.Src {
+			return -1
+		}
+		return 1
+	case a.Seq != b.Seq:
+		if a.Seq < b.Seq {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
 // Clock is a per-rank virtual clock. A Clock is owned by exactly one
 // rank goroutine and is not safe for concurrent use; cross-rank clock
 // propagation happens through message timestamps.
