@@ -38,6 +38,14 @@ type Params struct {
 	// RndvHandshake is the extra cost of the RTS/CTS exchange that the
 	// rendezvous protocol pays before moving payload.
 	RndvHandshake vtime.Duration
+	// RDMAFinOverhead is the receiver-side completion cost of an
+	// RDMA-placed rendezvous payload: detecting the completion event and
+	// retiring the request. It replaces RecvOverhead plus the library's
+	// software receive overhead on the RDMA path — the one-sided
+	// placement bypasses the receiver's protocol stack, which is where
+	// the large-message win comes from (Liu et al., MPICH2 over
+	// InfiniBand with RDMA support).
+	RDMAFinOverhead vtime.Duration
 }
 
 // TransferTime returns the wire time for an n-byte payload on this
@@ -78,13 +86,14 @@ func (p Params) Validate() error {
 // the few-hundred-nanosecond range real CLX nodes show.
 func FronteraShm() Params {
 	return Params{
-		Name:           "shm",
-		Latency:        vtime.Nanos(120),
-		Bandwidth:      16e9, // ~16 GB/s effective per-pair copy bandwidth
-		SendOverhead:   vtime.Nanos(60),
-		RecvOverhead:   vtime.Nanos(60),
-		EagerThreshold: 8192,
-		RndvHandshake:  vtime.Nanos(250),
+		Name:            "shm",
+		Latency:         vtime.Nanos(120),
+		Bandwidth:       16e9, // ~16 GB/s effective per-pair copy bandwidth
+		SendOverhead:    vtime.Nanos(60),
+		RecvOverhead:    vtime.Nanos(60),
+		EagerThreshold:  8192,
+		RndvHandshake:   vtime.Nanos(250),
+		RDMAFinOverhead: vtime.Nanos(40),
 	}
 }
 
@@ -93,13 +102,14 @@ func FronteraShm() Params {
 // ~12.5 GB/s sustained bandwidth.
 func FronteraIB() Params {
 	return Params{
-		Name:           "ib",
-		Latency:        vtime.Nanos(750),
-		Bandwidth:      12.5e9,
-		SendOverhead:   vtime.Nanos(120),
-		RecvOverhead:   vtime.Nanos(120),
-		EagerThreshold: 16384,
-		RndvHandshake:  vtime.Nanos(1600),
+		Name:            "ib",
+		Latency:         vtime.Nanos(750),
+		Bandwidth:       12.5e9,
+		SendOverhead:    vtime.Nanos(120),
+		RecvOverhead:    vtime.Nanos(120),
+		EagerThreshold:  16384,
+		RndvHandshake:   vtime.Nanos(1600),
+		RDMAFinOverhead: vtime.Nanos(80),
 	}
 }
 

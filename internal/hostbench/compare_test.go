@@ -57,7 +57,7 @@ func TestCompareBytesCopiedGate(t *testing.T) {
 		withCopied(entry("latency", 2, 1000), 4096),
 	)
 	cur := rep(
-		withCopied(entry("bw", 2, 1000), 2<<20),   // copies doubled -> regression
+		withCopied(entry("bw", 2, 1000), 2<<20),     // copies doubled -> regression
 		withCopied(entry("latency", 2, 1000), 2048), // copies halved -> improvement
 	)
 	deltas, failed := Compare(base, cur, 0.20)
@@ -188,6 +188,7 @@ func TestQuickSuitePlanStable(t *testing.T) {
 		"latency/np2/buffer",
 		"bw/np2/buffer",
 		"bw-1m/np2/buffer",
+		"bw-rdma/np2/buffer",
 		"mr/np8/buffer",
 		"allreduce/np2/buffer",
 		"allreduce/np8/buffer",

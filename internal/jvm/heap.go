@@ -54,6 +54,14 @@ type Stats struct {
 	Collections    int64
 	BytesMoved     int64
 	GCPause        vtime.Duration
+	// PinnedBytes/PinnedPeak track the immovable-object footprint
+	// opened through Pin — the JVM-side analogue of the runtime's
+	// pin-down registration cache: memory exposed to native transfers
+	// (JNI no-copy access, RDMA placement) must hold its address, and
+	// this is how much of the heap is currently exempt from compaction.
+	// Nested pins on one object count its size once.
+	PinnedBytes int64
+	PinnedPeak  int64
 }
 
 // Options configures a Machine.
@@ -149,6 +157,12 @@ func (m *Machine) Pin(r Ref) error {
 		return err
 	}
 	s.pins++
+	if s.pins == 1 {
+		m.stats.PinnedBytes += int64(s.size)
+		if m.stats.PinnedBytes > m.stats.PinnedPeak {
+			m.stats.PinnedPeak = m.stats.PinnedBytes
+		}
+	}
 	return nil
 }
 
@@ -162,6 +176,9 @@ func (m *Machine) Unpin(r Ref) error {
 		panic("jvm: Unpin without Pin")
 	}
 	s.pins--
+	if s.pins == 0 {
+		m.stats.PinnedBytes -= int64(s.size)
+	}
 	return nil
 }
 

@@ -202,3 +202,28 @@ func TestStatsAccumulate(t *testing.T) {
 		t.Fatalf("direct stats wrong: %+v", s)
 	}
 }
+
+// TestPinnedFootprintStats pins the Pin/Unpin accounting: the pinned
+// footprint mirrors the runtime's registration-cache gauges — nested
+// pins count an object once, and the peak survives unpinning.
+func TestPinnedFootprintStats(t *testing.T) {
+	m := NewMachine(vtime.NewClock(), Options{HeapSize: 1 << 16, ArenaSize: 1 << 16, AllowPinning: true})
+	a := m.MustArray(Byte, 100)
+	b := m.MustArray(Byte, 50)
+	for _, r := range []Ref{a.Ref(), a.Ref(), b.Ref()} { // a pinned twice: counted once
+		if err := m.Pin(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := m.Stats(); s.PinnedBytes != 150 || s.PinnedPeak != 150 {
+		t.Fatalf("pinned stats %d/%d, want 150/150", s.PinnedBytes, s.PinnedPeak)
+	}
+	for _, r := range []Ref{a.Ref(), a.Ref(), b.Ref()} {
+		if err := m.Unpin(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := m.Stats(); s.PinnedBytes != 0 || s.PinnedPeak != 150 {
+		t.Fatalf("after unpin %d/%d, want 0/150", s.PinnedBytes, s.PinnedPeak)
+	}
+}

@@ -52,11 +52,11 @@ const (
 // these are HOST observability numbers (phase shapes depend on worker
 // count) and stay out of the deterministic artifacts.
 type EngineStats struct {
-	Phases    int64 `json:"phases"`     // barrier flushes performed
-	Delivered int64 `json:"delivered"`  // packets merged and delivered at barriers
-	MaxPhase  int64 `json:"max_phase"`  // largest single merge
-	Handoffs  int64 `json:"handoffs"`   // execution-token grants
-	Yields    int64 `json:"yields"`     // cooperative yields from spin loops
+	Phases    int64 `json:"phases"`    // barrier flushes performed
+	Delivered int64 `json:"delivered"` // packets merged and delivered at barriers
+	MaxPhase  int64 `json:"max_phase"` // largest single merge
+	Handoffs  int64 `json:"handoffs"`  // execution-token grants
+	Yields    int64 `json:"yields"`    // cooperative yields from spin loops
 }
 
 // engineCell is one rank's scheduling state. The out slice and seq

@@ -186,6 +186,10 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 	rts.tag = tag
 	rts.ctx = o.ctx
 	rts.nbytes = n
+	// Protocol tier: an RTS above the RDMA threshold — or from a
+	// buffer whose registration is still warm in the pin-down cache —
+	// negotiates a remote placement instead of a DATA landing.
+	rts.rdma = p.rdmaRndv(n, buf)
 	rts.reqID = req.id
 	rts.sentAt = p.clock.Now()
 	rts.arriveAt = p.clock.Now().Add(ch.Latency)

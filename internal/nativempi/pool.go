@@ -246,6 +246,8 @@ type HostStats struct {
 	Copy    CopyStats    `json:"copy"`
 	Match   MatchStats   `json:"match"`
 	Engine  EngineStats  `json:"engine"`
+	Reg     RegStats     `json:"reg"`
+	RDMA    RDMAStats    `json:"rdma"`
 }
 
 // HostStats sums the per-rank host-side counters. Call after Run has
@@ -284,6 +286,17 @@ func (w *World) HostStats() HostStats {
 		if ms.MaxBucket > hs.Match.MaxBucket {
 			hs.Match.MaxBucket = ms.MaxBucket
 		}
+		rs := p.reg.stats
+		hs.Reg.Hits += rs.Hits
+		hs.Reg.Misses += rs.Misses
+		hs.Reg.Evictions += rs.Evictions
+		hs.Reg.BytesReg += rs.BytesReg
+		hs.Reg.PinnedBytes += rs.PinnedBytes
+		if rs.PinnedPeak > hs.Reg.PinnedPeak {
+			hs.Reg.PinnedPeak = rs.PinnedPeak
+		}
+		hs.RDMA.Writes += p.rdmaStats.Writes
+		hs.RDMA.BytesPlaced += p.rdmaStats.BytesPlaced
 	}
 	hs.Engine = w.engStats
 	return hs

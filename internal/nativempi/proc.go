@@ -39,12 +39,23 @@ type packet struct {
 	reqID    uint64 // rendezvous correlation (RTS/CTS/Data)
 	emitSeq  uint64 // per-source emission counter (phase-merge sort key)
 
+	// rdma marks a message riding the RDMA channel: an RTS advertising
+	// an RDMA-mode rendezvous, the CTS answering it (carrying the
+	// receiver's registered landing buffer when the placement datapath
+	// is on), the DATA completion notification (payload already placed
+	// remotely, data nil), or a one-sided operation that bypassed the
+	// target's CPU. Both endpoints derive their virtual charges from
+	// this flag identically whatever the host datapath.
+	rdma bool
+
 	// Host-side reuse bookkeeping (see pool.go). ownsData marks a
 	// payload borrowed from the wire pool; freed guards against a
 	// double free of the packet struct itself. borrowed marks a
 	// zero-copy DATA packet whose data aliases the SENDER's live
-	// buffer: read-only, never pool-owned, and fenced by pktRndvFin —
-	// freePacket panics if such a payload ever claims pool ownership.
+	// buffer — or, on the RDMA placement path, a CTS whose data aliases
+	// the RECEIVER's registered landing buffer: read-only, never
+	// pool-owned — freePacket panics if such a payload ever claims pool
+	// ownership.
 	ownsData bool
 	freed    bool
 	borrowed bool
@@ -124,6 +135,11 @@ type Proc struct {
 	copyStats  CopyStats
 	matchStats MatchStats
 
+	// reg is the rank's pin-down registration cache (see regcache.go);
+	// rdmaStats counts the placement datapath's host-side writes.
+	reg       *regCache
+	rdmaStats RDMAStats
+
 	// Fault-tolerance state (see ft.go), live only in FT worlds.
 	crash       *faults.Crash        // this rank's scheduled death, if any
 	crashed     bool                 // the schedule has fired
@@ -146,6 +162,7 @@ func newProc(w *World, rank int) *Proc {
 	}
 	p.posted.init(&p.matchStats)
 	p.unexp.init(&p.matchStats)
+	p.reg = newRegCache(p)
 	if w.fab.Faults() != nil {
 		p.rel = newRelState()
 	}
@@ -414,6 +431,28 @@ func (p *Proc) zeroCopyRndv() bool {
 	return p.w.zeroCopy && p.rel == nil && !p.w.ft
 }
 
+// rdmaOK reports whether the RDMA protocol tier is available on this
+// rank: enabled in the profile, no fault plan (a remote placement
+// cannot be framed, checksummed, or retransmitted), no fault tolerance
+// (a failure sweep could orphan a remote key mid-placement). The
+// PROTOCOL — registration charges, completion arithmetic — is what
+// this gates; the host datapath has its own switch (w.rdmaPlace).
+func (p *Proc) rdmaOK() bool {
+	return p.w.rdmaProto && p.rel == nil && !p.w.ft
+}
+
+// rdmaRndv decides the protocol tier of one rendezvous send: RDMA when
+// the payload crosses the threshold, or — the adaptive switch keyed on
+// registration-cache state — when the sender's buffer is already
+// registered, making the RDMA path strictly cheaper than a DATA
+// landing. The covered peek reads deterministic cache state only.
+func (p *Proc) rdmaRndv(n int, buf []byte) bool {
+	if !p.rdmaOK() {
+		return false
+	}
+	return n >= p.w.prof.RDMAThreshold || p.reg.covered(buf)
+}
+
 // getReq returns a zeroed Request from the rank-confined free list.
 func (p *Proc) getReq() *Request {
 	if n := len(p.reqFree); n > 0 {
@@ -482,6 +521,25 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 		cts.dst = pkt.src
 		cts.ctx = pkt.ctx
 		cts.reqID = pkt.reqID
+		if pkt.rdma {
+			// RDMA-mode rendezvous: the CTS carries the remote key, so
+			// the landing buffer must be registered before it can be
+			// issued — the pin-down cost (zero on a cache hit) delays
+			// the CTS, never the receiver's other work. When the
+			// placement datapath is on, the CTS also carries the landing
+			// buffer itself for the sender's direct write; host movement
+			// only, every virtual quantity is placement-independent.
+			n := pkt.nbytes
+			if n > len(req.buf) {
+				n = len(req.buf)
+			}
+			readyAt = readyAt.Add(p.reg.acquire(req.buf[:n], readyAt))
+			cts.rdma = true
+			if p.w.rdmaPlace {
+				cts.data = req.buf[:n]
+				cts.borrowed = true
+			}
+		}
 		cts.sentAt = readyAt
 		cts.arriveAt = readyAt.Add(ch.Latency)
 		src, reqID := pkt.src, pkt.reqID
@@ -510,19 +568,36 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	start := vtime.Max(cts.arriveAt, p.nicFree)
 	start = start.Add(ch.RndvHandshake)
 	n := len(req.sendBuf)
-	// Zero-copy datapath: the DATA packet borrows the sender's buffer
-	// read-only and the receiver performs the transfer's only host
-	// memcpy. The borrow is safe because the send request is not marked
-	// done (so the caller keeps the buffer immutable, per MPI send
-	// semantics) until the receiver's pktRndvFin fence confirms the
-	// copy-out. Every virtual quantity below — start, injection,
-	// arrival, completion — is computed identically on both paths.
-	zc := p.zeroCopyRndv()
+	if cts.rdma {
+		// RDMA mode: the NIC reads the source buffer directly, so it
+		// too must be pinned — same cache, same amortization as the
+		// receiver's side.
+		start = start.Add(p.reg.acquire(req.sendBuf, start))
+	}
+	// Host datapath selection. On the RDMA placement path the sender
+	// performs the transfer's only memcpy — the remote write — straight
+	// into the receiver's registered landing buffer (carried by the
+	// CTS), and the DATA packet degenerates to a payload-less
+	// completion notification. The write is host-safe: the buffer
+	// reference travelled receiver→sender through the mailbox, and the
+	// receiver only reads it after popping the completion packet, so
+	// both directions carry a happens-before edge. Otherwise the
+	// zero-copy borrow or the framed wire copy runs exactly as before.
+	// Every virtual quantity below — start, injection, arrival,
+	// completion — is computed identically on all three paths.
+	place := cts.rdma && len(cts.data) > 0
+	zc := !place && p.zeroCopyRndv()
 	var data []byte
-	if zc {
+	switch {
+	case place:
+		placed := copy(cts.data, req.sendBuf)
+		p.copyStats.count(placed)
+		p.rdmaStats.Writes++
+		p.rdmaStats.BytesPlaced += int64(placed)
+	case zc:
 		data = req.sendBuf
 		p.copyStats.elide(n)
-	} else {
+	default:
 		data = getWire(n)
 		copy(data, req.sendBuf)
 		p.copyStats.count(n)
@@ -539,8 +614,10 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	pkt.tag = req.tag
 	pkt.ctx = req.ctx
 	pkt.data = data
-	pkt.ownsData = !zc
+	pkt.ownsData = !zc && data != nil
 	pkt.borrowed = zc
+	pkt.rdma = cts.rdma
+	pkt.nbytes = n
 	pkt.reqID = req.id
 	pkt.sentAt = start
 	pkt.arriveAt = start.Add(ch.TransferTime(n))
@@ -562,17 +639,34 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 // completeRndvRecv lands the data phase in the user buffer.
 func (p *Proc) completeRndvRecv(req *Request, pkt *packet) {
 	ch := p.channel(pkt.src)
-	n := len(pkt.data)
+	total := len(pkt.data)
+	if pkt.rdma && pkt.data == nil {
+		// Placement write: the payload is already in the user buffer —
+		// this packet is only the completion notification. nbytes
+		// carries the transfer size for the status.
+		total = pkt.nbytes
+	}
+	n := total
 	if n > len(req.buf) {
 		n = len(req.buf) // error already recorded at RTS time
 	}
-	copy(req.buf[:n], pkt.data[:n])
-	p.copyStats.count(n)
-	req.status = Status{Source: pkt.src, Tag: pkt.tag, Bytes: len(pkt.data)}
-	req.completeAt = pkt.arriveAt.Add(ch.RecvOverhead + p.recvSoft(pkt.src) + req.extraRecvCost)
+	if pkt.data != nil {
+		copy(req.buf[:n], pkt.data[:n])
+		p.copyStats.count(n)
+	}
+	req.status = Status{Source: pkt.src, Tag: pkt.tag, Bytes: total}
+	if pkt.rdma {
+		// The one-sided placement bypasses the receiver's protocol
+		// stack: completion costs the NIC's completion-event handling
+		// only, not RecvOverhead plus the library's software receive
+		// path — the large-message win the RDMA channel exists for.
+		req.completeAt = pkt.arriveAt.Add(ch.RDMAFinOverhead + req.extraRecvCost)
+	} else {
+		req.completeAt = pkt.arriveAt.Add(ch.RecvOverhead + p.recvSoft(pkt.src) + req.extraRecvCost)
+	}
 	req.done = true
 	p.stats.MsgsReceived++
-	p.recordRecv(pkt.src, len(pkt.data), req.postedAt, req.completeAt)
+	p.recordRecv(pkt.src, total, req.postedAt, req.completeAt)
 	if pkt.borrowed {
 		// Release the sender's buffer: the copy-out above was the last
 		// read of the borrow. The fence is raw host traffic — borrowed

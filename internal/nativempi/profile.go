@@ -177,6 +177,56 @@ type Profile struct {
 	// image of the payload).
 	ZeroCopyRndv Switch
 
+	// RDMA transport tuning. Rendezvous messages of at least
+	// RDMAThreshold bytes complete via a single remote-memory placement
+	// (an RDMA write issued after the RTS/CTS key exchange) instead of a
+	// receiver-side DATA landing: both endpoints register their buffers
+	// — cost charged to virtual time, amortized by the pin-down
+	// registration cache below — and the completion bypasses the
+	// receiver's protocol stack (fabric.Params.RDMAFinOverhead replaces
+	// RecvOverhead plus software receive overhead). A rendezvous BELOW
+	// the threshold is also promoted to RDMA when the sender's buffer is
+	// already registered — the adaptive switch keyed on cache state,
+	// since a warm registration makes the RDMA path strictly cheaper.
+	// Zero selects the 256 KiB default; negative disables the RDMA
+	// protocol entirely. A fault plan or fault tolerance disables it
+	// too: remote placement cannot be framed, checksummed, or
+	// retransmitted, and a failure sweep could orphan a remote key.
+	RDMAThreshold int
+
+	// RDMAPlacement selects the HOST datapath of an RDMA-mode
+	// rendezvous, exactly as ZeroCopyRndv does for the framed path: on
+	// (the default), the receiver's buffer travels back in the CTS and
+	// the sender performs the transfer's only host memcpy directly into
+	// it — the placement write. Off stages the payload through the
+	// framed DATA path instead. The switch governs host data movement
+	// ONLY; every virtual quantity (registration charges, completion
+	// times, traces, metrics) is computed identically on both settings.
+	RDMAPlacement Switch
+
+	// Pin-down registration-cache economics (MVAPICH2's regcache). The
+	// cache holds up to RegCacheEntries buffer registrations totalling
+	// at most RegCacheBytes; exceeding either evicts the least recently
+	// used unpinned entry, charging DeregisterBase. A registration
+	// (cache miss) costs RegisterBase plus RegisterPerPage per 4 KiB
+	// page — the driver/NIC pinning cost Liu et al. measure. Zero
+	// values select the defaults (128 entries, 64 MiB, 5 µs, 200 ns,
+	// 2 µs).
+	RegCacheEntries int
+	RegCacheBytes   int64
+	RegisterBase    vtime.Duration
+	RegisterPerPage vtime.Duration
+	DeregisterBase  vtime.Duration
+
+	// RDMAStageChunk is the pipeline chunk size of the NON-RDMA
+	// large-message fallback for one-sided operations: when the RDMA
+	// protocol is unavailable (disabled, faults, FT), a large Put/Get/
+	// Accumulate is staged through send/recv machinery in chunks of
+	// this size, paying per-chunk CPU overheads at both ends — the
+	// honest cost the RDMA channel exists to avoid. Zero selects the
+	// 16 KiB default.
+	RDMAStageChunk int
+
 	// Failure-detector tuning (fault-tolerant worlds only). Every rank
 	// conceptually heartbeats every HeartbeatPeriod; a silent peer is
 	// suspected after SuspectBeats missed beats and confirmed dead one
@@ -229,6 +279,30 @@ func (pr Profile) normalize() Profile {
 	}
 	if pr.ZeroCopyRndv == SwitchDefault {
 		pr.ZeroCopyRndv = SwitchOn
+	}
+	if pr.RDMAThreshold == 0 {
+		pr.RDMAThreshold = 256 << 10
+	}
+	if pr.RDMAPlacement == SwitchDefault {
+		pr.RDMAPlacement = SwitchOn
+	}
+	if pr.RegCacheEntries <= 0 {
+		pr.RegCacheEntries = 128
+	}
+	if pr.RegCacheBytes <= 0 {
+		pr.RegCacheBytes = 64 << 20
+	}
+	if pr.RegisterBase <= 0 {
+		pr.RegisterBase = 5 * vtime.Microsecond
+	}
+	if pr.RegisterPerPage <= 0 {
+		pr.RegisterPerPage = 200 * vtime.Nanosecond
+	}
+	if pr.DeregisterBase <= 0 {
+		pr.DeregisterBase = 2 * vtime.Microsecond
+	}
+	if pr.RDMAStageChunk <= 0 {
+		pr.RDMAStageChunk = 16 << 10
 	}
 	if pr.SelectBcast == nil {
 		pr.SelectBcast = func(nbytes, p int) BcastAlg {

@@ -86,6 +86,14 @@ func (c *Comm) WinCreate(base []byte) (*Win, error) {
 		c.p.windows = map[int32]*winState{}
 	}
 	c.p.windows[id] = st
+	// Exposing memory for one-sided access REQUIRES it pinned: the
+	// window's base is registered sticky (exempt from LRU eviction)
+	// for the window's lifetime, and the one-time pin-down cost lands
+	// here — which is why MPI_Win_create is expensive and per-op RMA
+	// is cheap, the trade the crossover benchmark measures.
+	if c.p.rdmaOK() && len(base) > 0 {
+		c.p.clock.Advance(c.p.reg.acquireLocked(base, c.p.clock.Now()))
+	}
 	// Window creation synchronises (MPI_Win_create is collective).
 	if err := c.Barrier(); err != nil {
 		return nil, err
@@ -100,6 +108,9 @@ func (w *Win) Free() error {
 	}
 	w.freed = true
 	delete(w.c.p.windows, w.id)
+	// The exposure ends but deregistration is lazy (the regcache bet):
+	// the entry merely loses its eviction exemption.
+	w.c.p.reg.unlock(w.st.base)
 	return w.c.Barrier()
 }
 
@@ -116,21 +127,53 @@ func (w *Win) check(target, off, n int) error {
 	return nil
 }
 
-// injectRMA ships an RMA packet toward the target with eager-style
-// injection (RMA maps to RDMA: no rendezvous handshake).
-func (w *Win) injectRMA(target int, kind pktKind, meta int64, off int, data []byte, reqID uint64) {
+// opRDMA reports whether a one-sided transfer of n bytes toward the
+// target rides the RDMA channel: any large operation qualifies when
+// the protocol is available, because the target's window is already
+// pinned (WinCreate) — only the origin's buffer registration remains,
+// and the cache amortizes that.
+func (w *Win) opRDMA(n, target int) bool {
+	p := w.c.p
+	return p.rdmaOK() && n > p.eagerLimit(w.c.group[target])
+}
+
+// injectRMA ships an RMA packet toward the target. Small operations
+// use eager-style injection (no handshake; the window exposure IS the
+// standing rendezvous). A large operation either rides the RDMA
+// channel — the origin registers its buffer (rdma true; cost already
+// charged by the caller for Get, charged here for Put/Accumulate) and
+// the transfer bypasses the target's CPU — or, when the protocol is
+// unavailable, pays the staged fallback: per-RDMAStageChunk CPU
+// overheads at both ends, the pipelined copy cost an RDMA-less
+// library cannot avoid. nicAt, when non-zero, marks a NIC-served
+// reply (an RDMA read): the payload streams out at max(nicAt,
+// nicFree) without touching this rank's clock at all.
+func (w *Win) injectRMA(target int, kind pktKind, meta int64, off int, data []byte, reqID uint64, rdma bool, nicAt vtime.Time) {
 	p := w.c.p
 	wdst := w.c.group[target]
 	ch := p.channel(wdst)
-	p.clock.Advance(p.sendSoft(wdst) + ch.SendOverhead)
 	n := len(data)
-	start := vtime.Max(p.clock.Now(), p.nicFree)
-	p.nicFree = start.Add(ch.SerializeTime(n))
-	p.clock.AdvanceTo(p.nicFree)
+	var start vtime.Time
+	if nicAt > 0 {
+		start = vtime.Max(nicAt, p.nicFree)
+		p.nicFree = start.Add(ch.SerializeTime(n))
+	} else {
+		p.clock.Advance(p.sendSoft(wdst) + ch.SendOverhead)
+		if rdma && n > 0 {
+			p.clock.Advance(p.reg.acquire(data, p.clock.Now()))
+		} else if !rdma && n > p.eagerLimit(wdst) {
+			chunk := p.w.prof.RDMAStageChunk
+			p.clock.Advance(vtime.Duration((n-1)/chunk) * ch.SendOverhead)
+		}
+		start = vtime.Max(p.clock.Now(), p.nicFree)
+		p.nicFree = start.Add(ch.SerializeTime(n))
+		p.clock.AdvanceTo(p.nicFree)
+	}
 	var payload []byte
 	if n > 0 {
 		payload = getWire(n)
 		copy(payload, data)
+		p.copyStats.count(n)
 	}
 	pkt := getPacket()
 	pkt.kind = kind
@@ -140,6 +183,7 @@ func (w *Win) injectRMA(target int, kind pktKind, meta int64, off int, data []by
 	pkt.ctx = w.id
 	pkt.data = payload
 	pkt.ownsData = true
+	pkt.rdma = rdma
 	pkt.nbytes = int(meta)
 	pkt.reqID = reqID
 	pkt.sentAt = start
@@ -156,7 +200,7 @@ func (w *Win) Put(src []byte, target, targetOff int) error {
 		return err
 	}
 	start := w.c.p.clock.Now()
-	w.injectRMA(target, pktRMA, rmaMeta(rmaPut, 0, 0), targetOff, src, 0)
+	w.injectRMA(target, pktRMA, rmaMeta(rmaPut, 0, 0), targetOff, src, 0, w.opRDMA(len(src), target), 0)
 	w.sentTo[target]++
 	w.rmaSpan("put", target, len(src), start)
 	return nil
@@ -168,7 +212,7 @@ func (w *Win) Accumulate(src []byte, target, targetOff int, kind jvm.Kind, op Op
 		return err
 	}
 	start := w.c.p.clock.Now()
-	w.injectRMA(target, pktRMA, rmaMeta(rmaAcc, kind, op), targetOff, src, 0)
+	w.injectRMA(target, pktRMA, rmaMeta(rmaAcc, kind, op), targetOff, src, 0, w.opRDMA(len(src), target), 0)
 	w.sentTo[target]++
 	w.rmaSpan("accumulate", target, len(src), start)
 	return nil
@@ -187,17 +231,41 @@ func (w *Win) Get(dst []byte, target, targetOff int) error {
 	// bits.
 	meta := rmaMeta(rmaGetReq, 0, 0) | int64(len(dst))<<24
 	start := w.c.p.clock.Now()
-	w.injectRMA(target, pktRMA, meta, targetOff, nil, id)
+	rdma := w.opRDMA(len(dst), target)
+	if rdma {
+		// An RDMA read lands in dst directly, so the origin pins its
+		// destination buffer up front; the target side is already
+		// pinned by the window exposure.
+		p := w.c.p
+		p.clock.Advance(p.reg.acquire(dst, p.clock.Now()))
+	}
+	w.injectRMA(target, pktRMA, meta, targetOff, nil, id, rdma, 0)
 	w.sentTo[target]++
 	w.rmaSpan("get", target, len(dst), start)
 	return nil
+}
+
+// rmaLandCost is the target-side CPU charge of landing one incoming
+// put/accumulate: the NIC completion event only when the transfer rode
+// the RDMA channel, RecvOverhead per staged chunk otherwise (one chunk
+// for small operations — the pre-RDMA cost unchanged).
+func (w *Win) rmaLandCost(pkt *packet) vtime.Duration {
+	ch := w.c.p.channel(pkt.src)
+	if pkt.rdma {
+		return ch.RDMAFinOverhead
+	}
+	n := len(pkt.data)
+	chunks := 1 + (n-1)/w.c.p.w.prof.RDMAStageChunk
+	if chunks < 1 {
+		chunks = 1
+	}
+	return vtime.Duration(chunks) * ch.RecvOverhead
 }
 
 // applyIncoming processes one queued RMA packet at the target.
 func (w *Win) applyIncoming(pkt *packet) error {
 	p := w.c.p
 	op, kind, rop := rmaMetaUnpack(int64(pkt.nbytes))
-	ch := p.channel(pkt.src)
 	switch op {
 	case rmaPut:
 		if pkt.tag+len(pkt.data) > len(w.st.base) {
@@ -205,7 +273,8 @@ func (w *Win) applyIncoming(pkt *packet) error {
 		}
 		p.clock.AdvanceTo(pkt.arriveAt)
 		copy(w.st.base[pkt.tag:], pkt.data)
-		p.clock.Advance(ch.RecvOverhead)
+		p.copyStats.count(len(pkt.data))
+		p.clock.Advance(w.rmaLandCost(pkt))
 	case rmaAcc:
 		if pkt.tag+len(pkt.data) > len(w.st.base) {
 			return fmt.Errorf("%w: accumulate beyond window", ErrCount)
@@ -215,22 +284,29 @@ func (w *Win) applyIncoming(pkt *packet) error {
 			return err
 		}
 		w.c.chargeCompute(len(pkt.data))
-		p.clock.Advance(ch.RecvOverhead)
+		p.clock.Advance(w.rmaLandCost(pkt))
 	case rmaGetReq:
 		n := int(int64(pkt.nbytes) >> 24)
 		if pkt.tag+n > len(w.st.base) {
 			// Still reply (empty) so the origin's fence does not hang
 			// on a get that can never be served.
 			src := w.c.commRankOfWorld(pkt.src)
-			w.injectRMA(src, pktRMAReply, rmaMeta(rmaGetReply, 0, 0), pkt.tag, nil, pkt.reqID)
+			w.injectRMA(src, pktRMAReply, rmaMeta(rmaGetReply, 0, 0), pkt.tag, nil, pkt.reqID, false, 0)
 			return fmt.Errorf("%w: get beyond window (%d+%d > %d)", ErrCount, pkt.tag, n, len(w.st.base))
 		}
-		p.clock.AdvanceTo(pkt.arriveAt)
 		// Reply with the data (the RDMA-read completion). Replies are
 		// transport, not epoch operations: they are tracked by the
-		// origin's getPending set, not by the fence counts.
+		// origin's getPending set, not by the fence counts. An RDMA
+		// read is served by the target's NIC at the request's arrival
+		// instant without involving its CPU; the staged fallback runs
+		// through the CPU exactly as before.
 		src := w.c.commRankOfWorld(pkt.src)
-		w.injectRMA(src, pktRMAReply, rmaMeta(rmaGetReply, 0, 0), pkt.tag, w.st.base[pkt.tag:pkt.tag+n], pkt.reqID)
+		if pkt.rdma {
+			w.injectRMA(src, pktRMAReply, rmaMeta(rmaGetReply, 0, 0), pkt.tag, w.st.base[pkt.tag:pkt.tag+n], pkt.reqID, true, pkt.arriveAt)
+		} else {
+			p.clock.AdvanceTo(pkt.arriveAt)
+			w.injectRMA(src, pktRMAReply, rmaMeta(rmaGetReply, 0, 0), pkt.tag, w.st.base[pkt.tag:pkt.tag+n], pkt.reqID, false, 0)
+		}
 	default:
 		return fmt.Errorf("nativempi: unknown RMA op %d", op)
 	}

@@ -101,6 +101,31 @@ func (c *Comm) collSpan(name string, bytes int) func() {
 	}
 }
 
+// recordReg logs one charged registration-cache operation: pinning a
+// buffer ("register") or a capacity eviction's deregistration
+// ("evict"). Hits are free and emit nothing. Registration work is
+// protocol state — identical whatever the host datapath — so it is
+// safe in the deterministic registry.
+func (p *Proc) recordReg(detail string, bytes int, start, end vtime.Time) {
+	if p.w.rec != nil {
+		p.w.rec.Record(trace.Event{
+			Rank: p.rank, Kind: trace.KindReg, Detail: detail, Peer: -1,
+			Bytes: bytes, Start: start, End: end,
+		})
+	}
+	if p.w.met != nil && end > start {
+		p.w.met.Observe(p.rank, "rdma", "reg_ps", int64(end.Sub(start)))
+	}
+}
+
+// regCounter bumps one registration-cache counter (reg_hits,
+// reg_misses, reg_evicts) in the deterministic registry.
+func (p *Proc) regCounter(name string) {
+	if p.w.met != nil {
+		p.w.met.Add(p.rank, "rdma", name, 1)
+	}
+}
+
 // rmaSpan logs a one-sided operation injection.
 func (w *Win) rmaSpan(name string, peer, bytes int, start vtime.Time) {
 	p := w.c.p

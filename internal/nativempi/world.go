@@ -39,6 +39,13 @@ type World struct {
 	// require !ft at use time (see Proc.zeroCopyRndv).
 	zeroCopy bool
 
+	// rdmaProto caches the world-level half of the RDMA protocol
+	// decision (threshold enabled AND no fault plan; Procs additionally
+	// require !ft, see Proc.rdmaOK) and rdmaPlace the host-only
+	// placement-datapath switch — the RDMA analogue of zeroCopy.
+	rdmaProto bool
+	rdmaPlace bool
+
 	// Fault-tolerance state (see ft.go). ft selects the ULFM-style
 	// policy: a rank crash becomes a survivable event instead of a job
 	// abort. deathAt is the global failure registry (virtual death
@@ -63,6 +70,8 @@ func NewWorld(topo *cluster.Topology, fab *fabric.Fabric, prof Profile) *World {
 	}
 	w := &World{topo: topo, fab: fab, prof: prof.normalize()}
 	w.zeroCopy = w.prof.ZeroCopyRndv == SwitchOn && fab.Faults() == nil
+	w.rdmaProto = w.prof.RDMAThreshold > 0 && fab.Faults() == nil
+	w.rdmaPlace = w.prof.RDMAPlacement == SwitchOn
 	w.nextCtx.Store(2)
 	w.procs = make([]*Proc, topo.Size())
 	for r := range w.procs {

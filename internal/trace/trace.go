@@ -45,6 +45,13 @@ const (
 	// KindRecovery marks fault-tolerance recovery work: agreement,
 	// communicator shrink, and checkpoint rollback after a rank death.
 	KindRecovery Kind = "recovery"
+	// KindReg marks memory-registration work on the RDMA channel: the
+	// span covers the driver time of pinning a buffer for remote access
+	// (a registration-cache miss) plus any deregistrations the pin-down
+	// cache performed to make room. Cache hits cost nothing and emit no
+	// event. Like compute, registration is driver time outside the
+	// copyin/wire/copyout transfer breakdown (see rollup.go).
+	KindReg Kind = "reg"
 )
 
 // Event is one recorded operation.
