@@ -45,6 +45,9 @@ func main() {
 	doTrace := flag.Bool("trace", false, "print the virtual-time event timeline after the run")
 	faultS := flag.String("faults", "", `fault-injection plan, e.g. "seed=42,drop=0.01" or "crash=2@60us" (see internal/faults)`)
 	ft := flag.Bool("ft", false, "enable ULFM-style fault tolerance: rank crashes surface as recoverable errors (Revoke/Shrink/AgreeShrink) instead of aborting; try -app resilient -ft -faults crash=2@60us")
+	credits := flag.Int("credits", 0, "per-peer eager send credits: senders with no credit park until the receiver returns some (0 = flow control off)")
+	creditBatch := flag.Int("credit-batch", 0, "consumed messages per explicit credit grant (0 = credits/2)")
+	unexpBytes := flag.Int64("unexp-queue-bytes", 0, "receiver unexpected-queue byte bound; past half of it eager senders demote to rendezvous (0 = credits x 64KiB)")
 	var sink obs.Sink
 	sink.AddFlags()
 	flag.Parse()
@@ -62,6 +65,19 @@ func main() {
 	prof, ok := profile.ByName(*lib)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "mv2jrun: unknown library %q\n", *lib)
+		os.Exit(2)
+	}
+	if *credits != 0 {
+		prof.EagerCredits = *credits
+	}
+	if *creditBatch != 0 {
+		prof.CreditBatch = *creditBatch
+	}
+	if *unexpBytes != 0 {
+		prof.UnexpectedQueueBytes = *unexpBytes
+	}
+	if err := prof.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "mv2jrun:", err)
 		os.Exit(2)
 	}
 	flavor := core.MVAPICH2J

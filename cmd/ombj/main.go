@@ -40,6 +40,10 @@ func main() {
 		ft       = flag.Bool("ft", false, "run collectives under the fault-tolerant driver: injected rank crashes shrink the communicator and the sweep resumes from the last agreed iteration instead of aborting (pair with -faults \"crash=R@T\")")
 		faultS   = flag.String("faults", "", `fault-injection plan, e.g. "seed=42,drop=0.01" or "inter.drop=0.05,target=drop:2>5:match:3" (see internal/faults)`)
 		list     = flag.Bool("list", false, "list benchmarks and exit")
+
+		credits     = flag.Int("credits", 0, "per-peer eager send credits: senders with no credit park until the receiver returns some (0 = flow control off)")
+		creditBatch = flag.Int("credit-batch", 0, "consumed messages per explicit credit grant (0 = credits/2)")
+		unexpBytes  = flag.Int64("unexp-queue-bytes", 0, "receiver unexpected-queue byte bound; past half of it eager senders demote to rendezvous (0 = credits x 64KiB)")
 	)
 	var sink obs.Sink
 	sink.AddFlags()
@@ -59,6 +63,18 @@ func main() {
 	prof, ok := profile.ByName(*lib)
 	if !ok {
 		fatal(fmt.Errorf("unknown library %q (mvapich2 | openmpi)", *lib))
+	}
+	if *credits != 0 {
+		prof.EagerCredits = *credits
+	}
+	if *creditBatch != 0 {
+		prof.CreditBatch = *creditBatch
+	}
+	if *unexpBytes != 0 {
+		prof.UnexpectedQueueBytes = *unexpBytes
+	}
+	if err := prof.Validate(); err != nil {
+		fatal(err)
 	}
 	flv := core.MVAPICH2J
 	switch *flavor {
@@ -122,14 +138,18 @@ func main() {
 	if *ft {
 		fmt.Println("# fault tolerance: shrink-and-continue")
 	}
-	isBW := *bench == "bw" || *bench == "bibw"
-	if isBW {
+	isBW := *bench == "bw" || *bench == "bibw" || *bench == "mbw"
+	isRate := *bench == "mr" || *bench == "mr-overload"
+	switch {
+	case isBW:
 		fmt.Printf("%-12s%16s\n", "# Size", "Bandwidth (MB/s)")
-	} else {
+	case isRate:
+		fmt.Printf("%-12s%16s\n", "# Size", "Messages/s")
+	default:
 		fmt.Printf("%-12s%16s\n", "# Size", "Latency (us)")
 	}
 	for _, r := range rows {
-		if isBW {
+		if isBW || isRate {
 			fmt.Printf("%-12d%16.2f\n", r.Size, r.MBps)
 		} else {
 			fmt.Printf("%-12d%16.2f\n", r.Size, r.LatencyUs)

@@ -190,6 +190,7 @@ func TestQuickSuitePlanStable(t *testing.T) {
 		"bw-1m/np2/buffer",
 		"bw-rdma/np2/buffer",
 		"mr/np8/buffer",
+		"mr-overload/np8/buffer",
 		"allreduce/np2/buffer",
 		"allreduce/np8/buffer",
 		"allreduce-scale/np8/buffer",

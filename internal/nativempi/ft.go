@@ -328,8 +328,15 @@ func (p *Proc) applyRevoke(ptCtx, collCtx int32, at vtime.Time) {
 	}
 	// Unexpected packets on the revoked contexts can never match a
 	// receive again (receives on them fail at entry); drop them so
-	// their pooled payloads return instead of leaking.
-	p.unexp.purgeWhere(func(k matchKey) bool { return onCtx(k.ctx) }, freePacket)
+	// their pooled payloads return instead of leaking. Purging counts
+	// as consumption for flow control — the queue space is reclaimed at
+	// the poison time, so the credits travel back to their senders.
+	p.unexp.purgeWhere(func(k matchKey) bool { return onCtx(k.ctx) }, func(pkt *packet) {
+		if pkt.kind == pktEager {
+			p.fcConsumed(pkt.src, at)
+		}
+		freePacket(pkt)
+	})
 }
 
 // entryCheckSend fails a rendezvous send at entry when its context is

@@ -41,6 +41,7 @@ type MailboxStats struct {
 	Swaps       int64 `json:"swaps"`        // head/tail swaps (lock acquisitions that found work)
 	Batched     int64 `json:"batched"`      // packets obtained via swaps (== Pushes at drain)
 	MaxBatch    int64 `json:"max_batch"`    // largest single swap
+	MaxTail     int64 `json:"max_tail"`     // peak producer-side backlog (saturation indicator)
 }
 
 func newMailbox() *mailbox {
@@ -54,6 +55,9 @@ func (m *mailbox) push(p *packet) {
 	m.mu.Lock()
 	m.tail = append(m.tail, p)
 	m.stats.Pushes++
+	if n := int64(len(m.tail)); n > m.stats.MaxTail {
+		m.stats.MaxTail = n
+	}
 	m.mu.Unlock()
 	m.cond.Signal()
 }
@@ -77,6 +81,9 @@ func (m *mailbox) pushBatch(pkts []*packet) {
 		if n > m.stats.MaxPush {
 			m.stats.MaxPush = n
 		}
+	}
+	if t := int64(len(m.tail)); t > m.stats.MaxTail {
+		m.stats.MaxTail = t
 	}
 	m.mu.Unlock()
 	m.cond.Signal()

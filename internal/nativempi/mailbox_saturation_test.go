@@ -1,0 +1,162 @@
+package nativempi
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMailboxMaxTailSaturation pins the high-water accounting when the
+// consumer never drains: every push grows the producer-side backlog,
+// and MaxTail must track the peak exactly.
+func TestMailboxMaxTailSaturation(t *testing.T) {
+	m := newMailbox()
+	for i := 0; i < 100; i++ {
+		m.push(&packet{kind: pktEager})
+	}
+	if got := m.Stats().MaxTail; got != 100 {
+		t.Errorf("MaxTail = %d after 100 undrained pushes, want 100", got)
+	}
+	// Draining must not shrink the recorded peak.
+	for {
+		if _, ok := m.tryPop(); !ok {
+			break
+		}
+	}
+	if got := m.Stats().MaxTail; got != 100 {
+		t.Errorf("MaxTail = %d after drain, want peak 100 retained", got)
+	}
+	// A smaller refill cannot lower it; exceeding it raises it.
+	for i := 0; i < 50; i++ {
+		m.push(&packet{kind: pktEager})
+	}
+	if got := m.Stats().MaxTail; got != 100 {
+		t.Errorf("MaxTail = %d after smaller refill, want 100", got)
+	}
+	for i := 0; i < 75; i++ {
+		m.push(&packet{kind: pktEager})
+	}
+	if got := m.Stats().MaxTail; got != 125 {
+		t.Errorf("MaxTail = %d, want 125", got)
+	}
+}
+
+// TestMailboxPushBatchSaturation covers the batch producer path: batch
+// counters, per-batch peaks, and MaxTail across accumulating batches
+// with a consumer that never drains.
+func TestMailboxPushBatchSaturation(t *testing.T) {
+	m := newMailbox()
+	mkBatch := func(n int) []*packet {
+		b := make([]*packet, n)
+		for i := range b {
+			b[i] = &packet{kind: pktEager}
+		}
+		return b
+	}
+	m.pushBatch(nil)        // no-op
+	m.pushBatch(mkBatch(1)) // single packet: counts as push, not batch
+	m.pushBatch(mkBatch(8))
+	m.pushBatch(mkBatch(3))
+	st := m.Stats()
+	if st.Pushes != 12 {
+		t.Errorf("Pushes = %d, want 12", st.Pushes)
+	}
+	if st.PushBatches != 2 {
+		t.Errorf("PushBatches = %d, want 2 (singletons excluded)", st.PushBatches)
+	}
+	if st.MaxPush != 8 {
+		t.Errorf("MaxPush = %d, want 8", st.MaxPush)
+	}
+	if st.MaxTail != 12 {
+		t.Errorf("MaxTail = %d, want 12 (undrained accumulation)", st.MaxTail)
+	}
+}
+
+// TestMailboxPushBatchFIFO asserts batch contents interleave in strict
+// arrival order with single pushes.
+func TestMailboxPushBatchFIFO(t *testing.T) {
+	m := newMailbox()
+	var want []*packet
+	add := func(pkts ...*packet) {
+		want = append(want, pkts...)
+	}
+	p1 := &packet{tag: 1}
+	m.push(p1)
+	add(p1)
+	batch := []*packet{{tag: 2}, {tag: 3}, {tag: 4}}
+	m.pushBatch(batch)
+	add(batch...)
+	p5 := &packet{tag: 5}
+	m.push(p5)
+	add(p5)
+	for i, w := range want {
+		got, ok := m.tryPop()
+		if !ok {
+			t.Fatalf("pop %d: mailbox empty", i)
+		}
+		if got != w {
+			t.Fatalf("pop %d: got tag %d, want tag %d", i, got.tag, w.tag)
+		}
+	}
+	if _, ok := m.tryPop(); ok {
+		t.Error("mailbox not empty after draining expected packets")
+	}
+}
+
+// TestMailboxSaturationRace is the -race stress leg: many producers
+// flooding (push and pushBatch) against one consumer that drains only
+// intermittently, leaving a persistent backlog. Run with -race this
+// exercises the mu/cond protocol and the stats updates under real
+// contention; the final packet count and the MaxTail lower bound are
+// asserted either way.
+func TestMailboxSaturationRace(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 500
+		batchLen  = 5
+	)
+	m := newMailbox()
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd/batchLen; i++ {
+				if i%2 == 0 {
+					b := make([]*packet, batchLen)
+					for j := range b {
+						b[j] = &packet{kind: pktEager}
+					}
+					m.pushBatch(b)
+				} else {
+					for j := 0; j < batchLen; j++ {
+						m.push(&packet{kind: pktEager})
+					}
+				}
+			}
+		}()
+	}
+	// The consumer drains lazily — a token sip per round — so the tail
+	// stays saturated while producers run.
+	var drained int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for drained < producers*perProd {
+			if _, ok := m.tryPop(); ok {
+				drained++
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	st := m.Stats()
+	if st.Pushes != producers*perProd {
+		t.Errorf("Pushes = %d, want %d", st.Pushes, producers*perProd)
+	}
+	if drained != producers*perProd {
+		t.Errorf("drained %d packets, want %d", drained, producers*perProd)
+	}
+	if st.MaxTail < int64(batchLen) {
+		t.Errorf("MaxTail = %d, want at least one full batch (%d)", st.MaxTail, batchLen)
+	}
+}

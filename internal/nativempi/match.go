@@ -41,14 +41,25 @@ type matchKey struct {
 // number of candidate entries examined; a perfectly-indexed workload
 // does one probe per lookup, while wildcard traffic degrades toward
 // the old linear scan. Bucket shapes depend on host-side arrival
-// interleavings, so like MailboxStats these are host-only numbers
-// (reported by hostbench), never part of the deterministic artifacts.
+// interleavings, so like MailboxStats the lookup/probe numbers are
+// host-only (reported by hostbench), never part of the deterministic
+// artifacts. The unexpected-queue HIGH-WATER marks are the exception:
+// the queue's content at every dispatch point is a pure function of
+// program order and the engine's canonical delivery order, so they are
+// deterministic — mirrored into the metrics registry (flowctl.go) and
+// the -report rollup, and the quantity the flow-control differential
+// suite bounds.
 type MatchStats struct {
 	PostedLookups int64 `json:"posted_lookups"`
 	PostedProbes  int64 `json:"posted_probes"`
 	UnexpLookups  int64 `json:"unexp_lookups"`
 	UnexpProbes   int64 `json:"unexp_probes"`
 	MaxBucket     int64 `json:"max_bucket"` // deepest bucket ever observed
+
+	// Unexpected-queue occupancy high-waters: the deepest the queue
+	// ever got, in live packets and queued payload bytes.
+	UnexpDepthHiWater int64 `json:"unexp_depth_hiwater"`
+	UnexpBytesHiWater int64 `json:"unexp_bytes_hiwater"`
 }
 
 // postedEntry is one posted receive with its post-order stamp.
@@ -279,6 +290,15 @@ type unexpQueue struct {
 	free     []*unexpEntry // rank-confined entry recycler
 	fifoFree []*unexpFIFO  // emptied-bucket recycler
 	stats    *MatchStats
+
+	// Live occupancy, charged in add and discharged in claim (the sole
+	// point every removal path — bucket take, wildcard take, purge —
+	// funnels through). bytes counts queued payload bytes, so an RTS
+	// (data still at the sender) charges zero: exactly the memory an
+	// unbounded eager flood grows and flow control's demote watermark
+	// bounds.
+	bytes int64
+	depth int64
 }
 
 func (uq *unexpQueue) init(stats *MatchStats) {
@@ -339,6 +359,8 @@ func (uq *unexpQueue) add(pkt *packet) {
 	e.key = matchKey{ctx: pkt.ctx, src: pkt.src, tag: pkt.tag}
 	e.seq = uq.seq
 	e.inBucket, e.inAll = true, true
+	uq.bytes += int64(len(pkt.data))
+	uq.depth++
 	f := uq.buckets[e.key]
 	if f == nil {
 		f = uq.getFIFO()
@@ -351,9 +373,12 @@ func (uq *unexpQueue) add(pkt *packet) {
 	}
 }
 
-// claim tombstones a live entry and returns its packet.
+// claim tombstones a live entry and returns its packet, discharging
+// its occupancy.
 func (uq *unexpQueue) claim(e *unexpEntry) *packet {
 	pkt := e.pkt
+	uq.bytes -= int64(len(pkt.data))
+	uq.depth--
 	e.pkt = nil
 	e.taken = true
 	return pkt

@@ -125,7 +125,7 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(n)
 
-	if n <= p.eagerLimit(wdst) {
+	if n <= p.eagerLimit(wdst) && p.fcEagerOK(wdst) {
 		// Eager: the CPU copies the payload into a wire buffer; the
 		// send completes locally as soon as the copy is injected.
 		// Deliberately NO dead-peer or revocation check here: like an
@@ -133,7 +133,12 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 		// locally and the payload evaporates. Failing it would make
 		// control flow depend on when this rank's knowledge arrived —
 		// a host-scheduling race the buffered semantics avoid.
+		// Under flow control the injection first waits for eager credit
+		// toward wdst — the receiver-not-ready park (flowctl.go) that
+		// bounds how far a flood can run ahead of the receiver.
 		p.stats.EagerSends++
+		p.fcWaitCredit(wdst)
+		p.fcChargeSend(wdst)
 		start := vtime.Max(p.clock.Now(), p.nicFree)
 		p.nicFree = start.Add(ch.SerializeTime(n))
 		p.clock.AdvanceTo(p.nicFree)

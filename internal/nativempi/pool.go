@@ -248,6 +248,7 @@ type HostStats struct {
 	Engine  EngineStats  `json:"engine"`
 	Reg     RegStats     `json:"reg"`
 	RDMA    RDMAStats    `json:"rdma"`
+	Flow    FlowStats    `json:"flow"`
 }
 
 // HostStats sums the per-rank host-side counters. Call after Run has
@@ -265,6 +266,9 @@ func (w *World) HostStats() HostStats {
 		}
 		if mb.MaxBatch > hs.Mailbox.MaxBatch {
 			hs.Mailbox.MaxBatch = mb.MaxBatch
+		}
+		if mb.MaxTail > hs.Mailbox.MaxTail {
+			hs.Mailbox.MaxTail = mb.MaxTail
 		}
 		ar := p.arenaStats
 		hs.Arena.Borrows += ar.Borrows
@@ -286,6 +290,12 @@ func (w *World) HostStats() HostStats {
 		if ms.MaxBucket > hs.Match.MaxBucket {
 			hs.Match.MaxBucket = ms.MaxBucket
 		}
+		if ms.UnexpDepthHiWater > hs.Match.UnexpDepthHiWater {
+			hs.Match.UnexpDepthHiWater = ms.UnexpDepthHiWater
+		}
+		if ms.UnexpBytesHiWater > hs.Match.UnexpBytesHiWater {
+			hs.Match.UnexpBytesHiWater = ms.UnexpBytesHiWater
+		}
 		rs := p.reg.stats
 		hs.Reg.Hits += rs.Hits
 		hs.Reg.Misses += rs.Misses
@@ -297,6 +307,13 @@ func (w *World) HostStats() HostStats {
 		}
 		hs.RDMA.Writes += p.rdmaStats.Writes
 		hs.RDMA.BytesPlaced += p.rdmaStats.BytesPlaced
+		fs := p.FlowStats()
+		hs.Flow.CreditFrames += fs.CreditFrames
+		hs.Flow.Piggybacks += fs.Piggybacks
+		hs.Flow.GrantsApplied += fs.GrantsApplied
+		hs.Flow.RNRParks += fs.RNRParks
+		hs.Flow.RNRWaitPs += fs.RNRWaitPs
+		hs.Flow.DemotedSends += fs.DemotedSends
 	}
 	hs.Engine = w.engStats
 	return hs

@@ -22,6 +22,7 @@ const (
 	pktFailNotice // failure-detector verdict: src is the dead rank (FT worlds)
 	pktRevoke     // ULFM revoke poison: ctx/tag carry the comm's two contexts
 	pktRndvFin    // zero-copy completion fence: receiver has copied a borrowed payload
+	pktCredit     // explicit flow-control grant (one-sided traffic; see flowctl.go)
 )
 
 // packet is one unit on the simulated wire. arriveAt is the virtual
@@ -66,6 +67,14 @@ type packet struct {
 	relStream faults.Stream // sequence-number stream
 	relSeq    uint64        // sequence number within the stream
 	attempt   int           // transmission attempt (0 = first)
+
+	// Flow-control piggyback fields (see flowctl.go): the sender's
+	// cumulative eager-consumption total toward pkt.dst and the
+	// receiver-saturation demote bit. Metadata, not payload: they ride
+	// outside the reliability frame (every materialised copy carries
+	// them) and are applied idempotently before admission.
+	fcGrant  uint64
+	fcDemote bool
 }
 
 // ProcStats counts per-rank runtime activity.
@@ -126,6 +135,10 @@ type Proc struct {
 	// fabric carries a fault plan (see reliability.go).
 	rel *relState
 
+	// flow is the credit-based flow-control state, non-nil exactly when
+	// the profile enables it (EagerCredits > 0; see flowctl.go).
+	flow *flowState
+
 	// Host-side reuse state (see pool.go): a free list of Request
 	// structs for the internal collective paths that fully own their
 	// requests, and the rank's aggregated scratch-arena, payload-copy
@@ -165,6 +178,9 @@ func newProc(w *World, rank int) *Proc {
 	p.reg = newRegCache(p)
 	if w.fab.Faults() != nil {
 		p.rel = newRelState()
+	}
+	if w.flowOn {
+		p.flow = newFlowState(&w.prof)
 	}
 	if c, ok := w.fab.CrashOf(rank); ok {
 		crash := c
@@ -241,6 +257,12 @@ func (p *Proc) eagerLimit(dst int) int {
 // is exhausted (ErrProcFailed); without FT that condition aborts the
 // job instead.
 func (p *Proc) post(dst int, pkt *packet) error {
+	if p.flow != nil {
+		// Piggyback the current credit grant toward dst. Payload frames
+		// always settle (delivered or the job is dead), so the grant
+		// counts as advertised.
+		p.fcAttachGrant(dst, pkt, true)
+	}
 	if p.rel == nil {
 		p.postRaw(dst, pkt)
 		return nil
@@ -297,12 +319,20 @@ func matches(req *Request, pkt *packet) bool {
 // packets first pass the reliability layer's admission check (checksum
 // verification, duplicate suppression, acknowledgement).
 func (p *Proc) dispatch(pkt *packet) {
+	if p.flow != nil && pkt.fcGrant > 0 && pkt.src != p.rank {
+		// Apply the piggybacked credit grant BEFORE reliability
+		// admission: grants are cumulative maxima, so even a frame the
+		// checksum or duplicate filter is about to reject carries valid
+		// metadata, and applying it twice is a no-op.
+		p.fcApplyGrant(pkt)
+	}
 	if p.rel != nil {
 		switch pkt.kind {
-		case pktAbort, pktFailNotice, pktRevoke:
+		case pktAbort, pktFailNotice, pktRevoke, pktCredit:
 			// Control traffic bypasses reliability: aborts, detector
-			// verdicts, and revocations must get through even when the
-			// fabric is on fire.
+			// verdicts, revocations, and cumulative credit grants (their
+			// own retransmission) must get through even when the fabric
+			// is on fire.
 		case pktAck:
 			p.handleAck(pkt)
 			freePacket(pkt)
@@ -334,6 +364,7 @@ func (p *Proc) dispatch(pkt *packet) {
 			return
 		}
 		p.unexp.add(pkt)
+		p.noteUnexpGrowth()
 	case pktCTS:
 		req, ok := p.sendPending[pkt.reqID]
 		if !ok {
@@ -373,6 +404,10 @@ func (p *Proc) dispatch(pkt *packet) {
 		}
 		delete(p.finPending, pkt.reqID)
 		req.done = true
+		freePacket(pkt)
+	case pktCredit:
+		// The grant it carried was applied above; the frame itself is
+		// pure metadata.
 		freePacket(pkt)
 	case pktAbort:
 		// Propagates as a panic so even deeply nested blocking calls
@@ -506,6 +541,7 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 		req.done = true
 		p.stats.MsgsReceived++
 		p.recordRecv(pkt.src, len(pkt.data), req.postedAt, complete)
+		p.fcConsumed(pkt.src, complete)
 		freePacket(pkt)
 	case pktRTS:
 		if pkt.nbytes > len(req.buf) {

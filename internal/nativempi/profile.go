@@ -1,6 +1,10 @@
 package nativempi
 
-import "mv2j/internal/vtime"
+import (
+	"fmt"
+
+	"mv2j/internal/vtime"
+)
 
 // Collective algorithm identifiers. Which one runs for a given
 // (message size, communicator size) is the library's tuning decision —
@@ -227,6 +231,36 @@ type Profile struct {
 	// 16 KiB default.
 	RDMAStageChunk int
 
+	// Credit-based eager flow control (MVAPICH2's RC-channel credit
+	// scheme). EagerCredits is the per-peer budget of eager messages a
+	// sender may have outstanding — injected but not yet consumed by a
+	// matching receive at the destination. Zero (the default) disables
+	// flow control entirely: eager senders inject without limit, as
+	// before. When positive, a sender that exhausts its budget parks in
+	// virtual time with exponential receiver-not-ready backoff (polling
+	// at RetransmitRTO, RetransmitRTO*Backoff, ...) until the receiver
+	// returns credit. Credits travel back piggybacked on every frame
+	// the receiver sends toward the sender (payloads and reliability
+	// acks alike); CreditBatch bounds the staleness for one-sided
+	// traffic — after that many consumptions with no piggyback
+	// opportunity the receiver emits an explicit CREDIT frame. Zero
+	// selects half of EagerCredits (at least one). Like acks, credit
+	// frames are NIC-autonomous: they charge no CPU time, so below the
+	// credit limit a flow-controlled run is byte-identical to an
+	// uncontrolled one.
+	EagerCredits int
+	CreditBatch  int
+
+	// UnexpectedQueueBytes is the receiver's backpressure watermark:
+	// when the unexpected-message queue holds at least half this many
+	// payload bytes, returned credits carry a demote signal and the
+	// affected senders route further eager-sized messages through the
+	// rendezvous handshake (payload stays at the sender until a receive
+	// is posted), so a sustained flood degrades into sender-side stalls
+	// instead of unbounded receiver memory. Zero selects
+	// EagerCredits * 64 KiB when flow control is on; ignored when off.
+	UnexpectedQueueBytes int64
+
 	// Failure-detector tuning (fault-tolerant worlds only). Every rank
 	// conceptually heartbeats every HeartbeatPeriod; a silent peer is
 	// suspected after SuspectBeats missed beats and confirmed dead one
@@ -270,6 +304,14 @@ func (pr Profile) normalize() Profile {
 	}
 	if pr.MaxRetransmits < 1 {
 		pr.MaxRetransmits = 12
+	}
+	if pr.EagerCredits > 0 {
+		if pr.CreditBatch <= 0 {
+			pr.CreditBatch = max(1, pr.EagerCredits/2)
+		}
+		if pr.UnexpectedQueueBytes <= 0 {
+			pr.UnexpectedQueueBytes = int64(pr.EagerCredits) * (64 << 10)
+		}
 	}
 	if pr.HeartbeatPeriod <= 0 {
 		pr.HeartbeatPeriod = 20 * vtime.Microsecond
@@ -345,4 +387,54 @@ func (pr Profile) normalize() Profile {
 		pr.SelectScatter = func(nbytes, p int) ScatterAlg { return ScatterBinomial }
 	}
 	return pr
+}
+
+// Validate rejects knob combinations that normalize would otherwise
+// paper over with a silent clamp but that almost certainly indicate a
+// misconfigured run. The zero-means-default convention is preserved:
+// zero values are always valid. The CLIs call this before building a
+// world so a typo fails the launch with a message instead of quietly
+// running a different experiment.
+func (pr Profile) Validate() error {
+	if pr.EagerCredits < 0 {
+		return fmt.Errorf("profile %q: EagerCredits %d is negative (0 disables flow control)", pr.Name, pr.EagerCredits)
+	}
+	if pr.CreditBatch < 0 {
+		return fmt.Errorf("profile %q: CreditBatch %d is negative (0 selects half of EagerCredits)", pr.Name, pr.CreditBatch)
+	}
+	if pr.EagerCredits == 0 && pr.CreditBatch > 0 {
+		return fmt.Errorf("profile %q: CreditBatch %d set but flow control is off (EagerCredits 0)", pr.Name, pr.CreditBatch)
+	}
+	if pr.EagerCredits > 0 && pr.CreditBatch > pr.EagerCredits {
+		return fmt.Errorf("profile %q: CreditBatch %d exceeds EagerCredits %d; a parked sender could wait forever for a grant",
+			pr.Name, pr.CreditBatch, pr.EagerCredits)
+	}
+	if pr.UnexpectedQueueBytes < 0 {
+		return fmt.Errorf("profile %q: UnexpectedQueueBytes %d is negative", pr.Name, pr.UnexpectedQueueBytes)
+	}
+	if pr.EagerCredits == 0 && pr.UnexpectedQueueBytes > 0 {
+		return fmt.Errorf("profile %q: UnexpectedQueueBytes %d set but flow control is off (EagerCredits 0)", pr.Name, pr.UnexpectedQueueBytes)
+	}
+	if pr.RetransmitRTO < 0 {
+		return fmt.Errorf("profile %q: RetransmitRTO %v is negative (0 selects the default); the reliability and RNR timers need a positive period", pr.Name, pr.RetransmitRTO)
+	}
+	if pr.RetransmitBackoff < 0 {
+		return fmt.Errorf("profile %q: RetransmitBackoff %d is negative", pr.Name, pr.RetransmitBackoff)
+	}
+	if pr.MaxRetransmits < 0 {
+		return fmt.Errorf("profile %q: MaxRetransmits %d is negative", pr.Name, pr.MaxRetransmits)
+	}
+	if pr.EagerIntra < 0 || pr.EagerInter < 0 {
+		return fmt.Errorf("profile %q: negative eager threshold (intra %d, inter %d)", pr.Name, pr.EagerIntra, pr.EagerInter)
+	}
+	if pr.RDMAThreshold > 0 {
+		if lim := max(pr.EagerIntra, pr.EagerInter); lim > 0 && pr.RDMAThreshold <= lim {
+			return fmt.Errorf("profile %q: RDMAThreshold %d is at or below the eager limit %d; such messages would be eager and RDMA at once",
+				pr.Name, pr.RDMAThreshold, lim)
+		}
+	}
+	if pr.HeartbeatPeriod < 0 {
+		return fmt.Errorf("profile %q: HeartbeatPeriod %v is negative", pr.Name, pr.HeartbeatPeriod)
+	}
+	return nil
 }

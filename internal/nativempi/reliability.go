@@ -285,6 +285,9 @@ func (p *Proc) admit(pkt *packet) bool {
 		ack.relSeq = hdr.Seq
 		ack.attempt = int(hdr.Attempt)
 		ack.arriveAt = pkt.arriveAt.Add(ch.Latency)
+		// Piggyback the credit grant opportunistically: an ack can be
+		// permanently lost, so it never counts as advertised.
+		p.fcAttachGrant(pkt.src, ack, false)
 		p.postRaw(pkt.src, ack)
 	} else {
 		p.recordRel(trace.KindFault,

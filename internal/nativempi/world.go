@@ -39,6 +39,10 @@ type World struct {
 	// require !ft at use time (see Proc.zeroCopyRndv).
 	zeroCopy bool
 
+	// flowOn caches whether the profile enables credit-based eager flow
+	// control (EagerCredits > 0; see flowctl.go).
+	flowOn bool
+
 	// rdmaProto caches the world-level half of the RDMA protocol
 	// decision (threshold enabled AND no fault plan; Procs additionally
 	// require !ft, see Proc.rdmaOK) and rdmaPlace the host-only
@@ -70,6 +74,7 @@ func NewWorld(topo *cluster.Topology, fab *fabric.Fabric, prof Profile) *World {
 	}
 	w := &World{topo: topo, fab: fab, prof: prof.normalize()}
 	w.zeroCopy = w.prof.ZeroCopyRndv == SwitchOn && fab.Faults() == nil
+	w.flowOn = w.prof.EagerCredits > 0
 	w.rdmaProto = w.prof.RDMAThreshold > 0 && fab.Faults() == nil
 	w.rdmaPlace = w.prof.RDMAPlacement == SwitchOn
 	w.nextCtx.Store(2)
@@ -262,6 +267,12 @@ func (w *World) drainPending() {
 					break
 				}
 				again = true
+				if p.flow != nil && pkt.fcGrant > 0 && pkt.src != p.rank {
+					// Apply straggler credit grants so the flow counters
+					// reach the same fixpoint regardless of when each
+					// rank's last poll ran.
+					p.fcApplyGrant(pkt)
+				}
 				switch pkt.kind {
 				case pktAck:
 					p.handleAck(pkt)
@@ -271,6 +282,9 @@ func (w *World) drainPending() {
 					p.handleFailNotice(pkt)
 				case pktRevoke:
 					p.handleRevoke(pkt)
+				case pktCredit:
+					// Grant already applied above; the frame has no
+					// reliability image to admit.
 				default:
 					if dead {
 						w.deadLetters++

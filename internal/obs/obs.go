@@ -59,10 +59,11 @@ func (s *Sink) ForceRecorder() *trace.Recorder {
 }
 
 // Registry returns the metrics registry to attach, creating it if
-// -metrics-out (or -report, which includes counts) was requested; nil
-// otherwise.
+// -metrics-out or -report was requested (the report rolls up the
+// deterministic saturation gauges — matcher unexpected-queue
+// high-water, flow-control stalls); nil otherwise.
 func (s *Sink) Registry() *metrics.Registry {
-	if s.reg == nil && s.MetricsOut != "" {
+	if s.reg == nil && (s.MetricsOut != "" || s.Report) {
 		s.reg = metrics.NewRegistry()
 	}
 	return s.reg
@@ -98,6 +99,46 @@ func (s *Sink) Flush(w io.Writer) error {
 	if s.Report && s.rec != nil {
 		if err := s.rec.WriteReport(w); err != nil {
 			return fmt.Errorf("report: %w", err)
+		}
+	}
+	if s.Report && s.reg != nil {
+		if err := writeSaturation(w, s.reg); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeSaturation appends the deterministic backpressure gauges to the
+// report: per-rank matcher unexpected-queue high-water marks and the
+// flow-control stall counters. Everything here is a max-gauge or
+// counter charged on the virtual timeline, so the table is
+// byte-identical across runs (and absent entirely when no queue ever
+// buffered a message and no sender ever stalled).
+func writeSaturation(w io.Writer, reg *metrics.Registry) error {
+	snap := reg.Snapshot()
+	var rows []metrics.ScalarSnap
+	for _, g := range snap.Gauges {
+		if g.Kind == "match" {
+			rows = append(rows, g)
+		}
+	}
+	for _, c := range snap.Counters {
+		if c.Kind == "flow" {
+			rows = append(rows, c)
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "\nsaturation (deterministic)\n%6s  %-6s %-22s %12s\n",
+		"rank", "kind", "label", "value"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%6d  %-6s %-22s %12d\n",
+			r.Rank, r.Kind, r.Label, r.Value); err != nil {
+			return err
 		}
 	}
 	return nil

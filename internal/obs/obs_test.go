@@ -87,6 +87,41 @@ func TestSinkWritesAllArtifacts(t *testing.T) {
 	}
 }
 
+// TestReportSaturationSection pins the -report rollup of the
+// deterministic backpressure gauges: -report alone must create the
+// registry, and any match gauge or flow counter present must render in
+// the saturation table.
+func TestReportSaturationSection(t *testing.T) {
+	s := Sink{Report: true}
+	rec := s.Recorder()
+	if rec == nil {
+		t.Fatal("no recorder despite -report")
+	}
+	reg := s.Registry()
+	if reg == nil {
+		t.Fatal("-report alone did not create the registry")
+	}
+	rec.Record(trace.Event{Rank: 0, Kind: trace.KindSend, Peer: 1, Bytes: 8, Start: 0, End: 100})
+	reg.SetMaxGauge(0, "match", "unexp_bytes_hiwater", 4096)
+	reg.SetMaxGauge(0, "match", "unexp_depth_hiwater", 4)
+	reg.Add(1, "flow", "rnr_parks", 3)
+	reg.Add(0, "proc", "msgs_sent", 9) // not a saturation row
+
+	var report bytes.Buffer
+	if err := s.Flush(&report); err != nil {
+		t.Fatal(err)
+	}
+	out := report.String()
+	for _, want := range []string{"saturation (deterministic)", "unexp_bytes_hiwater", "unexp_depth_hiwater", "rnr_parks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "msgs_sent") {
+		t.Errorf("saturation table leaked non-saturation counter:\n%s", out)
+	}
+}
+
 func mustOpen(t *testing.T, path string) *os.File {
 	t.Helper()
 	f, err := os.Open(path)

@@ -1,0 +1,110 @@
+package omb
+
+import (
+	"fmt"
+
+	"mv2j/internal/core"
+	"mv2j/internal/vtime"
+)
+
+// MultiRecvOverload implements mr-overload: the many-to-one incast.
+// Every rank except 0 streams windows of non-blocking sends at the
+// root, which drains them one blocking receive at a time — so the
+// aggregate injection rate exceeds the root's service rate by design
+// and the flood lands in the root's unexpected queue. This is the
+// workload the credit-based flow control exists for: with EagerCredits
+// set, each sender stalls once its window of unacknowledged eager
+// messages reaches the credit limit, and the root's queue high-water
+// stays bounded by UnexpectedQueueBytes instead of growing with the
+// window.
+//
+// The reported value is the aggregate message rate observed at the
+// root (messages/second, in the MBps field like mr — use the benchmark
+// name to interpret the column).
+func MultiRecvOverload(cfg Config) ([]Result, error) {
+	window := cfg.Opts.Window
+	if window <= 0 {
+		window = 64
+	}
+	sizeJVM(&cfg.Core, (window/4+2)*cfg.Opts.MaxSize)
+	sink := &resultSink{}
+	err := core.Run(cfg.Core, func(m *core.MPI) error {
+		ep := endpoint{m, cfg.Mode}
+		p := ep.size()
+		if p < 2 {
+			return fmt.Errorf("omb: mr-overload needs at least 2 ranks, got %d", p)
+		}
+		senders := p - 1
+		me := ep.rank()
+
+		sbuf, err := newBuf(m, cfg.Mode, cfg.Opts.MaxSize)
+		if err != nil {
+			return err
+		}
+		rbuf, err := newBuf(m, cfg.Mode, cfg.Opts.MaxSize)
+		if err != nil {
+			return err
+		}
+		ack, err := newBuf(m, cfg.Mode, 4)
+		if err != nil {
+			return err
+		}
+
+		ws := make([]waiter, 0, window)
+		for _, size := range cfg.Opts.Sizes() {
+			iters, warm := cfg.Opts.itersFor(size)
+			var sw vtime.Stopwatch
+			for i := -warm; i < iters; i++ {
+				if i == 0 {
+					sw = vtime.StartStopwatch(m.Clock())
+				}
+				if me == 0 {
+					// Drain the incast serially, round-robin across the
+					// senders: the root is deliberately the bottleneck.
+					for k := 0; k < window; k++ {
+						for s := 1; s < p; s++ {
+							if err := ep.recv(rbuf, size, s, tagData); err != nil {
+								return err
+							}
+						}
+					}
+					for s := 1; s < p; s++ {
+						if err := ep.send(ack, 4, s, tagAck); err != nil {
+							return err
+						}
+					}
+				} else {
+					ws = ws[:0]
+					for k := 0; k < window; k++ {
+						w, err := ep.isend(sbuf, size, 0, tagData)
+						if err != nil {
+							return err
+						}
+						ws = append(ws, w)
+					}
+					if err := waitAll(ws); err != nil {
+						return err
+					}
+					if err := ep.recv(ack, 4, 0, tagAck); err != nil {
+						return err
+					}
+				}
+			}
+			// The root's own elapsed time is authoritative: it observed
+			// every message and released every sender.
+			if me == 0 {
+				msgs := float64(window) * float64(iters) * float64(senders)
+				secs := sw.Elapsed().Micros() / 1e6
+				sink.add(Result{Size: size, MBps: msgs / secs})
+			}
+			if err := ep.barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sink.sorted(), nil
+}

@@ -1,0 +1,86 @@
+package omb
+
+import (
+	"testing"
+
+	"mv2j/internal/core"
+	"mv2j/internal/nativempi"
+	"mv2j/internal/profile"
+)
+
+func overloadOpts() Options {
+	return Options{MinSize: 64, MaxSize: 1024, Iters: 5, Warmup: 1,
+		LargeThreshold: 64 << 10, LargeIters: 2, Window: 16}
+}
+
+// TestMultiRecvOverloadRuns smoke-tests the incast benchmark: positive
+// aggregate message rates at every size, in every payload mode.
+func TestMultiRecvOverloadRuns(t *testing.T) {
+	for _, mode := range []Mode{ModeBuffer, ModeArrays, ModeNative} {
+		rows, err := RunBenchmark("mr-overload", mv2(1, 4, mode, overloadOpts()))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(rows) == 0 {
+			t.Fatalf("%v: no rows", mode)
+		}
+		for _, r := range rows {
+			if r.MBps <= 0 {
+				t.Fatalf("%v size %d: non-positive message rate %f", mode, r.Size, r.MBps)
+			}
+		}
+	}
+}
+
+// TestMultiRecvOverloadFlowBounded is the integration half of the
+// flow-control acceptance: run the incast through the full bindings
+// stack with credits on, and the root's unexpected-queue byte
+// high-water honors Profile.UnexpectedQueueBytes; run it with flow
+// control off and the same flood exceeds the bound. Virtual rows with
+// flow on are also checked deterministic across runs.
+func TestMultiRecvOverloadFlowBounded(t *testing.T) {
+	const (
+		credits = 8
+		np      = 4
+		qbytes  = int64((np - 1) * credits * 1024)
+	)
+	run := func(withFlow bool) ([]Result, nativempi.HostStats) {
+		t.Helper()
+		prof := profile.MVAPICH2()
+		if withFlow {
+			prof.EagerCredits = credits
+			prof.UnexpectedQueueBytes = qbytes
+		}
+		var hs nativempi.HostStats
+		cfg := Config{
+			Core: core.Config{Nodes: 1, PPN: np, Lib: prof, Flavor: core.MVAPICH2J, HostStats: &hs},
+			Mode: ModeBuffer,
+			Opts: overloadOpts(),
+		}
+		rows, err := RunBenchmark("mr-overload", cfg)
+		if err != nil {
+			t.Fatalf("mr-overload (flow=%v): %v", withFlow, err)
+		}
+		return rows, hs
+	}
+	on, hsOn := run(true)
+	if hw := hsOn.Match.UnexpBytesHiWater; hw > qbytes {
+		t.Errorf("flow on: unexpected-queue high-water %d exceeds bound %d", hw, qbytes)
+	}
+	if hsOn.Flow.RNRParks == 0 {
+		t.Error("flow on: incast produced no RNR parks")
+	}
+	_, hsOff := run(false)
+	if hw := hsOff.Match.UnexpBytesHiWater; hw <= qbytes {
+		t.Errorf("flow off: high-water %d did not exceed bound %d — incast too gentle to prove anything", hw, qbytes)
+	}
+	on2, _ := run(true)
+	if len(on) != len(on2) {
+		t.Fatalf("row count varies across runs: %d vs %d", len(on), len(on2))
+	}
+	for i := range on {
+		if on[i] != on2[i] {
+			t.Errorf("row %d varies across runs: %+v vs %+v", i, on[i], on2[i])
+		}
+	}
+}

@@ -183,7 +183,7 @@ func TestAllCollectiveBenchmarksRun(t *testing.T) {
 	for _, name := range Benchmarks() {
 		switch name {
 		case "latency", "bw", "bibw", "put", "get", "acc", "mbw", "mr",
-			"ibcast", "iallreduce", "ibarrier":
+			"mr-overload", "ibcast", "iallreduce", "ibarrier":
 			continue // these surfaces have their own dedicated tests
 		}
 		for _, mode := range []Mode{ModeBuffer, ModeArrays, ModeNative} {

@@ -8,7 +8,7 @@ import (
 // Benchmarks returns the names RunBenchmark accepts, sorted.
 func Benchmarks() []string {
 	names := []string{"latency", "bw", "bibw", "barrier", "put", "get", "acc", "mbw", "mr",
-		"ibcast", "iallreduce", "ibarrier"}
+		"mr-overload", "ibcast", "iallreduce", "ibarrier"}
 	for name := range collCases() {
 		names = append(names, name)
 	}
@@ -34,6 +34,8 @@ func RunBenchmark(name string, cfg Config) ([]Result, error) {
 		return MultiBandwidth(cfg)
 	case "mr":
 		return MultiMessageRate(cfg)
+	case "mr-overload":
+		return MultiRecvOverload(cfg)
 	case "ibcast", "iallreduce", "ibarrier":
 		return NonBlockingLatency(name, cfg)
 	default:

@@ -44,21 +44,25 @@ func Rollup(events []Event) map[RollupKey]Stat {
 // Recovery, like Coll, is an envelope: it wraps the agreement sends
 // and receives (already under Wire) plus rollback bookkeeping, so it
 // too stays out of Sum.
+// Flow is the credit-exhaustion stall time of flow-controlled senders
+// (receiver-not-ready parks); like Retransmit it is genuine elapsed
+// virtual time on the rank's clock, so it is additive.
 type Phases struct {
 	CopyIn     vtime.Duration
 	Wire       vtime.Duration
 	CopyOut    vtime.Duration
 	Ack        vtime.Duration
 	Retransmit vtime.Duration
+	Flow       vtime.Duration
 	GC         vtime.Duration
 	Coll       vtime.Duration
 	Recovery   vtime.Duration
 }
 
 // Sum returns the additive phase total: every phase except the Coll
-// envelope.
+// and Recovery envelopes.
 func (p Phases) Sum() vtime.Duration {
-	return p.CopyIn + p.Wire + p.CopyOut + p.Ack + p.Retransmit + p.GC
+	return p.CopyIn + p.Wire + p.CopyOut + p.Ack + p.Retransmit + p.Flow + p.GC
 }
 
 // phaseOf classifies an event kind into its phase accumulator, or
@@ -76,6 +80,8 @@ func phaseOf(p *Phases, k Kind) *vtime.Duration {
 		return &p.Ack
 	case KindRetransmit:
 		return &p.Retransmit
+	case KindFlow:
+		return &p.Flow
 	case KindGC:
 		return &p.GC
 	case KindColl:
@@ -135,14 +141,14 @@ func (r *Recorder) WriteReport(w io.Writer) error {
 		ranks = append(ranks, rank)
 	}
 	sort.Ints(ranks)
-	if _, err := fmt.Fprintf(w, "\n%-6s %12s %12s %12s %12s %12s %12s %12s %12s\n",
-		"rank", "copyin", "wire", "copyout", "ack", "retx", "gc", "coll", "recovery"); err != nil {
+	if _, err := fmt.Fprintf(w, "\n%-6s %12s %12s %12s %12s %12s %12s %12s %12s %12s\n",
+		"rank", "copyin", "wire", "copyout", "ack", "retx", "flow", "gc", "coll", "recovery"); err != nil {
 		return err
 	}
 	for _, rank := range ranks {
 		p := phases[rank]
-		if _, err := fmt.Fprintf(w, "%-6d %12s %12s %12s %12s %12s %12s %12s %12s\n",
-			rank, p.CopyIn, p.Wire, p.CopyOut, p.Ack, p.Retransmit, p.GC, p.Coll, p.Recovery); err != nil {
+		if _, err := fmt.Fprintf(w, "%-6d %12s %12s %12s %12s %12s %12s %12s %12s %12s\n",
+			rank, p.CopyIn, p.Wire, p.CopyOut, p.Ack, p.Retransmit, p.Flow, p.GC, p.Coll, p.Recovery); err != nil {
 			return err
 		}
 	}

@@ -52,6 +52,12 @@ const (
 	// event. Like compute, registration is driver time outside the
 	// copyin/wire/copyout transfer breakdown (see rollup.go).
 	KindReg Kind = "reg"
+	// KindFlow marks flow-control stalls: the span covers a sender's
+	// receiver-not-ready park while it waits, credits exhausted, for the
+	// receiver to consume backlog and return credit. Like an RTO wait
+	// the park is real virtual stall time, charged to the sender's
+	// clock.
+	KindFlow Kind = "flow"
 )
 
 // Event is one recorded operation.
