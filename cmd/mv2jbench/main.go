@@ -12,6 +12,8 @@
 //	mv2jbench -workers 1      # pin the engine pool to the serial reference width
 //	mv2jbench -compare BENCH_OMB.json
 //	                          # host-metric guardrail vs a checked-in baseline
+//	mv2jbench -compare BENCH_OMB.json -summary "$GITHUB_STEP_SUMMARY"
+//	                          # ... and publish the verdicts as a markdown table
 //
 // With -compare, the exit status is 1 if any suite's allocs/op or
 // bytes-copied regressed beyond -tolerance (or the suite plans
@@ -43,6 +45,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline BENCH_OMB.json to apply the host-metric guardrail against")
 	tol := flag.Float64("tolerance", 0.20, "fractional per-metric tolerance for -compare")
 	workers := flag.Int("workers", 0, "scale-out engine pool width for every suite (0 = GOMAXPROCS, 1 = serial reference)")
+	summary := flag.String("summary", "", "with -compare: append the guardrail result as a markdown table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 
 	rep, err := hostbench.Run(*quick, *workers, gitSHA(), func(line string) {
@@ -77,6 +80,21 @@ func main() {
 		os.Exit(1)
 	}
 	deltas, failed := hostbench.Compare(baseline, rep, *tol)
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mv2jbench:", err)
+			os.Exit(1)
+		}
+		if _, err := f.WriteString(hostbench.Markdown(deltas, *tol)); err != nil {
+			fmt.Fprintln(os.Stderr, "mv2jbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mv2jbench:", err)
+			os.Exit(1)
+		}
+	}
 	improved := false
 	for _, d := range deltas {
 		fmt.Fprintln(os.Stderr, d)

@@ -41,6 +41,9 @@ func main() {
 		faultS   = flag.String("faults", "", `fault-injection plan, e.g. "seed=42,drop=0.01" or "inter.drop=0.05,target=drop:2>5:match:3" (see internal/faults)`)
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 
+		threads = flag.Int("threads", 0, "simulated threads per rank for the MPI_THREAD_MULTIPLE benchmarks (mr-mt, kvservice; 0 = benchmark default)")
+		clients = flag.Int("clients", 0, "simulated client population for kvservice (0 = benchmark default)")
+
 		credits     = flag.Int("credits", 0, "per-peer eager send credits: senders with no credit park until the receiver returns some (0 = flow control off)")
 		creditBatch = flag.Int("credit-batch", 0, "consumed messages per explicit credit grant (0 = credits/2)")
 		unexpBytes  = flag.Int64("unexp-queue-bytes", 0, "receiver unexpected-queue byte bound; past half of it eager senders demote to rendezvous (0 = credits x 64KiB)")
@@ -118,7 +121,8 @@ func main() {
 			Iters: *iters, Warmup: *warmup,
 			LargeThreshold: 64 << 10, LargeIters: max(2, *iters/5),
 			Window: *window, Validate: *validate,
-			FT: *ft,
+			FT:      *ft,
+			Threads: *threads, Clients: *clients,
 		},
 	}
 
@@ -139,7 +143,7 @@ func main() {
 		fmt.Println("# fault tolerance: shrink-and-continue")
 	}
 	isBW := *bench == "bw" || *bench == "bibw" || *bench == "mbw"
-	isRate := *bench == "mr" || *bench == "mr-overload"
+	isRate := *bench == "mr" || *bench == "mr-overload" || *bench == "mr-mt" || *bench == "kvservice"
 	switch {
 	case isBW:
 		fmt.Printf("%-12s%16s\n", "# Size", "Bandwidth (MB/s)")

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// TestKVServiceExample runs a scaled-down epoch twice: the virtual
+// rate must be deterministic, the incast must demote eager sends,
+// and the thread scheduler must actually have run.
+func TestKVServiceExample(t *testing.T) {
+	p := params{clients: 2048, nodes: 1, ppn: 4, threads: 2,
+		iters: 1, window: 32, credits: 8, queueBytes: 128}
+	row0, hs, err := run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row0.Size != 32 || row0.MBps <= 0 {
+		t.Fatalf("bad result row: %+v", row0)
+	}
+	if hs.Flow.DemotedSends == 0 {
+		t.Errorf("tight-queue incast demoted nothing: %+v", hs.Flow)
+	}
+	if hs.Threads.Groups == 0 || hs.Threads.Handoffs == 0 {
+		t.Errorf("thread scheduler unused: %+v", hs.Threads)
+	}
+	row1, _, err := run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row0 != row1 {
+		t.Errorf("nondeterministic example: %+v vs %+v", row0, row1)
+	}
+}

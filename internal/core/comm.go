@@ -289,6 +289,31 @@ func (r *Request) Test() (Status, bool, error) {
 	return st, true, err
 }
 
+// Waitany blocks until at least one request completes (MPI_Waitany)
+// and returns its index and status, unpacking that request's staged
+// receive. Nil or already-completed entries are inactive and skipped;
+// with no active requests the index is -1 (MPI_UNDEFINED).
+func Waitany(reqs []*Request) (int, Status, error) {
+	natives := make([]*nativempi.Request, len(reqs))
+	charged := false
+	for i, r := range reqs {
+		if r == nil || r.waited {
+			continue
+		}
+		if !charged {
+			r.mpi.enterNative()
+			charged = true
+		}
+		natives[i] = r.native
+	}
+	idx, _, err := nativempi.Waitany(natives)
+	if idx < 0 {
+		return -1, Status{}, err
+	}
+	st, err := reqs[idx].waitNoCharge()
+	return idx, st, err
+}
+
 // Waitall completes every request as one bindings call (the Java
 // waitAll is a single JNI downcall over the request array), returning
 // the first error.

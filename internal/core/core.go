@@ -95,6 +95,11 @@ type Config struct {
 	// Lib is the native library profile (default profile.MVAPICH2()
 	// must be passed explicitly by callers; zero value = generic).
 	Lib nativempi.Profile
+	// ThreadLevel, when non-zero, overrides the profile's built thread
+	// support level (MPI_THREAD_SINGLE..MULTIPLE) — the job-launch
+	// knob, as opposed to Lib.ThreadLevel which models how the native
+	// library was compiled. InitThread can only downgrade from here.
+	ThreadLevel ThreadLevel
 	// Flavor selects the bindings personality (default MVAPICH2J).
 	Flavor Flavor
 	// HeapSize/ArenaSize configure each rank's simulated JVM.
@@ -186,6 +191,9 @@ func Run(cfg Config, main func(mpi *MPI) error) error {
 	fab := fabric.New(topo, intra, inter)
 	if cfg.Faults != nil {
 		fab.WithFaults(cfg.Faults)
+	}
+	if cfg.ThreadLevel != 0 {
+		cfg.Lib.ThreadLevel = cfg.ThreadLevel
 	}
 	world := nativempi.NewWorld(topo, fab, cfg.Lib)
 	world.SetEngineWorkers(cfg.EngineWorkers)

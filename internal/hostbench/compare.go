@@ -1,6 +1,9 @@
 package hostbench
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Verdict classifies one baseline comparison.
 type Verdict int
@@ -118,4 +121,44 @@ func Compare(baseline, current *Report, tol float64) (deltas []Delta, failed boo
 		}
 	}
 	return deltas, failed
+}
+
+// Markdown renders a Compare result as a GitHub-flavored markdown
+// table — the CI bench job publishes this to the step summary so the
+// guardrail outcome is readable without digging through logs.
+// Verdicts get an emoji lead so regressions stand out in the rendered
+// page.
+func Markdown(deltas []Delta, tol float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Hostbench guardrail (±%.0f%%)\n\n", 100*tol)
+	if len(deltas) == 0 {
+		b.WriteString("_No entries compared._\n")
+		return b.String()
+	}
+	b.WriteString("| Suite | Metric | Baseline | Current | Δ | Verdict |\n")
+	b.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, d := range deltas {
+		icon := "✅"
+		switch d.Verdict {
+		case Regression:
+			icon = "❌"
+		case Improvement:
+			icon = "📉"
+		case Unmatched:
+			icon = "⚠️"
+		}
+		base, cur, pct := "—", "—", "—"
+		if d.Baseline >= 0 {
+			base = fmt.Sprintf("%d", d.Baseline)
+		}
+		if d.Current >= 0 {
+			cur = fmt.Sprintf("%d", d.Current)
+		}
+		if d.Verdict != Unmatched && d.Baseline > 0 {
+			pct = fmt.Sprintf("%+.1f%%", 100*(float64(d.Current)-float64(d.Baseline))/float64(d.Baseline))
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s %s |\n",
+			d.Key, d.Metric, base, cur, pct, icon, d.Verdict)
+	}
+	return b.String()
 }

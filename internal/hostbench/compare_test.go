@@ -191,6 +191,8 @@ func TestQuickSuitePlanStable(t *testing.T) {
 		"bw-rdma/np2/buffer",
 		"mr/np8/buffer",
 		"mr-overload/np8/buffer",
+		"mr-mt/np8/buffer",
+		"kvservice/np8/buffer",
 		"allreduce/np2/buffer",
 		"allreduce/np8/buffer",
 		"allreduce-scale/np8/buffer",
@@ -208,5 +210,33 @@ func TestQuickSuitePlanStable(t *testing.T) {
 	}
 	if len(Suites(false)) <= len(keys) {
 		t.Error("full tier should be a superset of shapes")
+	}
+}
+
+// TestMarkdown renders a mixed Compare result and checks the table
+// rows carry the right verdict icons and omit values that don't
+// exist (unmatched sides, Δ without a baseline).
+func TestMarkdown(t *testing.T) {
+	deltas := []Delta{
+		{Key: "mr/np8/buffer", Metric: MetricAllocs, Verdict: OK, Baseline: 100, Current: 105},
+		{Key: "bw/np2/buffer", Metric: MetricCopied, Verdict: Regression, Baseline: 1000, Current: 1500},
+		{Key: "latency/np2/buffer", Metric: MetricAllocs, Verdict: Improvement, Baseline: 200, Current: 120},
+		{Key: "kvservice/np8/buffer", Metric: MetricAllocs, Verdict: Unmatched, Baseline: -1, Current: 42},
+	}
+	got := Markdown(deltas, 0.20)
+	for _, want := range []string{
+		"### Hostbench guardrail (±20%)",
+		"| Suite | Metric | Baseline | Current | Δ | Verdict |",
+		"| mr/np8/buffer | allocs/op | 100 | 105 | +5.0% | ✅ ok |",
+		"| bw/np2/buffer | bytes_copied | 1000 | 1500 | +50.0% | ❌ REGRESSION |",
+		"| latency/np2/buffer | allocs/op | 200 | 120 | -40.0% | 📉 improvement |",
+		"| kvservice/np8/buffer | allocs/op | — | 42 | — | ⚠️ unmatched |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Markdown missing %q in:\n%s", want, got)
+		}
+	}
+	if empty := Markdown(nil, 0.20); !strings.Contains(empty, "No entries compared") {
+		t.Errorf("empty render = %q", empty)
 	}
 }

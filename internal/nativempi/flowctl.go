@@ -88,6 +88,10 @@ type flowState struct {
 	// Receiver side, per source.
 	consumed map[int]uint64 // eager messages matched to receives
 	advert   map[int]uint64 // highest total reliably advertised back
+	// demoting latches the over-watermark state between the raise
+	// threshold (qbytes/2) and the clear condition (empty queue) —
+	// see fcOverWatermark.
+	demoting bool
 
 	stats FlowStats
 }
@@ -217,10 +221,25 @@ func (p *Proc) fcApplyGrant(pkt *packet) {
 	f.stats.GrantsApplied++
 }
 
-// fcOverWatermark reports whether this receiver's unexpected queue is
-// past the demote watermark (half the configured byte bound).
+// fcOverWatermark reports whether this receiver is demoting its
+// senders. The state latches with hysteresis, like the SRQ
+// limit-reached handling it models: crossing half the configured byte
+// bound raises it, and only a fully drained queue clears it. A
+// transient per-instant reading would be unobservable in
+// request/reply traffic — the grant a sender acts on is the latest
+// one applied, and a receiver that just granted has just consumed,
+// momentarily dipping below any threshold.
 func (p *Proc) fcOverWatermark() bool {
-	return p.flow.qbytes > 0 && p.unexp.bytes >= p.flow.qbytes/2
+	f := p.flow
+	if f.qbytes <= 0 {
+		return false
+	}
+	if p.unexp.bytes >= f.qbytes/2 {
+		f.demoting = true
+	} else if p.unexp.bytes == 0 {
+		f.demoting = false
+	}
+	return f.demoting
 }
 
 // fcAttachGrant stamps an outbound packet toward dst with the current

@@ -409,10 +409,10 @@ func TestProfileValidate(t *testing.T) {
 	bad := []Profile{
 		{EagerCredits: -1},
 		{CreditBatch: -2},
-		{CreditBatch: 4},                      // batch without flow control
-		{EagerCredits: 4, CreditBatch: 5},     // batch exceeds credits: grant starvation
+		{CreditBatch: 4},                  // batch without flow control
+		{EagerCredits: 4, CreditBatch: 5}, // batch exceeds credits: grant starvation
 		{UnexpectedQueueBytes: -1},
-		{UnexpectedQueueBytes: 4096},          // bound without flow control
+		{UnexpectedQueueBytes: 4096}, // bound without flow control
 		{RetransmitRTO: -vtime.Microsecond},
 		{RetransmitBackoff: -1},
 		{MaxRetransmits: -1},

@@ -121,6 +121,8 @@ func (r *CollRequest) Test() (bool, error) {
 	if r.done {
 		return true, r.err
 	}
+	r.c.p.gateEnter()
+	defer r.c.p.gateLeave()
 	r.start()
 	for !r.done {
 		r.c.p.poll()
@@ -169,6 +171,8 @@ func (r *CollRequest) Wait() error {
 	if r == nil {
 		return ErrRequest
 	}
+	r.c.p.gateEnter()
+	defer r.c.p.gateLeave()
 	for {
 		done, err := r.Test()
 		if done {
@@ -188,6 +192,8 @@ func (c *Comm) Ibcast(buf []byte, root int) (*CollRequest, error) {
 	if err := c.checkRank(root); err != nil {
 		return nil, err
 	}
+	c.p.gateEnter()
+	defer c.p.gateLeave()
 	p := c.Size()
 	r := &CollRequest{c: c, tag: c.collTag()}
 	if p == 1 {
@@ -219,6 +225,8 @@ func (c *Comm) Ibcast(buf []byte, root int) (*CollRequest, error) {
 
 // Ibarrier starts a non-blocking dissemination barrier.
 func (c *Comm) Ibarrier() (*CollRequest, error) {
+	c.p.gateEnter()
+	defer c.p.gateLeave()
 	p := c.Size()
 	r := &CollRequest{c: c, tag: c.collTag()}
 	token := []byte{}
@@ -242,6 +250,8 @@ func (c *Comm) Iallreduce(sendBuf, recvBuf []byte, kind jvm.Kind, op Op) (*CollR
 	if len(recvBuf) != n {
 		return nil, fmt.Errorf("%w: iallreduce recv buffer %d != send %d", ErrCount, len(recvBuf), n)
 	}
+	c.p.gateEnter()
+	defer c.p.gateLeave()
 	p := c.Size()
 	r := &CollRequest{c: c, tag: c.collTag()}
 	copy(recvBuf, sendBuf)
@@ -317,6 +327,8 @@ func (c *Comm) Iallgather(sendBuf, recvBuf []byte) (*CollRequest, error) {
 	if len(recvBuf) != n*p {
 		return nil, fmt.Errorf("%w: iallgather recv buffer %d != %d", ErrCount, len(recvBuf), n*p)
 	}
+	c.p.gateEnter()
+	defer c.p.gateLeave()
 	r := &CollRequest{c: c, tag: c.collTag()}
 	me := c.myRank
 	copy(recvBuf[me*n:(me+1)*n], sendBuf)
@@ -343,6 +355,8 @@ func (c *Comm) Ireduce(sendBuf, recvBuf []byte, kind jvm.Kind, op Op, root int) 
 	if c.myRank == root && len(recvBuf) != n {
 		return nil, fmt.Errorf("%w: ireduce recv buffer %d != send %d", ErrCount, len(recvBuf), n)
 	}
+	c.p.gateEnter()
+	defer c.p.gateLeave()
 	p := c.Size()
 	r := &CollRequest{c: c, tag: c.collTag()}
 	v := (c.myRank - root + p) % p

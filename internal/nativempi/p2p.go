@@ -93,6 +93,7 @@ type Request struct {
 	id      uint64
 	sendBuf []byte
 	dst     int // world rank
+	ep      int // injection endpoint fixed at issue time (-1 = rank's shared NIC)
 
 	// comm, when set, translates the status source from world rank to
 	// communicator rank.
@@ -139,9 +140,13 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 		p.stats.EagerSends++
 		p.fcWaitCredit(wdst)
 		p.fcChargeSend(wdst)
-		start := vtime.Max(p.clock.Now(), p.nicFree)
-		p.nicFree = start.Add(ch.SerializeTime(n))
-		p.clock.AdvanceTo(p.nicFree)
+		// Under a MULTIPLE-level thread group the injection lands on the
+		// calling thread's endpoint slot, so concurrent threads stop
+		// serializing on one NIC cursor (see thread.go).
+		nic := p.nicSlot(p.curEndpoint())
+		start := vtime.Max(p.clock.Now(), *nic)
+		*nic = start.Add(ch.SerializeTime(n))
+		p.clock.AdvanceTo(*nic)
 		data := getWire(n)
 		copy(data, buf)
 		p.copyStats.count(n)
@@ -180,6 +185,7 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 	req.id = p.nextReq
 	req.sendBuf = buf
 	req.dst = wdst
+	req.ep = p.curEndpoint()
 	req.tag = tag
 	req.ctx = o.ctx
 	req.postedAt = p.clock.Now()
@@ -244,8 +250,10 @@ func (c *Comm) Isend(buf []byte, dst, tag int) (*Request, error) {
 	if err := c.checkSendTag(tag); err != nil {
 		return nil, err
 	}
+	c.p.gateEnter()
 	req := c.p.isendOn(buf, c.group[dst], tag, sendOpts{ctx: c.ptCtx})
 	req.comm = c
+	c.p.gateLeave()
 	return req, nil
 }
 
@@ -262,8 +270,10 @@ func (c *Comm) Irecv(buf []byte, src, tag int) (*Request, error) {
 	if tag < 0 && tag != AnyTag {
 		return nil, fmt.Errorf("%w: recv tag %d", ErrTag, tag)
 	}
+	c.p.gateEnter()
 	req := c.p.irecvOn(buf, wsrc, tag, sendOpts{ctx: c.ptCtx})
 	req.comm = c
+	c.p.gateLeave()
 	return req, nil
 }
 
@@ -308,6 +318,8 @@ func (c *Comm) Sendrecv(sendBuf []byte, dst, sendTag int, recvBuf []byte, src, r
 // Probe blocks until a message matching (src, tag) is available and
 // returns its status without receiving it.
 func (c *Comm) Probe(src, tag int) (Status, error) {
+	c.p.gateEnter()
+	defer c.p.gateLeave()
 	for {
 		st, ok, err := c.Iprobe(src, tag)
 		if err != nil || ok {
@@ -326,6 +338,8 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 		}
 		wsrc = c.group[src]
 	}
+	c.p.gateEnter()
+	defer c.p.gateLeave()
 	c.p.poll()
 	probe := &Request{src: wsrc, tag: tag, ctx: c.ptCtx}
 	if pkt := c.p.unexp.peek(probe); pkt != nil {
@@ -349,12 +363,14 @@ func (r *Request) Wait() (Status, error) {
 		return Status{}, ErrRequest
 	}
 	p := r.p
+	p.gateEnter()
 	p.poll()
 	for !r.done {
 		p.progressOnce()
 	}
 	p.clock.AdvanceTo(r.completeAt)
 	r.consume()
+	p.gateLeave()
 	return r.commStatus(), r.err
 }
 
@@ -376,6 +392,8 @@ func (r *Request) Test() (Status, bool, error) {
 	if r == nil {
 		return Status{}, false, ErrRequest
 	}
+	r.p.gateEnter()
+	defer r.p.gateLeave()
 	r.p.poll()
 	if !r.done {
 		// A pure Test spin never blocks, so under the phase-stepped

@@ -81,6 +81,54 @@ func TestBlockingSendRecvRendezvous(t *testing.T) {
 	}
 }
 
+// TestRendezvousAlignedSenderIDs: request ids are a per-rank counter,
+// so two senders in their first rendezvous carry the same id. With
+// both transfers pending at one receiver, the pending-receive table
+// must key by (source, id) — keyed by id alone, the entries collide:
+// the first DATA completes the wrong request and the second panics
+// with "DATA for unknown request".
+func TestRendezvousAlignedSenderIDs(t *testing.T) {
+	w := testWorld(3, 1) // inter-node, so 256 KiB goes rendezvous
+	msgs := [3][]byte{nil, pattern(256*1024, 1), pattern(256*1024, 2)}
+	err := w.Run(func(p *Proc) error {
+		c := p.CommWorld()
+		if p.Rank() != 0 {
+			r, err := c.Isend(msgs[p.Rank()], 0, 5)
+			if err != nil {
+				return err
+			}
+			_, err = r.Wait()
+			return err
+		}
+		bufs := [2][]byte{make([]byte, 256*1024), make([]byte, 256*1024)}
+		reqs := make([]*Request, 2)
+		// Post both receives before waiting so both rendezvous are
+		// in flight — and in recvPending — at the same time.
+		for i, src := range []int{1, 2} {
+			r, err := c.Irecv(bufs[i], src, 5)
+			if err != nil {
+				return err
+			}
+			reqs[i] = r
+		}
+		if err := Waitall(reqs); err != nil {
+			return err
+		}
+		for i, src := range []int{1, 2} {
+			if !bytes.Equal(bufs[i], msgs[src]) {
+				t.Errorf("payload from rank %d corrupted", src)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Proc(1).Stats().RndvSends; got != 1 {
+		t.Fatalf("sender 1 should have gone rendezvous: %+v", w.Proc(1).Stats())
+	}
+}
+
 func TestEagerProtocolSelected(t *testing.T) {
 	w := testWorld(2, 1)
 	err := w.Run(func(p *Proc) error {

@@ -249,6 +249,7 @@ type HostStats struct {
 	Reg     RegStats     `json:"reg"`
 	RDMA    RDMAStats    `json:"rdma"`
 	Flow    FlowStats    `json:"flow"`
+	Threads ThreadStats  `json:"threads"`
 }
 
 // HostStats sums the per-rank host-side counters. Call after Run has
@@ -314,6 +315,7 @@ func (w *World) HostStats() HostStats {
 		hs.Flow.RNRParks += fs.RNRParks
 		hs.Flow.RNRWaitPs += fs.RNRWaitPs
 		hs.Flow.DemotedSends += fs.DemotedSends
+		hs.Threads.add(p.threadStats)
 	}
 	hs.Engine = w.engStats
 	return hs

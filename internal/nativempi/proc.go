@@ -118,11 +118,31 @@ type Proc struct {
 	// port) next becomes idle; successive sends serialize on it.
 	nicFree vtime.Time
 
-	posted      postedQueue         // posted receives, indexed (see match.go)
-	unexp       unexpQueue          // arrived-but-unmatched eager/RTS packets, indexed
-	sendPending map[uint64]*Request // rendezvous sends awaiting CTS
-	recvPending map[uint64]*Request // rendezvous receives awaiting data
-	finPending  map[uint64]*Request // zero-copy sends awaiting the receiver's copy fence
+	// nicEp is the per-endpoint injection fan, non-empty only while a
+	// MULTIPLE-level thread group is live: thread tid injects through
+	// slot tid % len(nicEp), so concurrent threads stop serializing on
+	// one NIC cursor (see thread.go). Folded back into nicFree when
+	// the group joins.
+	nicEp []vtime.Time
+
+	// Simulated-thread multiplexer state (see thread.go): the live
+	// thread group (nil when the rank runs single-threaded), the level
+	// InitThread negotiated (0 = never called = SINGLE), and the
+	// host-side scheduling counters.
+	tg          *threadGroup
+	thrLevel    ThreadLevel
+	threadStats ThreadStats
+
+	// leaveFn is the cached no-observer collSpan closure: gateLeave
+	// bound once per rank so the collective fast path stays
+	// allocation-free.
+	leaveFn func()
+
+	posted      postedQueue          // posted receives, indexed (see match.go)
+	unexp       unexpQueue           // arrived-but-unmatched eager/RTS packets, indexed
+	sendPending map[uint64]*Request  // rendezvous sends awaiting CTS
+	recvPending map[rndvKey]*Request // rendezvous receives awaiting data
+	finPending  map[uint64]*Request  // zero-copy sends awaiting the receiver's copy fence
 	nextReq     uint64
 
 	world *Comm
@@ -163,6 +183,16 @@ type Proc struct {
 	revokedAt   map[int32]vtime.Time // revoked context id → poison time
 }
 
+// rndvKey names a pending rendezvous receive. Request ids are a
+// per-rank counter, so the id alone is ambiguous on the receiver:
+// two senders whose counters happen to align (symmetric workloads do
+// this constantly) would collide in recvPending, completing the wrong
+// request with the first DATA and panicking on the second.
+type rndvKey struct {
+	src int
+	id  uint64
+}
+
 func newProc(w *World, rank int) *Proc {
 	p := &Proc{
 		w:           w,
@@ -170,11 +200,12 @@ func newProc(w *World, rank int) *Proc {
 		clock:       vtime.NewClock(),
 		mb:          newMailbox(),
 		sendPending: map[uint64]*Request{},
-		recvPending: map[uint64]*Request{},
+		recvPending: map[rndvKey]*Request{},
 		finPending:  map[uint64]*Request{},
 	}
 	p.posted.init(&p.matchStats)
 	p.unexp.init(&p.matchStats)
+	p.leaveFn = p.gateLeave
 	p.reg = newRegCache(p)
 	if w.fab.Faults() != nil {
 		p.rel = newRelState()
@@ -319,6 +350,13 @@ func matches(req *Request, pkt *packet) bool {
 // packets first pass the reliability layer's admission check (checksum
 // verification, duplicate suppression, acknowledgement).
 func (p *Proc) dispatch(pkt *packet) {
+	if p.tg != nil {
+		// Every dispatch may satisfy a parked simulated thread's wake
+		// condition (request completion, probe match, credit grant —
+		// all are mail-driven), so it advances the group's epoch and
+		// makes parked threads schedulable again (see thread.go).
+		p.tg.epoch++
+	}
 	if p.flow != nil && pkt.fcGrant > 0 && pkt.src != p.rank {
 		// Apply the piggybacked credit grant BEFORE reliability
 		// admission: grants are cumulative maxima, so even a frame the
@@ -374,11 +412,12 @@ func (p *Proc) dispatch(pkt *packet) {
 		p.rndvSendData(req, pkt)
 		freePacket(pkt)
 	case pktData:
-		req, ok := p.recvPending[pkt.reqID]
+		k := rndvKey{src: pkt.src, id: pkt.reqID}
+		req, ok := p.recvPending[k]
 		if !ok {
-			panic(fmt.Sprintf("nativempi: rank %d got DATA for unknown request %d", p.rank, pkt.reqID))
+			panic(fmt.Sprintf("nativempi: rank %d got DATA for unknown request %d from rank %d", p.rank, pkt.reqID, pkt.src))
 		}
-		delete(p.recvPending, pkt.reqID)
+		delete(p.recvPending, k)
 		p.completeRndvRecv(req, pkt)
 		freePacket(pkt)
 	case pktRMA, pktRMAReply:
@@ -416,8 +455,16 @@ func (p *Proc) dispatch(pkt *packet) {
 	}
 }
 
-// progressOnce processes one packet, blocking until one arrives.
-func (p *Proc) progressOnce() { p.dispatch(p.popBlocking()) }
+// progressOnce makes one unit of progress, blocking until it can:
+// dispatch the next packet, or — inside a thread group — let another
+// simulated thread run. A nil pop means the baton travelled and came
+// back; every caller loops on its own wake condition, so "no packet,
+// but siblings ran" is progress too.
+func (p *Proc) progressOnce() {
+	if pkt := p.popBlocking(); pkt != nil {
+		p.dispatch(pkt)
+	}
+}
 
 // popBlocking dequeues the next packet, parking the rank in the
 // phase-stepped engine while its mailbox is empty (the engine's ONLY
@@ -425,22 +472,41 @@ func (p *Proc) progressOnce() { p.dispatch(p.popBlocking()) }
 // condition-variable pop. After an engine abort the final tryPop is
 // guaranteed to find the poison packet: abortLocked pushes it to every
 // mailbox before waking anyone.
+//
+// Inside a thread group the empty-mailbox case first hands the baton
+// to any schedulable sibling thread and returns nil once it comes
+// back — the caller must recheck its wake condition, which sibling
+// dispatches may have satisfied. The whole rank blocks in the engine
+// only when no simulated thread can progress without new mail, so the
+// engine's deadlock accounting keeps seeing one state per rank.
 func (p *Proc) popBlocking() *packet {
 	for {
 		if pkt, ok := p.mb.tryPop(); ok {
 			return pkt
+		}
+		if tg := p.tg; tg != nil && tg.yieldTo(tPopWait) {
+			return nil
 		}
 		eng := p.w.eng.Load()
 		if eng == nil {
 			return p.mb.pop()
 		}
 		eng.block(p.rank)
+		if p.tg != nil {
+			p.threadStats.RankBlocks++
+		}
 	}
 }
 
 // engYield lets spin-polling paths (Test/Iprobe loops that never
 // block) cooperate with the phase-stepped engine; a no-op without one.
+// Inside a thread group the spin checkpoint first offers the baton to
+// a schedulable sibling — the cooperative analogue of the OS
+// preempting a polling thread.
 func (p *Proc) engYield() {
+	if tg := p.tg; tg != nil && tg.yieldTo(tSpinWait) {
+		return
+	}
 	if eng := p.w.eng.Load(); eng != nil {
 		eng.yield(p.rank)
 	}
@@ -550,7 +616,7 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 		readyAt := vtime.Max(req.postedAt, pkt.arriveAt)
 		req.rndvFrom = pkt.src
 		req.rndvTag = pkt.tag
-		p.recvPending[pkt.reqID] = req
+		p.recvPending[rndvKey{src: pkt.src, id: pkt.reqID}] = req
 		cts := getPacket()
 		cts.kind = pktCTS
 		cts.src = p.rank
@@ -583,7 +649,7 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 		if err := p.post(src, cts); err != nil {
 			// The rendezvous partner is unreachable: the receive fails
 			// in place instead of waiting for data that will never come.
-			delete(p.recvPending, reqID)
+			delete(p.recvPending, rndvKey{src: src, id: reqID})
 			p.failReq(req, readyAt, err)
 		}
 	default:
@@ -600,8 +666,12 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	// mailbox: rendezvous transfers are RDMA-offloaded, and using
 	// clock.Now() here would let host scheduling leak into virtual
 	// time (the CTS is dispatched at whichever poll point it rides
-	// in on).
-	start := vtime.Max(cts.arriveAt, p.nicFree)
+	// in on). The injection endpoint was fixed when the send was
+	// issued (req.ep), not re-derived here: whichever thread's poll
+	// the CTS rides in on, the charge lands on the issuing thread's
+	// endpoint.
+	nic := p.nicSlot(req.ep)
+	start := vtime.Max(cts.arriveAt, *nic)
 	start = start.Add(ch.RndvHandshake)
 	n := len(req.sendBuf)
 	if cts.rdma {
@@ -642,7 +712,7 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	// reliablePost may keep the NIC busy later for retransmissions,
 	// but those never block the sender's CPU.
 	injected := start.Add(ch.SerializeTime(n))
-	p.nicFree = injected
+	*nic = injected
 	pkt := getPacket()
 	pkt.kind = pktData
 	pkt.src = p.rank

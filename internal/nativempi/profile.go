@@ -261,6 +261,29 @@ type Profile struct {
 	// EagerCredits * 64 KiB when flow control is on; ignored when off.
 	UnexpectedQueueBytes int64
 
+	// ThreadLevel is the highest MPI threading level this library build
+	// supports — the `threads=single|funneled|serialized|multiple`
+	// variant of an MVAPICH2 build. InitThread negotiates downward:
+	// provided = min(required, ThreadLevel). Zero selects
+	// ThreadMultiple (the variant a Java-HPC deployment builds with).
+	ThreadLevel ThreadLevel
+
+	// LockArbitrationCost is the virtual CPU cost a thread pays each
+	// time it acquires the library's coarse entry lock while another
+	// thread's critical section is still in flight — the MPICH-style
+	// global-lock arbitration that bounds MPI_THREAD_MULTIPLE message
+	// rates. Charged only on contended entries, so single-threaded
+	// programs (and uncontended multithreaded ones) are byte-identical
+	// with the cost set or not. Zero selects 150 ns.
+	LockArbitrationCost vtime.Duration
+
+	// InjectEndpoints is the number of independent injection resources
+	// (NIC send queues) a rank fans its threads over under
+	// MPI_THREAD_MULTIPLE — fewer endpoints than threads means sends
+	// from different threads still serialize on shared hardware. Zero
+	// selects 4; single-threaded execution always uses one.
+	InjectEndpoints int
+
 	// Failure-detector tuning (fault-tolerant worlds only). Every rank
 	// conceptually heartbeats every HeartbeatPeriod; a silent peer is
 	// suspected after SuspectBeats missed beats and confirmed dead one
@@ -312,6 +335,15 @@ func (pr Profile) normalize() Profile {
 		if pr.UnexpectedQueueBytes <= 0 {
 			pr.UnexpectedQueueBytes = int64(pr.EagerCredits) * (64 << 10)
 		}
+	}
+	if pr.ThreadLevel == 0 {
+		pr.ThreadLevel = ThreadMultiple
+	}
+	if pr.LockArbitrationCost <= 0 {
+		pr.LockArbitrationCost = 150 * vtime.Nanosecond
+	}
+	if pr.InjectEndpoints <= 0 {
+		pr.InjectEndpoints = 4
 	}
 	if pr.HeartbeatPeriod <= 0 {
 		pr.HeartbeatPeriod = 20 * vtime.Microsecond
@@ -435,6 +467,24 @@ func (pr Profile) Validate() error {
 	}
 	if pr.HeartbeatPeriod < 0 {
 		return fmt.Errorf("profile %q: HeartbeatPeriod %v is negative", pr.Name, pr.HeartbeatPeriod)
+	}
+	if pr.ThreadLevel < 0 || pr.ThreadLevel > ThreadMultiple {
+		return fmt.Errorf("profile %q: ThreadLevel %d is not a threading level (0 selects MULTIPLE; valid: %d..%d)",
+			pr.Name, pr.ThreadLevel, ThreadSingle, ThreadMultiple)
+	}
+	if pr.LockArbitrationCost < 0 {
+		return fmt.Errorf("profile %q: LockArbitrationCost %v is negative (0 selects the default)", pr.Name, pr.LockArbitrationCost)
+	}
+	if pr.ThreadLevel == ThreadSingle && pr.LockArbitrationCost > 0 {
+		return fmt.Errorf("profile %q: LockArbitrationCost %v set but ThreadLevel is SINGLE; a single-threaded build has no entry lock to arbitrate",
+			pr.Name, pr.LockArbitrationCost)
+	}
+	if pr.InjectEndpoints < 0 {
+		return fmt.Errorf("profile %q: InjectEndpoints %d is negative (0 selects the default)", pr.Name, pr.InjectEndpoints)
+	}
+	if pr.InjectEndpoints > 1 && pr.ThreadLevel >= ThreadSingle && pr.ThreadLevel < ThreadMultiple {
+		return fmt.Errorf("profile %q: InjectEndpoints %d needs ThreadLevel MULTIPLE (got %v); below it at most one thread injects at a time",
+			pr.Name, pr.InjectEndpoints, pr.ThreadLevel)
 	}
 	return nil
 }

@@ -80,10 +80,16 @@ func (p *Proc) recordRelSpan(kind trace.Kind, detail string, peer, bytes int, st
 	}
 }
 
-// collSpan opens a collective span; the returned func closes it.
+// collSpan opens a collective span; the returned func closes it. It
+// doubles as the entry-serialization hook for every blocking
+// collective: the span open takes the rank's thread gate and the
+// close releases it, so the thread-level rules (FUNNELED main-thread
+// check, SERIALIZED overlap check, MULTIPLE lock arbitration) cover
+// the whole collective family through this one seam.
 func (c *Comm) collSpan(name string, bytes int) func() {
+	c.p.gateEnter()
 	if c.p.w.rec == nil && c.p.w.met == nil {
-		return func() {}
+		return c.p.leaveFn
 	}
 	start := c.p.clock.Now()
 	return func() {
@@ -98,6 +104,26 @@ func (c *Comm) collSpan(name string, bytes int) func() {
 			c.p.w.met.Observe(c.p.rank, "coll", name+"_ps", int64(end.Sub(start)))
 			c.p.w.met.Observe(c.p.rank, "coll", name+"_bytes", int64(bytes))
 		}
+		c.p.gateLeave()
+	}
+}
+
+// recordLock logs one contended entry-lock arbitration: the span from
+// the thread's attempted entry to the instant it holds the lock.
+// Uncontended entries emit nothing, so runs that never contend are
+// byte-identical with runs that predate threading support. The
+// arbitration wait is virtual state — a pure function of the
+// deterministic handoff order — so it is safe in the registry.
+func (p *Proc) recordLock(tid int, start, end vtime.Time) {
+	if p.w.rec != nil {
+		p.w.rec.Record(trace.Event{
+			Rank: p.rank, Kind: trace.KindLock, Detail: "arb", Peer: tid,
+			Start: start, End: end,
+		})
+	}
+	if p.w.met != nil {
+		p.w.met.Add(p.rank, "thread", "arb_waits", 1)
+		p.w.met.Observe(p.rank, "thread", "arb_wait_ps", int64(end.Sub(start)))
 	}
 }
 

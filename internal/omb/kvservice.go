@@ -1,0 +1,269 @@
+package omb
+
+import (
+	"fmt"
+
+	"mv2j/internal/core"
+	"mv2j/internal/vtime"
+)
+
+// KVService is the messaging-service workload: a simulated population
+// of clients (millions, when asked) multiplexed onto the client half
+// of the job, firing small request/reply round trips at the server
+// half under MPI_THREAD_MULTIPLE. The paper's motivating deployment —
+// a Java messaging tier fronting an MPI-accelerated backend — looks
+// like this: far more logical clients than ranks, tag-partitioned
+// reply channels, and a hot-key skew that turns one server into an
+// incast victim.
+//
+// Topology: ranks [0, np/2) serve, ranks [np/2, np) host clients.
+// Every rank runs T simulated threads. Client c lives on lane
+// c mod (clientRanks*T) and talks to server thread c mod T; hot
+// clients (c&3 == 0) all target server rank 0, the rest spread
+// c mod S — so server 0 absorbs ~25%+ of the load and, with
+// EagerCredits set and a small UnexpectedQueueBytes, demotes eager
+// traffic to rendezvous under the pile-up (HostStats.Flow
+// .DemotedSends counts the demotions).
+//
+// Requests and replies are fixed 32-byte eager messages. Byte 0
+// carries the kind (0 = request, 1 = FIN), bytes 1..4 the client's
+// private reply tag, built and parsed through the mode's
+// element-access costs. Each client lane pipelines a window of
+// request/reply pairs in flight; servers keep one receive posted per
+// client rank and consume a fair round per cycle (burst arrivals past
+// the posted slot queue unexpected); termination is one FIN per
+// (lane, server thread) edge.
+//
+// The reported value is the service's aggregate request rate
+// (requests/second, in the MBps field; Size is the request size).
+func KVService(cfg Config) ([]Result, error) {
+	const reqBytes = 32
+	window := cfg.Opts.Window
+	if window <= 0 {
+		window = 64
+	}
+	T := cfg.Opts.mtThreads()
+	clients := cfg.Opts.Clients
+	if clients <= 0 {
+		clients = 2048
+	}
+	iters := cfg.Opts.Iters
+	if iters <= 0 {
+		iters = 1
+	}
+	// Heap budget: client lanes hold 2*window slots per thread, server
+	// threads one posted slot per client rank plus a reply slot.
+	ranks := cfg.Core.Nodes * cfg.Core.PPN
+	sizeJVM(&cfg.Core, (4*window+2*(ranks+2))*reqBytes*T)
+	sink := &resultSink{}
+	err := core.Run(cfg.Core, func(m *core.MPI) error {
+		ep := endpoint{m, cfg.Mode}
+		np := ep.size()
+		if np < 2 {
+			return fmt.Errorf("omb: kvservice needs at least 2 ranks, got %d", np)
+		}
+		S := np / 2 // server ranks [0, S)
+		C := np - S // client ranks [S, np)
+		L := C * T  // client lanes
+		me := ep.rank()
+		serving := me < S
+		if got := m.InitThread(core.ThreadMultiple); got != core.ThreadMultiple && T > 1 {
+			return fmt.Errorf("omb: kvservice needs MPI_THREAD_MULTIPLE, library granted %v", got)
+		}
+
+		// serverFor routes a client id: hot keys pile onto server 0.
+		serverFor := func(c int) int {
+			if c&3 == 0 {
+				return 0
+			}
+			return c % S
+		}
+
+		// Per-thread buffer lanes: a window of request and reply slots
+		// (headers differ per request, so in-flight sends cannot share
+		// one buffer), plus a FIN slot.
+		type lane struct {
+			req, rep []msgBuf
+			fin      msgBuf
+		}
+		lanes := make([]lane, T)
+		for tid := 0; tid < T; tid++ {
+			ln := lane{req: make([]msgBuf, window), rep: make([]msgBuf, window)}
+			for k := 0; k < window; k++ {
+				var err error
+				if ln.req[k], err = newBuf(m, cfg.Mode, reqBytes); err != nil {
+					return err
+				}
+				if ln.rep[k], err = newBuf(m, cfg.Mode, reqBytes); err != nil {
+					return err
+				}
+			}
+			var err error
+			if ln.fin, err = newBuf(m, cfg.Mode, reqBytes); err != nil {
+				return err
+			}
+			ln.fin.setByteAt(0, 1)
+			lanes[tid] = ln
+		}
+
+		// Per-server-thread receive slots: one posted irecv per client
+		// rank, plus an outbound reply slot.
+		type srvLane struct {
+			in  []msgBuf
+			out msgBuf
+		}
+		var srv []srvLane
+		if serving {
+			srv = make([]srvLane, T)
+			for tid := 0; tid < T; tid++ {
+				sl := srvLane{in: make([]msgBuf, C)}
+				for j := 0; j < C; j++ {
+					var err error
+					if sl.in[j], err = newBuf(m, cfg.Mode, reqBytes); err != nil {
+						return err
+					}
+				}
+				var err error
+				if sl.out, err = newBuf(m, cfg.Mode, reqBytes); err != nil {
+					return err
+				}
+				srv[tid] = sl
+			}
+		}
+
+		// The server keeps one receive posted per live client rank and
+		// answers whichever request lands first (MPI_Waitany). That
+		// discipline is load-bearing twice over: a parked sender's
+		// in-flight requests always find a posted receive, so credit
+		// grants keep flowing and the credit wait-for graph stays
+		// acyclic (a serial per-rank drain deadlocks — server A blocks
+		// on client j while j is credit-parked toward server B, round
+		// the cycle; a fair-round waitAll deadlocks too, because replies
+		// only go out after the slowest rank of the round); and a burst
+		// beyond the one posted slot per rank still lands in the
+		// unexpected queue, which is where the hot-key incast piles up
+		// and pushes server 0 over the demote watermark.
+		serve := func(tid int) error {
+			sl := srv[tid]
+			fins := make([]int, C)
+			ws := make([]waiter, C)
+			for j := 0; j < C; j++ {
+				w, err := ep.irecv(sl.in[j], reqBytes, S+j, kvTagReq+tid)
+				if err != nil {
+					return err
+				}
+				ws[j] = w
+			}
+			for active := C; active > 0; {
+				j, err := waitAny(ws)
+				if err != nil {
+					return err
+				}
+				ws[j] = nil
+				buf := sl.in[j]
+				if buf.byteAt(0) == 1 {
+					if fins[j]++; fins[j] == T {
+						active--
+						continue
+					}
+				} else {
+					reply := int(buf.byteAt(1)) | int(buf.byteAt(2))<<8 |
+						int(buf.byteAt(3))<<16 | int(buf.byteAt(4))<<24
+					sl.out.setByteAt(0, 0)
+					if err := ep.send(sl.out, reqBytes, S+j, reply); err != nil {
+						return err
+					}
+				}
+				w, err := ep.irecv(sl.in[j], reqBytes, S+j, kvTagReq+tid)
+				if err != nil {
+					return err
+				}
+				ws[j] = w
+			}
+			return nil
+		}
+
+		drive := func(tid int) error {
+			myLane := (me-S)*T + tid
+			ln := lanes[tid]
+			ws := make([]waiter, 0, 2*window)
+			for pass := 0; pass < iters; pass++ {
+				k := 0
+				flush := func() error {
+					err := waitAll(ws)
+					ws = ws[:0]
+					k = 0
+					return err
+				}
+				for c := myLane; c < clients; c += L {
+					req := ln.req[k]
+					tag := kvTagReply + c
+					req.setByteAt(0, 0)
+					req.setByteAt(1, byte(tag))
+					req.setByteAt(2, byte(tag>>8))
+					req.setByteAt(3, byte(tag>>16))
+					req.setByteAt(4, byte(tag>>24))
+					w, err := ep.irecv(ln.rep[k], reqBytes, serverFor(c), tag)
+					if err != nil {
+						return err
+					}
+					ws = append(ws, w)
+					if w, err = ep.isend(req, reqBytes, serverFor(c), kvTagReq+c%T); err != nil {
+						return err
+					}
+					ws = append(ws, w)
+					if k++; k == window {
+						if err := flush(); err != nil {
+							return err
+						}
+					}
+				}
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			for s := 0; s < S; s++ {
+				for stid := 0; stid < T; stid++ {
+					if err := ep.send(ln.fin, reqBytes, s, kvTagReq+stid); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+
+		sw := vtime.StartStopwatch(m.Clock())
+		err := m.RunThreads(T, func(tid int) error {
+			if serving {
+				return serve(tid)
+			}
+			return drive(tid)
+		})
+		if err != nil {
+			return err
+		}
+		// Every rank contributes its joined elapsed time to the MAX:
+		// the service rate is set by the slowest participant.
+		maxUs, err := maxOverSenders(m, sw.Elapsed().Micros(), true, np)
+		if err != nil {
+			return err
+		}
+		if me == 0 {
+			reqs := float64(clients) * float64(iters)
+			sink.add(Result{Size: reqBytes, MBps: reqs / (maxUs / 1e6)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sink.sorted(), nil
+}
+
+// kvservice tag plan: request lanes are partitioned per server
+// thread; reply tags are private per client id, above the request
+// band.
+const (
+	kvTagReq   = 64
+	kvTagReply = 1024
+)

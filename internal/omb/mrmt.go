@@ -1,0 +1,153 @@
+package omb
+
+import (
+	"fmt"
+
+	"mv2j/internal/core"
+	"mv2j/internal/vtime"
+)
+
+// Per-thread tag lanes for the multithreaded benchmarks. Each thread
+// pair owns a private (data, ack) lane so matching never crosses
+// threads — OMB's osu_mbw_mr -t partitioning.
+const (
+	tagMTData = 8
+	tagMTAck  = 512
+)
+
+// mtThreads applies the Threads default.
+func (o Options) mtThreads() int {
+	if o.Threads <= 0 {
+		return 4
+	}
+	return o.Threads
+}
+
+// MsgRateMT implements the multithreaded osu_mbw_mr message-rate
+// benchmark: the first half of the ranks each run T application
+// threads under MPI_THREAD_MULTIPLE, every thread streaming windows
+// of non-blocking sends to the matching thread of its partner rank in
+// the second half, all pairs and threads concurrently. Each thread
+// pays the library's entry-lock arbitration on every call — the
+// aggregate rate is what survives the coarse-grained critical section
+// the paper's MVAPICH2 build takes around each MPI call.
+//
+// Reported MBps is the aggregate message rate (messages/second)
+// across pairs x threads, timed by the slowest rank's thread-joined
+// clock (an untimed MAX-reduce, like mbw_mr).
+func MsgRateMT(cfg Config) ([]Result, error) {
+	window := cfg.Opts.Window
+	if window <= 0 {
+		window = 64
+	}
+	T := cfg.Opts.mtThreads()
+	sizeJVM(&cfg.Core, (window/4+2)*cfg.Opts.MaxSize*T)
+	sink := &resultSink{}
+	err := core.Run(cfg.Core, func(m *core.MPI) error {
+		ep := endpoint{m, cfg.Mode}
+		p := ep.size()
+		if p < 2 || p%2 != 0 {
+			return fmt.Errorf("omb: mr-mt needs an even rank count, got %d", p)
+		}
+		pairs := p / 2
+		me := ep.rank()
+		sender := me < pairs
+		partner := (me + pairs) % p
+		if got := m.InitThread(core.ThreadMultiple); got != core.ThreadMultiple && T > 1 {
+			return fmt.Errorf("omb: mr-mt needs MPI_THREAD_MULTIPLE, library granted %v", got)
+		}
+
+		// Per-thread buffer lanes, allocated before any timed region.
+		sbufs := make([]msgBuf, T)
+		rbufs := make([]msgBuf, T)
+		acks := make([]msgBuf, T)
+		for tid := 0; tid < T; tid++ {
+			var err error
+			if sbufs[tid], err = newBuf(m, cfg.Mode, cfg.Opts.MaxSize); err != nil {
+				return err
+			}
+			if rbufs[tid], err = newBuf(m, cfg.Mode, cfg.Opts.MaxSize); err != nil {
+				return err
+			}
+			if acks[tid], err = newBuf(m, cfg.Mode, 4); err != nil {
+				return err
+			}
+		}
+
+		// One window burst on this thread's private tag lane.
+		burst := func(tid, size int) error {
+			ws := make([]waiter, 0, window)
+			if sender {
+				for k := 0; k < window; k++ {
+					w, err := ep.isend(sbufs[tid], size, partner, tagMTData+tid)
+					if err != nil {
+						return err
+					}
+					ws = append(ws, w)
+				}
+				if err := waitAll(ws); err != nil {
+					return err
+				}
+				return ep.recv(acks[tid], 4, partner, tagMTAck+tid)
+			}
+			for k := 0; k < window; k++ {
+				w, err := ep.irecv(rbufs[tid], size, partner, tagMTData+tid)
+				if err != nil {
+					return err
+				}
+				ws = append(ws, w)
+			}
+			if err := waitAll(ws); err != nil {
+				return err
+			}
+			return ep.send(acks[tid], 4, partner, tagMTAck+tid)
+		}
+
+		for _, size := range cfg.Opts.Sizes() {
+			iters, warm := cfg.Opts.itersFor(size)
+			// Warmup fork, untimed: arbitration state and rendezvous
+			// caches settle before the clock starts.
+			if err := m.RunThreads(T, func(tid int) error {
+				for i := 0; i < warm; i++ {
+					if err := burst(tid, size); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			// Timed fork. The stopwatch reads the rank clock, which
+			// joins at the slowest thread's finish — exactly the
+			// multithreaded elapsed time.
+			sw := vtime.StartStopwatch(m.Clock())
+			if err := m.RunThreads(T, func(tid int) error {
+				for i := 0; i < iters; i++ {
+					if err := burst(tid, size); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			elapsedUs := sw.Elapsed().Micros()
+			maxUs, err := maxOverSenders(m, elapsedUs, sender, pairs)
+			if err != nil {
+				return err
+			}
+			if me == 0 {
+				msgs := float64(window) * float64(iters) * float64(pairs) * float64(T)
+				sink.add(Result{Size: size, MBps: msgs / (maxUs / 1e6)})
+			}
+			if err := ep.barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sink.sorted(), nil
+}

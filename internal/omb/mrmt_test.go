@@ -1,0 +1,143 @@
+package omb
+
+import (
+	"testing"
+
+	"mv2j/internal/core"
+	"mv2j/internal/nativempi"
+	"mv2j/internal/profile"
+)
+
+func mtOpts() Options {
+	return Options{MinSize: 512, MaxSize: 2048, Iters: 4, Warmup: 1,
+		LargeThreshold: 64 << 10, LargeIters: 2, Window: 8, Threads: 3}
+}
+
+// TestMsgRateMTRuns smoke-tests the multithreaded message-rate
+// benchmark in every payload mode: positive aggregate rates per size.
+func TestMsgRateMTRuns(t *testing.T) {
+	for _, mode := range []Mode{ModeBuffer, ModeArrays, ModeNative} {
+		rows, err := RunBenchmark("mr-mt", mv2(2, 1, mode, mtOpts()))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(rows) != len(mtOpts().Sizes()) {
+			t.Fatalf("%v: %d rows, want %d", mode, len(rows), len(mtOpts().Sizes()))
+		}
+		for _, r := range rows {
+			if r.MBps <= 0 {
+				t.Fatalf("%v size %d: non-positive message rate %f", mode, r.Size, r.MBps)
+			}
+		}
+	}
+}
+
+// TestMsgRateMTDeterministic: the multithreaded benchmark produces
+// identical virtual rates across repeated runs and across engine
+// worker-pool widths — host threading must not reach the artifacts.
+func TestMsgRateMTDeterministic(t *testing.T) {
+	run := func(workers int) []Result {
+		t.Helper()
+		cfg := mv2(2, 2, ModeBuffer, mtOpts())
+		cfg.Core.EngineWorkers = workers
+		rows, err := RunBenchmark("mr-mt", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	ref := run(1)
+	for _, workers := range []int{1, 0, 4} {
+		got := run(workers)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d rows vs %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d row %d: %+v != %+v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestKVServiceRuns: the messaging-service workload completes in
+// every payload mode with a positive request rate, and the row
+// reports the fixed request size.
+func TestKVServiceRuns(t *testing.T) {
+	opts := Options{Iters: 2, Window: 8, Threads: 2, Clients: 192}
+	for _, mode := range []Mode{ModeBuffer, ModeArrays, ModeNative} {
+		rows, err := RunBenchmark("kvservice", mv2(1, 4, mode, opts))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(rows) != 1 || rows[0].Size != 32 || rows[0].MBps <= 0 {
+			t.Fatalf("%v: bad rows %+v", mode, rows)
+		}
+	}
+}
+
+// TestKVServiceIncastDemotes: with credits on and a tight unexpected
+// queue, the hot-key incast at server 0 pushes the queue over the
+// watermark and senders demote eager requests to rendezvous —
+// DemotedSends counts them. The virtual rate stays deterministic
+// across runs.
+func TestKVServiceIncastDemotes(t *testing.T) {
+	run := func() ([]Result, nativempi.HostStats) {
+		t.Helper()
+		// Credits below the window force a mid-burst credit park, so the
+		// resumed sender still holds fresh over-watermark grants when it
+		// issues the rest of the burst — the demotion path.
+		prof := profile.MVAPICH2()
+		prof.EagerCredits = 8
+		prof.UnexpectedQueueBytes = 128
+		var hs nativempi.HostStats
+		cfg := Config{
+			Core: core.Config{Nodes: 1, PPN: 4, Lib: prof, Flavor: core.MVAPICH2J, HostStats: &hs},
+			Mode: ModeBuffer,
+			Opts: Options{Iters: 2, Window: 32, Threads: 2, Clients: 512},
+		}
+		rows, err := RunBenchmark("kvservice", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, hs
+	}
+	rows0, hs := run()
+	if hs.Flow.DemotedSends == 0 {
+		t.Errorf("incast under tight credits demoted no sends: %+v", hs.Flow)
+	}
+	if hs.Threads.Groups == 0 || hs.Threads.Handoffs == 0 {
+		t.Errorf("thread scheduler unused: %+v", hs.Threads)
+	}
+	rows1, _ := run()
+	if len(rows0) != 1 || rows0[0] != rows1[0] {
+		t.Errorf("nondeterministic kvservice: %+v vs %+v", rows0, rows1)
+	}
+}
+
+// TestKVServiceWideThreads: np=8 with four threads per rank, the
+// configuration that exposed the rendezvous request-id collision
+// (symmetric client ranks demote with aligned per-rank request
+// counters, so a receiver keying pending rendezvous by id alone
+// completed the wrong request and panicked on the next DATA).
+func TestKVServiceWideThreads(t *testing.T) {
+	prof := profile.MVAPICH2()
+	prof.EagerCredits = 8
+	prof.UnexpectedQueueBytes = 256
+	var hs nativempi.HostStats
+	cfg := Config{
+		Core: core.Config{Nodes: 2, PPN: 4, Lib: prof, Flavor: core.MVAPICH2J, HostStats: &hs},
+		Mode: ModeBuffer,
+		Opts: Options{Iters: 1, Window: 32, Threads: 4, Clients: 256},
+	}
+	rows, err := RunBenchmark("kvservice", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].MBps <= 0 {
+		t.Fatalf("bad rows %+v", rows)
+	}
+	if hs.Flow.DemotedSends == 0 {
+		t.Errorf("expected demotions in the wide-thread incast: %+v", hs.Flow)
+	}
+}

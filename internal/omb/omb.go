@@ -69,6 +69,14 @@ type Options struct {
 	// the sweep restarts from the last agreed iteration boundary
 	// instead of aborting. Forces core.Config.FT.
 	FT bool
+	// Threads is the simulated application threads per rank in the
+	// multithreaded benchmarks (mr-mt, kvservice); 0 selects 4. The
+	// job must grant MPI_THREAD_MULTIPLE for values above 1.
+	Threads int
+	// Clients is the total simulated client population of the
+	// kvservice benchmark, sharded across (client rank x thread)
+	// lanes; 0 selects 2048.
+	Clients int
 }
 
 // DefaultOptions mirrors the OMB defaults, scaled for simulation.
@@ -195,6 +203,11 @@ type msgBuf interface {
 	populateAt(seed, off, n int)
 	// verifyAt checks the pattern byte(seed+i) over [off, off+n).
 	verifyAt(seed, off, n int) error
+	// byteAt/setByteAt access one element as a byte, charging the
+	// element-access costs — protocol headers (kvservice) are built
+	// and parsed through these.
+	byteAt(i int) byte
+	setByteAt(i int, v byte)
 }
 
 type arrayBuf struct{ arr jvm.Array }
@@ -226,6 +239,8 @@ func (b arrayBuf) verifySum(iter, n, factor int) error {
 	}
 	return nil
 }
+func (b arrayBuf) byteAt(i int) byte       { return byte(b.arr.Int(i)) }
+func (b arrayBuf) setByteAt(i int, v byte) { b.arr.SetInt(i, int64(v)) }
 
 type directBuf struct{ bb *jvm.ByteBuffer }
 
@@ -256,6 +271,8 @@ func (b directBuf) verifySum(iter, n, factor int) error {
 	}
 	return nil
 }
+func (b directBuf) byteAt(i int) byte       { return b.bb.ByteAt(i) }
+func (b directBuf) setByteAt(i int, v byte) { b.bb.PutByteAt(i, v) }
 
 type nativeBuf struct{ b []byte }
 
@@ -286,6 +303,8 @@ func (b nativeBuf) verifySum(iter, n, factor int) error {
 	}
 	return nil
 }
+func (b nativeBuf) byteAt(i int) byte       { return b.b[i] }
+func (b nativeBuf) setByteAt(i int, v byte) { b.b[i] = v }
 
 // newBuf allocates a payload container of n bytes for the mode.
 func newBuf(m *core.MPI, mode Mode, n int) (msgBuf, error) {

@@ -183,7 +183,8 @@ func TestAllCollectiveBenchmarksRun(t *testing.T) {
 	for _, name := range Benchmarks() {
 		switch name {
 		case "latency", "bw", "bibw", "put", "get", "acc", "mbw", "mr",
-			"mr-overload", "ibcast", "iallreduce", "ibarrier":
+			"mr-overload", "mr-mt", "kvservice",
+			"ibcast", "iallreduce", "ibarrier":
 			continue // these surfaces have their own dedicated tests
 		}
 		for _, mode := range []Mode{ModeBuffer, ModeArrays, ModeNative} {

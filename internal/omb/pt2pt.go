@@ -81,6 +81,43 @@ func (e endpoint) barrier() error {
 	return e.m.CommWorld().Barrier()
 }
 
+// waitAny blocks until one of the non-nil waiters completes and
+// returns its index (-1 when none are active). All waiters in a slice
+// come from one endpoint, so they are uniformly core- or native-mode.
+func waitAny(ws []waiter) (int, error) {
+	if len(ws) == 0 {
+		return -1, nil
+	}
+	native := false
+	for _, w := range ws {
+		if w == nil {
+			continue
+		}
+		if _, ok := w.(nativeWaiter); ok {
+			native = true
+		}
+		break
+	}
+	if native {
+		reqs := make([]*nativempi.Request, len(ws))
+		for i, w := range ws {
+			if w != nil {
+				reqs[i] = w.(nativeWaiter).r
+			}
+		}
+		i, _, err := nativempi.Waitany(reqs)
+		return i, err
+	}
+	reqs := make([]*core.Request, len(ws))
+	for i, w := range ws {
+		if w != nil {
+			reqs[i] = w.(coreWaiter).r
+		}
+	}
+	i, _, err := core.Waitany(reqs)
+	return i, err
+}
+
 func waitAll(ws []waiter) error {
 	for _, w := range ws {
 		if err := w.wait(); err != nil {

@@ -8,7 +8,7 @@ import (
 // Benchmarks returns the names RunBenchmark accepts, sorted.
 func Benchmarks() []string {
 	names := []string{"latency", "bw", "bibw", "barrier", "put", "get", "acc", "mbw", "mr",
-		"mr-overload", "ibcast", "iallreduce", "ibarrier"}
+		"mr-overload", "mr-mt", "kvservice", "ibcast", "iallreduce", "ibarrier"}
 	for name := range collCases() {
 		names = append(names, name)
 	}
@@ -36,6 +36,10 @@ func RunBenchmark(name string, cfg Config) ([]Result, error) {
 		return MultiMessageRate(cfg)
 	case "mr-overload":
 		return MultiRecvOverload(cfg)
+	case "mr-mt":
+		return MsgRateMT(cfg)
+	case "kvservice":
+		return KVService(cfg)
 	case "ibcast", "iallreduce", "ibarrier":
 		return NonBlockingLatency(name, cfg)
 	default:

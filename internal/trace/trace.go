@@ -58,6 +58,11 @@ const (
 	// the park is real virtual stall time, charged to the sender's
 	// clock.
 	KindFlow Kind = "flow"
+	// KindLock marks a contended entry-lock arbitration under
+	// MPI_THREAD_MULTIPLE: the span covers a thread's wait from its
+	// attempted library entry to the instant it holds the lock (Peer
+	// carries the thread id). Uncontended entries emit nothing.
+	KindLock Kind = "lock"
 )
 
 // Event is one recorded operation.

@@ -159,6 +159,14 @@ func (c *Clock) AdvanceTo(t Time) {
 // between benchmark repetitions.
 func (c *Clock) Reset() { c.now = 0 }
 
+// SetNow repositions the clock at t, which may be earlier than the
+// current reading. Only the simulated-thread multiplexer uses this:
+// threads sharing one rank each carry their own virtual timeline, and
+// a baton handoff restores the incoming thread's saved time before it
+// runs. Everything else must use Advance/AdvanceTo, which preserve
+// monotonicity.
+func (c *Clock) SetNow(t Time) { c.now = t }
+
 // Stopwatch measures a span of virtual time on one clock, mirroring the
 // System.nanoTime() bracketing in OMB-J's benchmark loops.
 type Stopwatch struct {
