@@ -1,12 +1,16 @@
 // Stencil: a 2-D Jacobi heat-diffusion solver on a 1-D domain
 // decomposition — the classic halo-exchange workload Java HPC papers
-// motivate. Each rank owns a band of rows; every iteration it swaps
-// halo rows with its neighbours (Sendrecv over Java double arrays with
-// the offset extension, so only the boundary row is staged — paper
-// §IV-B's subset-send argument) and applies the 5-point update.
+// motivate. Each rank owns a band of rows stored column-major, so a
+// grid row is NOT contiguous in memory: it is a strided slice, one
+// double every (rows+2) elements. The halo exchange describes that
+// layout to MPI with a committed TypeVector(DOUBLE, n, 1, rows+2)
+// instead of hand-packing — the derived-datatype path streams the
+// strided row through the typed pack engine (and, for halos large
+// enough to cross the rendezvous threshold, gathers it straight out of
+// the user array with no intermediate pack buffer).
 //
-// The run reports the residual trajectory and cross-checks the final
-// interior checksum against a single-rank reference solve.
+// The run reports the final checksum and cross-checks it against a
+// single-rank reference solve.
 //
 //	go run ./examples/stencil
 package main
@@ -72,11 +76,13 @@ func solve(n, nodes, ppn, sweeps, workers int) (float64, error) {
 		rows := n / p // band height (n divisible by p)
 		lo := me * rows
 
-		// Local band with one halo row above and below: (rows+2) x N,
-		// flattened into a Java double array.
-		cur := mpi.JVM().MustArray(jvm.Double, (rows+2)*n)
-		next := mpi.JVM().MustArray(jvm.Double, (rows+2)*n)
-		idx := func(r, c int) int { return (r+1)*n + c }
+		// Local band with one halo row above and below, stored
+		// COLUMN-major: element (r, c) lives at c*(rows+2) + (r+1), so
+		// columns are contiguous and grid rows are strided.
+		lda := rows + 2
+		cur := mpi.JVM().MustArray(jvm.Double, lda*n)
+		next := mpi.JVM().MustArray(jvm.Double, lda*n)
+		idx := func(r, c int) int { return c*lda + (r + 1) }
 		for r := 0; r < rows; r++ {
 			for c := 0; c < n; c++ {
 				cur.SetFloat(idx(r, c), heat(n, lo+r, c))
@@ -84,24 +90,33 @@ func solve(n, nodes, ppn, sweeps, workers int) (float64, error) {
 			}
 		}
 
+		// One grid row as a datatype: n singleton blocks, one every lda
+		// elements. Row r of the band starts at base-element offset
+		// idx(r, 0), so SendRange/RecvRange address any row with the
+		// same committed type.
+		rowType := core.TypeVector(core.DOUBLE, n, 1, lda)
+		rowType.Commit()
+		defer rowType.Free()
+
 		up, down := me-1, me+1
 		for s := 0; s < sweeps; s++ {
 			// Halo exchange: send the first owned row up / last owned
-			// row down, receive into the halo rows. The offset
-			// extension stages exactly one row per message.
+			// row down, receive into the halo rows. Each message is one
+			// rowType element gathered from / scattered into the strided
+			// row in place.
 			if up >= 0 {
-				if err := world.SendRange(cur, idx(0, 0), n, core.DOUBLE, up, 10); err != nil {
+				if err := world.SendRange(cur, idx(0, 0), 1, rowType, up, 10); err != nil {
 					return err
 				}
-				if _, err := world.RecvRange(cur, idx(-1, 0), n, core.DOUBLE, up, 11); err != nil {
+				if _, err := world.RecvRange(cur, idx(-1, 0), 1, rowType, up, 11); err != nil {
 					return err
 				}
 			}
 			if down < p {
-				if _, err := world.RecvRange(cur, idx(rows, 0), n, core.DOUBLE, down, 10); err != nil {
+				if _, err := world.RecvRange(cur, idx(rows, 0), 1, rowType, down, 10); err != nil {
 					return err
 				}
-				if err := world.SendRange(cur, idx(rows-1, 0), n, core.DOUBLE, down, 11); err != nil {
+				if err := world.SendRange(cur, idx(rows-1, 0), 1, rowType, down, 11); err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// TestTransposeShapes runs the indexed-landing transpose on the
+// shared-memory pair (eager-tier typed engine) and across two nodes
+// (the inter-node channel), at the shipped size and an odd one that
+// doesn't divide any pool bucket evenly.
+func TestTransposeShapes(t *testing.T) {
+	for _, tc := range []struct {
+		n, nodes, ppn int
+	}{
+		{matrixN, 1, 2},
+		{60, 1, 2},
+		{64, 2, 1},
+	} {
+		if err := transpose(tc.n, tc.nodes, tc.ppn, 0); err != nil {
+			t.Errorf("n=%d nodes=%d ppn=%d: %v", tc.n, tc.nodes, tc.ppn, err)
+		}
+	}
+}
+
+// TestTransposeWorkerWidths pins determinism: the verification (which
+// checks every element) must pass identically under the serial and
+// pooled engines.
+func TestTransposeWorkerWidths(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		if err := transpose(matrixN, 1, 2, workers); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+}

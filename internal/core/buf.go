@@ -38,11 +38,21 @@ func arrayNeed(offset, count int, dt Datatype) int {
 	return offset + count*dt.Extent()
 }
 
-// packInto writes (offset, count, dt) elements of arr into b, walking
-// the datatype's block map (strided or indexed).
+// packInto writes (offset, count, dt) elements of arr into b.
+// Committed derived types stream their coalesced run list through the
+// typed pack engine (mpjbuf.WriteRuns) — one bulk transfer per run;
+// legacy derived types walk the per-block map.
 func packInto(b *mpjbuf.Buffer, arr jvm.Array, offset, count int, dt Datatype) error {
 	if dt.contiguous() {
 		return b.Write(arr, offset, count*dt.baseElems())
+	}
+	if pr := dt.packRuns(); pr != nil {
+		for e := 0; e < count; e++ {
+			if err := b.WriteRuns(arr, offset+e*dt.Extent(), pr); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	for e := 0; e < count; e++ {
 		elemBase := offset + e*dt.Extent()
@@ -55,10 +65,19 @@ func packInto(b *mpjbuf.Buffer, arr jvm.Array, offset, count int, dt Datatype) e
 	return nil
 }
 
-// unpackFrom reads count dt elements out of b into arr at offset.
+// unpackFrom reads count dt elements out of b into arr at offset,
+// mirroring packInto's typed-engine fast path.
 func unpackFrom(b *mpjbuf.Buffer, arr jvm.Array, offset, count int, dt Datatype) error {
 	if dt.contiguous() {
 		return b.Read(arr, offset, count*dt.baseElems())
+	}
+	if pr := dt.packRuns(); pr != nil {
+		for e := 0; e < count; e++ {
+			if err := b.ReadRuns(arr, offset+e*dt.Extent(), pr); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	for e := 0; e < count; e++ {
 		elemBase := offset + e*dt.Extent()
@@ -116,6 +135,7 @@ func unpackBytes(elems, src []byte, offset, count int, dt Datatype) {
 // Callers go through sendStage (observe.go), which adds the copy-in
 // trace span.
 func (m *MPI) sendStageImpl(buf any, offset, count int, dt Datatype) (raw []byte, free func(), err error) {
+	dt.checkUsable("send")
 	nbytes := count * dt.Size()
 	switch b := buf.(type) {
 	case jvm.Array:
@@ -134,12 +154,14 @@ func (m *MPI) sendStageImpl(buf any, offset, count int, dt Datatype) (raw []byte
 			region := make([]byte, need*dt.base.Size())
 			m.machine.Charge(ompijScratchAlloc)
 			m.env.GetArrayRegion(b, offset, need, region)
+			m.proc.CountHostCopy(len(region))
 			if dt.contiguous() {
 				return region[:nbytes], func() { m.machine.Charge(ompijScratchFree) }, nil
 			}
 			packed := make([]byte, nbytes)
 			packBytes(packed, region, 0, count, dt)
 			m.machine.ChargeBulk(nbytes)
+			m.proc.CountHostCopy(nbytes)
 			return packed, func() { m.machine.Charge(ompijScratchFree) }, nil
 		}
 		// MVAPICH2-J: stage through the buffering layer. Zero-byte
@@ -160,6 +182,7 @@ func (m *MPI) sendStageImpl(buf any, offset, count int, dt Datatype) (raw []byte
 			stage.Free()
 			return nil, nil, err
 		}
+		m.proc.CountHostCopy(nbytes)
 		return stage.Raw(), stage.Free, nil
 
 	case *jvm.ByteBuffer:
@@ -188,6 +211,7 @@ func (m *MPI) sendStageImpl(buf any, offset, count int, dt Datatype) (raw []byte
 		tmp := make([]byte, nbytes)
 		copy(tmp, b.RawBytes()[start:start+nbytes])
 		m.machine.ChargeBulk(nbytes)
+		m.proc.CountHostCopy(nbytes)
 		return tmp, noop, nil
 
 	case nil:
@@ -205,6 +229,7 @@ func (m *MPI) sendStageImpl(buf any, offset, count int, dt Datatype) (raw []byte
 // landed, and a free function for the staging resources. Callers go
 // through recvStage (observe.go), which adds the copy-out trace span.
 func (m *MPI) recvStageImpl(buf any, offset, count int, dt Datatype) (raw []byte, finish func() error, free func(), err error) {
+	dt.checkUsable("recv")
 	nbytes := count * dt.Size()
 	nofinish := func() error { return nil }
 	switch b := buf.(type) {
@@ -224,6 +249,7 @@ func (m *MPI) recvStageImpl(buf any, offset, count int, dt Datatype) (raw []byte
 			if dt.contiguous() {
 				return region[:nbytes], func() error {
 						m.env.SetArrayRegion(b, offset, region)
+						m.proc.CountHostCopy(len(region))
 						return nil
 					},
 					func() { m.machine.Charge(ompijScratchFree) }, nil
@@ -231,11 +257,13 @@ func (m *MPI) recvStageImpl(buf any, offset, count int, dt Datatype) (raw []byte
 			// Strided landing: read the current region out first so the
 			// gaps between blocks survive the write-back.
 			m.env.GetArrayRegion(b, offset, need, region)
+			m.proc.CountHostCopy(len(region))
 			tmp := make([]byte, nbytes)
 			return tmp, func() error {
 					unpackBytes(region, tmp, 0, count, dt)
 					m.machine.ChargeBulk(nbytes)
 					m.env.SetArrayRegion(b, offset, region)
+					m.proc.CountHostCopy(nbytes + len(region))
 					return nil
 				},
 				func() { m.machine.Charge(ompijScratchFree) }, nil
@@ -251,7 +279,11 @@ func (m *MPI) recvStageImpl(buf any, offset, count int, dt Datatype) (raw []byte
 			if err := stage.SetIncoming(nbytes); err != nil {
 				return err
 			}
-			return unpackFrom(stage, b, offset, count, dt)
+			if err := unpackFrom(stage, b, offset, count, dt); err != nil {
+				return err
+			}
+			m.proc.CountHostCopy(nbytes)
+			return nil
 		}, stage.Free, nil
 
 	case *jvm.ByteBuffer:
@@ -271,6 +303,7 @@ func (m *MPI) recvStageImpl(buf any, offset, count int, dt Datatype) (raw []byte
 		return tmp, func() error {
 			copy(b.RawBytes()[start:start+nbytes], tmp)
 			m.machine.ChargeBulk(nbytes)
+			m.proc.CountHostCopy(nbytes)
 			return nil
 		}, noop, nil
 

@@ -35,12 +35,41 @@ type Status struct {
 	Bytes int
 }
 
-// Count returns the number of dt elements received (MPI_Get_count).
+// Count returns the number of complete dt elements received
+// (MPI_Get_count). Bytes is the wire payload size, which for a derived
+// datatype counts only the bytes actually transferred — never the
+// holes of the user-buffer layout — so the result is in whole derived
+// elements, not base elements. A payload that ends mid-element is an
+// error (the MPI_UNDEFINED case); use Elements for the partial count.
 func (s Status) Count(dt Datatype) (int, error) {
-	if s.Bytes%dt.Size() != 0 {
+	sz := dt.Size()
+	if sz == 0 {
+		if s.Bytes == 0 {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("%w: %d bytes with zero-size datatype %v", ErrCount, s.Bytes, dt)
+	}
+	if s.Bytes%sz != 0 {
 		return 0, fmt.Errorf("%w: %d bytes is not a whole number of %v elements", ErrCount, s.Bytes, dt)
 	}
-	return s.Bytes / dt.Size(), nil
+	return s.Bytes / sz, nil
+}
+
+// Elements returns the number of base (primitive) elements received
+// (MPI_Get_elements): the finer-grained count that remains defined
+// when a transfer ends partway through a derived element.
+func (s Status) Elements(dt Datatype) (int, error) {
+	esz := dt.Kind().Size()
+	if esz == 0 {
+		if s.Bytes == 0 {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("%w: %d bytes with zero-size base kind %v", ErrCount, s.Bytes, dt.Kind())
+	}
+	if s.Bytes%esz != 0 {
+		return 0, fmt.Errorf("%w: %d bytes is not a whole number of %v base elements", ErrCount, s.Bytes, dt.Kind())
+	}
+	return s.Bytes / esz, nil
 }
 
 func fromNative(st nativempi.Status) Status {
@@ -65,6 +94,13 @@ func (c *Comm) SendRange(buf any, offset, count int, dt Datatype, dst, tag int) 
 		return fmt.Errorf("%w: the Open MPI Java API has no offset argument", ErrUnsupported)
 	}
 	c.mpi.enterNative()
+	if vec, vfree, ok, err := c.mpi.sendStageVec(buf, offset, count, dt); ok {
+		if err != nil {
+			return err
+		}
+		defer vfree()
+		return c.native.SendVec(vec, dst, tag)
+	}
 	raw, free, err := c.mpi.sendStage(buf, offset, count, dt)
 	if err != nil {
 		return err
@@ -88,6 +124,14 @@ func (c *Comm) RecvRange(buf any, offset, count int, dt Datatype, src, tag int) 
 		return Status{}, fmt.Errorf("%w: the Open MPI Java API has no offset argument", ErrUnsupported)
 	}
 	c.mpi.enterNative()
+	if vec, vfree, ok, err := c.mpi.recvStageVec(buf, offset, count, dt); ok {
+		if err != nil {
+			return Status{}, err
+		}
+		defer vfree()
+		st, err := c.native.RecvVec(vec, src, tag)
+		return fromNative(st), err
+	}
 	raw, finish, free, err := c.mpi.recvStage(buf, offset, count, dt)
 	if err != nil {
 		return Status{}, err
@@ -111,6 +155,17 @@ func (c *Comm) Isend(buf any, count int, dt Datatype, dst, tag int) (*Request, e
 		return nil, fmt.Errorf("%w: Open MPI-J does not support Java arrays with non-blocking point-to-point", ErrUnsupported)
 	}
 	c.mpi.enterNative()
+	if vec, vfree, ok, err := c.mpi.sendStageVec(buf, 0, count, dt); ok {
+		if err != nil {
+			return nil, err
+		}
+		req, err := c.native.IsendVec(vec, dst, tag)
+		if err != nil {
+			vfree()
+			return nil, err
+		}
+		return &Request{mpi: c.mpi, native: req, free: vfree}, nil
+	}
 	raw, free, err := c.mpi.sendStage(buf, 0, count, dt)
 	if err != nil {
 		return nil, err
@@ -130,6 +185,17 @@ func (c *Comm) Irecv(buf any, count int, dt Datatype, src, tag int) (*Request, e
 		return nil, fmt.Errorf("%w: Open MPI-J does not support Java arrays with non-blocking point-to-point", ErrUnsupported)
 	}
 	c.mpi.enterNative()
+	if vec, vfree, ok, err := c.mpi.recvStageVec(buf, 0, count, dt); ok {
+		if err != nil {
+			return nil, err
+		}
+		req, err := c.native.IrecvVec(vec, src, tag)
+		if err != nil {
+			vfree()
+			return nil, err
+		}
+		return &Request{mpi: c.mpi, native: req, free: vfree}, nil
+	}
 	raw, finish, free, err := c.mpi.recvStage(buf, 0, count, dt)
 	if err != nil {
 		return nil, err
@@ -146,17 +212,75 @@ func (c *Comm) Irecv(buf any, count int, dt Datatype, src, tag int) (*Request, e
 func (c *Comm) Sendrecv(sendBuf any, sendCount int, sendType Datatype, dst, sendTag int,
 	recvBuf any, recvCount int, recvType Datatype, src, recvTag int) (Status, error) {
 	c.mpi.enterNative()
-	sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, sendCount, sendType)
+	svec, svfree, sok, err := c.mpi.sendStageVec(sendBuf, 0, sendCount, sendType)
+	if sok {
+		if err != nil {
+			return Status{}, err
+		}
+		defer svfree()
+	}
+	rvec, rvfree, rok, err := c.mpi.recvStageVec(recvBuf, 0, recvCount, recvType)
+	if rok {
+		if err != nil {
+			return Status{}, err
+		}
+		defer rvfree()
+	}
+	if !sok && !rok {
+		sraw, sfree, err := c.mpi.sendStage(sendBuf, 0, sendCount, sendType)
+		if err != nil {
+			return Status{}, err
+		}
+		defer sfree()
+		rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, recvCount, recvType)
+		if err != nil {
+			return Status{}, err
+		}
+		defer rfree()
+		st, err := c.native.Sendrecv(sraw, dst, sendTag, rraw, src, recvTag)
+		if err != nil {
+			return fromNative(st), err
+		}
+		return fromNative(st), finish()
+	}
+	// At least one side takes the iovec datapath: replicate the native
+	// Sendrecv sequence (receive posted first, then the send, then both
+	// waits) with the staging each side needs.
+	finish := func() error { return nil }
+	var rreq *nativempi.Request
+	if rok {
+		rreq, err = c.native.IrecvVec(rvec, src, recvTag)
+	} else {
+		var rraw []byte
+		var rfree func()
+		rraw, finish, rfree, err = c.mpi.recvStage(recvBuf, 0, recvCount, recvType)
+		if err != nil {
+			return Status{}, err
+		}
+		defer rfree()
+		rreq, err = c.native.Irecv(rraw, src, recvTag)
+	}
 	if err != nil {
 		return Status{}, err
 	}
-	defer sfree()
-	rraw, finish, rfree, err := c.mpi.recvStage(recvBuf, 0, recvCount, recvType)
+	var sreq *nativempi.Request
+	if sok {
+		sreq, err = c.native.IsendVec(svec, dst, sendTag)
+	} else {
+		sraw, sfree, serr := c.mpi.sendStage(sendBuf, 0, sendCount, sendType)
+		if serr != nil {
+			return Status{}, serr
+		}
+		defer sfree()
+		sreq, err = c.native.Isend(sraw, dst, sendTag)
+	}
 	if err != nil {
 		return Status{}, err
 	}
-	defer rfree()
-	st, err := c.native.Sendrecv(sraw, dst, sendTag, rraw, src, recvTag)
+	if _, err := sreq.Wait(); err != nil {
+		return Status{}, err
+	}
+	st, err := rreq.Wait()
 	if err != nil {
 		return fromNative(st), err
 	}

@@ -163,6 +163,14 @@ type MPI struct {
 	world   *Comm
 	flavor  Flavor
 
+	// vecPath enables the non-contiguous zero-copy datapath: committed
+	// derived-type array messages are described to the native runtime as
+	// an iovec over a pinned (JNI-critical) view of the array instead of
+	// being packed through the buffering layer. MVAPICH2-J only, and off
+	// whenever the reliability sublayer may frame payloads (faults/FT) —
+	// the framed pack path is the fault-tolerance fallback.
+	vecPath bool
+
 	// collPool stages collective array payloads. The prototype's
 	// collective path (§IV-D) creates its staging direct buffer per
 	// call instead of borrowing from the point-to-point pool — the
@@ -233,6 +241,7 @@ func Run(cfg Config, main func(mpi *MPI) error) error {
 			pool:     pool,
 			collPool: mpjbuf.NewUnpooled(machine),
 			flavor:   cfg.Flavor,
+			vecPath:  cfg.Flavor == MVAPICH2J && cfg.Faults == nil && !cfg.FT,
 		}
 		mpi.world = &Comm{mpi: mpi, native: p.CommWorld()}
 		mpis[p.Rank()] = mpi

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mv2j/internal/jvm"
+	"mv2j/internal/mpjbuf"
 )
 
 // Datatype describes the layout of one message element, mirroring the
@@ -22,6 +23,34 @@ type Datatype struct {
 	// displacements in base elements; when set, count/blocklen/stride
 	// are ignored.
 	idxLens, idxDispls []int
+
+	// structMembers, when positive, marks a TypeStruct-built type (it
+	// reuses the indexed layout internally); String reports it.
+	structMembers int
+
+	// Commit lifecycle of the Type* constructor family. needsCommit
+	// marks a type that must be committed before use in a message
+	// operation; flat is the commit-time flattening, shared by every
+	// copy of the value so Free poisons them all.
+	needsCommit bool
+	flat        *ddtState
+}
+
+// ddtRun is one coalesced (displacement, length) extent of a committed
+// derived type, in base elements.
+type ddtRun struct {
+	off, length int
+}
+
+// ddtState is the commit-time flattening: the canonical ascending,
+// coalesced run list (MPI's internal "dataloop" representation), plus
+// the same runs in the buffering layer's element units for the typed
+// pack engine. Shared via pointer so Free is visible through every
+// copy of the Datatype value.
+type ddtState struct {
+	runs     []ddtRun
+	packRuns []mpjbuf.Run
+	freed    bool
 }
 
 // Predefined basic datatypes.
@@ -96,12 +125,218 @@ func Indexed(base Datatype, blocklens, displs []int) (Datatype, error) {
 	}, nil
 }
 
+// TypeContiguous builds a committed-style datatype of count
+// consecutive base elements (MPI_Type_contiguous). Unlike the legacy
+// error-returning constructors, the Type* family treats invalid shape
+// arguments as programming errors and panics deterministically — the
+// FUNNELED/SERIALIZED precedent — and requires Commit before use.
+func TypeContiguous(base Datatype, count int) Datatype {
+	checkBasicMember(base, "TypeContiguous")
+	if count <= 0 {
+		panic(fmt.Sprintf("core: TypeContiguous(count=%d): count must be positive", count))
+	}
+	return Datatype{base: base.base, derived: true, count: count, blocklen: 1, stride: 1, needsCommit: true}
+}
+
+// TypeVector builds a strided datatype (MPI_Type_vector): count blocks
+// of blocklen base elements, block starts stride base elements apart.
+// Zero or negative counts, blocklens, or strides — and strides smaller
+// than the blocklen, which would overlap blocks — panic.
+func TypeVector(base Datatype, count, blocklen, stride int) Datatype {
+	checkBasicMember(base, "TypeVector")
+	if count <= 0 {
+		panic(fmt.Sprintf("core: TypeVector(count=%d): count must be positive", count))
+	}
+	if blocklen <= 0 {
+		panic(fmt.Sprintf("core: TypeVector(blocklen=%d): blocklen must be positive", blocklen))
+	}
+	if stride <= 0 {
+		panic(fmt.Sprintf("core: TypeVector(stride=%d): stride must be positive", stride))
+	}
+	if stride < blocklen {
+		panic(fmt.Sprintf("core: TypeVector(blocklen=%d, stride=%d): stride smaller than blocklen overlaps blocks", blocklen, stride))
+	}
+	return Datatype{base: base.base, derived: true, count: count, blocklen: blocklen, stride: stride, needsCommit: true}
+}
+
+// TypeIndexed builds an irregular datatype (MPI_Type_indexed): block i
+// has blocklens[i] base elements at base-element displacement
+// displs[i], in strictly increasing, non-overlapping order. Malformed
+// layouts panic.
+func TypeIndexed(base Datatype, blocklens, displs []int) Datatype {
+	checkBasicMember(base, "TypeIndexed")
+	if len(blocklens) == 0 || len(blocklens) != len(displs) {
+		panic(fmt.Sprintf("core: TypeIndexed needs matching non-empty blocklens/displs (got %d/%d)", len(blocklens), len(displs)))
+	}
+	end := -1
+	for i := range blocklens {
+		if blocklens[i] <= 0 {
+			panic(fmt.Sprintf("core: TypeIndexed block %d: blocklen %d must be positive", i, blocklens[i]))
+		}
+		if displs[i] < 0 {
+			panic(fmt.Sprintf("core: TypeIndexed block %d: displacement %d is negative", i, displs[i]))
+		}
+		if displs[i] <= end {
+			panic(fmt.Sprintf("core: TypeIndexed block %d at displacement %d overlaps or reorders the previous block ending at %d", i, displs[i], end))
+		}
+		end = displs[i] + blocklens[i] - 1
+	}
+	return Datatype{
+		base:        base.base,
+		derived:     true,
+		idxLens:     append([]int(nil), blocklens...),
+		idxDispls:   append([]int(nil), displs...),
+		needsCommit: true,
+	}
+}
+
+// TypeStruct builds a composite datatype (MPI_Type_create_struct):
+// member i is blocklens[i] elements of types[i] at BYTE displacement
+// byteDispls[i]. Members must be basic types in strictly increasing,
+// non-overlapping byte order. A homogeneous struct keeps its members'
+// primitive kind (so it applies to typed arrays); a mixed-kind struct
+// degrades to a byte-granular layout over byte arrays.
+func TypeStruct(blocklens, byteDispls []int, types []Datatype) Datatype {
+	if len(blocklens) == 0 || len(blocklens) != len(byteDispls) || len(blocklens) != len(types) {
+		panic(fmt.Sprintf("core: TypeStruct needs matching non-empty blocklens/byteDispls/types (got %d/%d/%d)",
+			len(blocklens), len(byteDispls), len(types)))
+	}
+	homogeneous := true
+	kind := types[0].base
+	end := -1
+	for i := range blocklens {
+		checkBasicMember(types[i], "TypeStruct")
+		if blocklens[i] <= 0 {
+			panic(fmt.Sprintf("core: TypeStruct member %d: blocklen %d must be positive", i, blocklens[i]))
+		}
+		if byteDispls[i] < 0 {
+			panic(fmt.Sprintf("core: TypeStruct member %d: displacement %d is negative", i, byteDispls[i]))
+		}
+		if byteDispls[i] <= end {
+			panic(fmt.Sprintf("core: TypeStruct member %d at displacement %d overlaps or reorders the previous member ending at %d", i, byteDispls[i], end))
+		}
+		end = byteDispls[i] + blocklens[i]*types[i].Size() - 1
+		if types[i].base != kind || byteDispls[i]%kind.Size() != 0 {
+			homogeneous = false
+		}
+	}
+	d := Datatype{derived: true, structMembers: len(blocklens), needsCommit: true}
+	if homogeneous {
+		d.base = kind
+		sz := kind.Size()
+		for i := range blocklens {
+			d.idxLens = append(d.idxLens, blocklens[i])
+			d.idxDispls = append(d.idxDispls, byteDispls[i]/sz)
+		}
+	} else {
+		d.base = jvm.Byte
+		for i := range blocklens {
+			d.idxLens = append(d.idxLens, blocklens[i]*types[i].Size())
+			d.idxDispls = append(d.idxDispls, byteDispls[i])
+		}
+	}
+	return d
+}
+
+// checkBasicMember rejects nested derived types in the Type* family.
+func checkBasicMember(base Datatype, ctor string) {
+	if base.derived || base.needsCommit {
+		panic(fmt.Sprintf("core: %s: nested derived types not supported (member %v)", ctor, base))
+	}
+}
+
+// Commit flattens a Type*-built datatype into its canonical run list —
+// adjacent extents coalesced — making it usable in message operations
+// (MPI_Type_commit). Idempotent; a no-op on predefined and legacy
+// types. Committing a freed type panics.
+func (d *Datatype) Commit() {
+	if !d.needsCommit {
+		return
+	}
+	if d.flat != nil {
+		if d.flat.freed {
+			panic(fmt.Sprintf("core: Commit on freed datatype %v", *d))
+		}
+		return
+	}
+	st := &ddtState{}
+	_ = d.blocks(func(displ, length int) error {
+		if k := len(st.runs) - 1; k >= 0 && st.runs[k].off+st.runs[k].length == displ {
+			st.runs[k].length += length
+			st.packRuns[k].Els += length
+		} else {
+			st.runs = append(st.runs, ddtRun{off: displ, length: length})
+			st.packRuns = append(st.packRuns, mpjbuf.Run{Off: displ, Els: length})
+		}
+		return nil
+	})
+	d.flat = st
+}
+
+// Free releases the commit-time state (MPI_Type_free). Every copy of
+// the value shares it, so any later use of the type — through any copy
+// — panics deterministically.
+func (d *Datatype) Free() {
+	if d.flat != nil {
+		d.flat.freed = true
+	}
+}
+
+// Committed reports whether the type may be used in a message
+// operation: predefined and legacy types always can; Type*-built types
+// only between Commit and Free.
+func (d Datatype) Committed() bool {
+	return !d.needsCommit || (d.flat != nil && !d.flat.freed)
+}
+
+// checkUsable panics when an uncommitted or freed Type*-datatype
+// reaches a message operation — the deterministic-panic counterpart of
+// the FUNNELED/SERIALIZED entry checks.
+func (d Datatype) checkUsable(op string) {
+	if !d.needsCommit {
+		return
+	}
+	if d.flat == nil {
+		panic(fmt.Sprintf("core: %s with uncommitted datatype %v (call Commit first)", op, d))
+	}
+	if d.flat.freed {
+		panic(fmt.Sprintf("core: %s with freed datatype %v", op, d))
+	}
+}
+
+// committedRuns returns the commit-time coalesced run list, or nil for
+// uncommitted/legacy/predefined types.
+func (d Datatype) committedRuns() []ddtRun {
+	if d.flat == nil || d.flat.freed {
+		return nil
+	}
+	return d.flat.runs
+}
+
+// packRuns returns the committed run list in the buffering layer's
+// units, or nil when unavailable.
+func (d Datatype) packRuns() []mpjbuf.Run {
+	if d.flat == nil || d.flat.freed {
+		return nil
+	}
+	return d.flat.packRuns
+}
+
 // isIndexed reports the irregular layout.
 func (d Datatype) isIndexed() bool { return len(d.idxLens) > 0 }
 
 // blocks iterates the (displacement, length) block list of one
-// datatype element, in base elements.
+// datatype element, in base elements. Committed types iterate their
+// coalesced run list — same bytes, fewer callbacks.
 func (d Datatype) blocks(yield func(displ, length int) error) error {
+	if runs := d.committedRuns(); runs != nil {
+		for _, r := range runs {
+			if err := yield(r.off, r.length); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if d.isIndexed() {
 		for i := range d.idxLens {
 			if err := yield(d.idxDispls[i], d.idxLens[i]); err != nil {
@@ -167,6 +402,9 @@ func (d Datatype) contiguous() bool {
 }
 
 func (d Datatype) String() string {
+	if d.structMembers > 0 {
+		return fmt.Sprintf("struct<%v>(%d members)", d.base, d.structMembers)
+	}
 	if d.isIndexed() {
 		return fmt.Sprintf("indexed<%v>(%d blocks)", d.base, len(d.idxLens))
 	}

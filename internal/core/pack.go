@@ -18,6 +18,7 @@ func PackSize(count int, dt Datatype) int { return count * dt.Size() }
 // Pack appends count dt elements of buf (starting at base-element
 // offset for arrays) to dest at its position, advancing it.
 func (m *MPI) Pack(buf any, offset, count int, dt Datatype, dest *jvm.ByteBuffer) error {
+	dt.checkUsable("pack")
 	nbytes := PackSize(count, dt)
 	if dest.Remaining() < nbytes {
 		return fmt.Errorf("%w: pack of %d bytes into %d remaining", ErrCount, nbytes, dest.Remaining())
@@ -32,6 +33,7 @@ func (m *MPI) Pack(buf any, offset, count int, dt Datatype, dest *jvm.ByteBuffer
 		}
 		if dt.contiguous() {
 			dest.PutArray(b, offset, count*dt.baseElems())
+			m.proc.CountHostCopy(nbytes)
 			return nil
 		}
 		for e := 0; e < count; e++ {
@@ -43,6 +45,7 @@ func (m *MPI) Pack(buf any, offset, count int, dt Datatype, dest *jvm.ByteBuffer
 				return err
 			}
 		}
+		m.proc.CountHostCopy(nbytes)
 		return nil
 	case *jvm.ByteBuffer:
 		if dt.IsDerived() {
@@ -55,6 +58,7 @@ func (m *MPI) Pack(buf any, offset, count int, dt Datatype, dest *jvm.ByteBuffer
 		tmp := make([]byte, nbytes)
 		copy(tmp, b.RawBytes()[start:start+nbytes])
 		dest.PutBytes(tmp)
+		m.proc.CountHostCopy(nbytes)
 		return nil
 	default:
 		return fmt.Errorf("%w: got %T", ErrBufferType, buf)
@@ -63,6 +67,7 @@ func (m *MPI) Pack(buf any, offset, count int, dt Datatype, dest *jvm.ByteBuffer
 
 // Unpack consumes count dt elements from src's position into buf.
 func (m *MPI) Unpack(src *jvm.ByteBuffer, buf any, offset, count int, dt Datatype) error {
+	dt.checkUsable("unpack")
 	nbytes := PackSize(count, dt)
 	if src.Remaining() < nbytes {
 		return fmt.Errorf("%w: unpack of %d bytes from %d remaining", ErrCount, nbytes, src.Remaining())
@@ -77,6 +82,7 @@ func (m *MPI) Unpack(src *jvm.ByteBuffer, buf any, offset, count int, dt Datatyp
 		}
 		if dt.contiguous() {
 			src.GetArray(b, offset, count*dt.baseElems())
+			m.proc.CountHostCopy(nbytes)
 			return nil
 		}
 		for e := 0; e < count; e++ {
@@ -88,6 +94,7 @@ func (m *MPI) Unpack(src *jvm.ByteBuffer, buf any, offset, count int, dt Datatyp
 				return err
 			}
 		}
+		m.proc.CountHostCopy(nbytes)
 		return nil
 	case *jvm.ByteBuffer:
 		if dt.IsDerived() {
@@ -101,6 +108,7 @@ func (m *MPI) Unpack(src *jvm.ByteBuffer, buf any, offset, count int, dt Datatyp
 		src.GetBytes(tmp)
 		copy(b.RawBytes()[start:start+nbytes], tmp)
 		m.machine.ChargeBulk(nbytes)
+		m.proc.CountHostCopy(nbytes)
 		return nil
 	default:
 		return fmt.Errorf("%w: got %T", ErrBufferType, buf)

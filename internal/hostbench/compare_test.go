@@ -195,6 +195,10 @@ func TestQuickSuitePlanStable(t *testing.T) {
 		"kvservice/np8/buffer",
 		"allreduce/np2/buffer",
 		"allreduce/np8/buffer",
+		"ddt-pack/np2/arrays",
+		"ddt-manual/np2/arrays",
+		"ddt-contig/np2/arrays",
+		"ddt-pack-rdma/np2/arrays",
 		"allreduce-scale/np8/buffer",
 		"allreduce-scale/np64/buffer",
 		"allreduce-scale/np256/buffer",

@@ -1,0 +1,40 @@
+package mpjbuf
+
+import "mv2j/internal/jvm"
+
+// Typed pack engine: the buffering layer's entry point for derived
+// (non-contiguous) datatypes. The bindings flatten a committed type
+// into coalesced element runs once; pack and unpack then stream each
+// run as one bulk transfer through the pooled staging buffer — the
+// copy-in/copy-out charges of the established staging model, paid per
+// run instead of per element.
+
+// Run is one contiguous element extent of a typed message layout,
+// relative to the message base, in array elements.
+type Run struct {
+	Off int // element offset from the message base
+	Els int // elements in the run
+}
+
+// WriteRuns packs the runs of one datatype element rooted at elemBase
+// into the buffer, each run as one bulk array read (PutArray) — one
+// bulk charge per run, never per element.
+func (b *Buffer) WriteRuns(source jvm.Array, elemBase int, runs []Run) error {
+	for _, r := range runs {
+		if err := b.Write(source, elemBase+r.Off, r.Els); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRuns unpacks one datatype element rooted at elemBase out of the
+// buffer, scattering each run as one bulk array write (GetArray).
+func (b *Buffer) ReadRuns(dest jvm.Array, elemBase int, runs []Run) error {
+	for _, r := range runs {
+		if err := b.Read(dest, elemBase+r.Off, r.Els); err != nil {
+			return err
+		}
+	}
+	return nil
+}

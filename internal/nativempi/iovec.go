@@ -1,0 +1,131 @@
+package nativempi
+
+import "fmt"
+
+// Non-contiguous payload descriptors. A derived-datatype message is not
+// one span of bytes but an ordered set of (offset, length) runs over a
+// single spanning user region. The bindings layer flattens a committed
+// datatype into this canonical form once, and the transport moves the
+// runs directly — gathering into a wire buffer at the eager tier,
+// borrowing the whole descriptor on the zero-copy rendezvous path, or
+// scattering straight into the receiver's strided destination on the
+// RDMA placement path — without ever materialising an intermediate
+// packed image unless the datapath switch forces one.
+
+// Run is one contiguous byte extent of an IOVec, relative to Full[0].
+type Run struct {
+	Off int
+	Len int
+}
+
+// IOVec describes a non-contiguous payload: ascending, disjoint,
+// pre-coalesced byte runs over one spanning region of the user's
+// buffer. Full covers the whole strided footprint (first byte of the
+// first run through last byte of the last run lie inside it) — the
+// registration cache pins Full, exactly as an RDMA NIC registers the
+// page range, while only the runs carry payload. N is the payload byte
+// total across runs.
+type IOVec struct {
+	Full []byte
+	Runs []Run
+	N    int
+}
+
+// NewIOVec validates a run list against its spanning region and
+// returns the descriptor. Malformed layouts are construction bugs in
+// the bindings layer, not runtime conditions, so they panic
+// deterministically (the FUNNELED/SERIALIZED precedent) rather than
+// surface as corrupted payloads later. Adjacent runs are coalesced.
+func NewIOVec(full []byte, runs []Run) *IOVec {
+	if len(runs) == 0 {
+		panic("nativempi: IOVec with no runs")
+	}
+	v := &IOVec{Full: full, Runs: make([]Run, 0, len(runs))}
+	end := 0
+	for i, r := range runs {
+		if r.Len <= 0 {
+			panic(fmt.Sprintf("nativempi: IOVec run %d has non-positive length %d", i, r.Len))
+		}
+		if r.Off < end {
+			panic(fmt.Sprintf("nativempi: IOVec run %d at offset %d overlaps or reorders the previous run ending at %d", i, r.Off, end))
+		}
+		if r.Off+r.Len > len(full) {
+			panic(fmt.Sprintf("nativempi: IOVec run %d [%d,%d) exceeds the %d-byte spanning region", i, r.Off, r.Off+r.Len, len(full)))
+		}
+		if k := len(v.Runs) - 1; k >= 0 && v.Runs[k].Off+v.Runs[k].Len == r.Off {
+			v.Runs[k].Len += r.Len
+		} else {
+			v.Runs = append(v.Runs, r)
+		}
+		end = r.Off + r.Len
+		v.N += r.Len
+	}
+	return v
+}
+
+// gatherInto packs the runs into dst in order, stopping when dst is
+// full, and returns the bytes moved — one logical host memcpy however
+// many runs it touches.
+func (v *IOVec) gatherInto(dst []byte) int {
+	moved := 0
+	for _, r := range v.Runs {
+		if moved >= len(dst) {
+			break
+		}
+		moved += copy(dst[moved:], v.Full[r.Off:r.Off+r.Len])
+	}
+	return moved
+}
+
+// scatterFrom unpacks a contiguous image into the runs in order,
+// stopping when src is exhausted, and returns the bytes moved.
+func (v *IOVec) scatterFrom(src []byte) int {
+	moved := 0
+	for _, r := range v.Runs {
+		if moved >= len(src) {
+			break
+		}
+		moved += copy(v.Full[r.Off:r.Off+r.Len], src[moved:])
+	}
+	return moved
+}
+
+// vecCopy streams src's runs into dst's runs two-pointer style — the
+// strided-to-strided direct placement — and returns the bytes moved
+// (min of the two payload totals).
+func vecCopy(dst, src *IOVec) int {
+	moved := 0
+	di, doff := 0, 0
+	for _, sr := range src.Runs {
+		soff := 0
+		for soff < sr.Len && di < len(dst.Runs) {
+			dr := dst.Runs[di]
+			n := sr.Len - soff
+			if rem := dr.Len - doff; rem < n {
+				n = rem
+			}
+			copy(dst.Full[dr.Off+doff:dr.Off+doff+n], src.Full[sr.Off+soff:sr.Off+soff+n])
+			moved += n
+			soff += n
+			doff += n
+			if doff == dr.Len {
+				di, doff = di+1, 0
+			}
+		}
+		if di == len(dst.Runs) {
+			break
+		}
+	}
+	return moved
+}
+
+// CountHostCopy records one n-byte host payload memcpy performed by a
+// layer above the native runtime — bindings staging, MPI.Pack/Unpack,
+// heap-buffer bounce copies — so BENCH_OMB.json's bytes_copied
+// guardrail sees the whole datapath, not just the transport's own
+// memcpys. Host accounting only; no clock is touched.
+func (p *Proc) CountHostCopy(n int) {
+	if n > 0 {
+		p.copyStats.count(n)
+	}
+}

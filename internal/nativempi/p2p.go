@@ -79,8 +79,11 @@ type Request struct {
 	status     Status
 	err        error
 
-	// receive state
+	// receive state. recvVec, when non-nil, is the strided landing
+	// layout of a derived-datatype receive; buf is nil then and the
+	// payload scatters into the runs.
 	buf           []byte
+	recvVec       *IOVec
 	src           int // world rank or AnySource
 	tag           int
 	ctx           int32
@@ -89,9 +92,11 @@ type Request struct {
 	rndvFrom      int
 	rndvTag       int
 
-	// rendezvous send state
+	// rendezvous send state. sendVec, when non-nil, is the strided
+	// source layout of a derived-datatype send; sendBuf is nil then.
 	id      uint64
 	sendBuf []byte
+	sendVec *IOVec
 	dst     int // world rank
 	ep      int // injection endpoint fixed at issue time (-1 = rank's shared NIC)
 
@@ -103,12 +108,22 @@ type Request struct {
 	waited bool
 }
 
+// recvCap returns the receive's landing capacity in bytes, whatever
+// its layout.
+func (r *Request) recvCap() int {
+	if r.recvVec != nil {
+		return r.recvVec.N
+	}
+	return len(r.buf)
+}
+
 // sendOpts parameterise internal sends (collective traffic uses the
 // collective context and pays the profile's per-message collective
-// overhead).
+// overhead; vec carries a non-contiguous payload layout).
 type sendOpts struct {
 	ctx  int32
 	coll bool
+	vec  *IOVec
 }
 
 // isendOn injects a message toward world rank wdst.
@@ -123,6 +138,9 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 	}
 	p.clock.Advance(soft + ch.SendOverhead)
 	n := len(buf)
+	if o.vec != nil {
+		n = o.vec.N
+	}
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(n)
 
@@ -140,6 +158,12 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 		p.stats.EagerSends++
 		p.fcWaitCredit(wdst)
 		p.fcChargeSend(wdst)
+		if o.vec != nil {
+			// The eager tier always ships a contiguous wire image, so a
+			// strided payload pays the CPU pack cost per run boundary
+			// before injection — on both gather-direct settings alike.
+			p.clock.Advance(p.ddtPackCost(len(o.vec.Runs)))
+		}
 		// Under a MULTIPLE-level thread group the injection lands on the
 		// calling thread's endpoint slot, so concurrent threads stop
 		// serializing on one NIC cursor (see thread.go).
@@ -148,7 +172,11 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 		*nic = start.Add(ch.SerializeTime(n))
 		p.clock.AdvanceTo(*nic)
 		data := getWire(n)
-		copy(data, buf)
+		if o.vec != nil {
+			o.vec.gatherInto(data)
+		} else {
+			copy(data, buf)
+		}
 		p.copyStats.count(n)
 		pkt := getPacket()
 		pkt.kind = pktEager
@@ -184,6 +212,7 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 	req := p.getReq()
 	req.id = p.nextReq
 	req.sendBuf = buf
+	req.sendVec = o.vec
 	req.dst = wdst
 	req.ep = p.curEndpoint()
 	req.tag = tag
@@ -199,8 +228,14 @@ func (p *Proc) isendOn(buf []byte, wdst, tag int, o sendOpts) *Request {
 	rts.nbytes = n
 	// Protocol tier: an RTS above the RDMA threshold — or from a
 	// buffer whose registration is still warm in the pin-down cache —
-	// negotiates a remote placement instead of a DATA landing.
-	rts.rdma = p.rdmaRndv(n, buf)
+	// negotiates a remote placement instead of a DATA landing. A
+	// strided source keys the covered peek on its spanning region,
+	// which is what the cache pins.
+	rdmabuf := buf
+	if o.vec != nil {
+		rdmabuf = o.vec.Full
+	}
+	rts.rdma = p.rdmaRndv(n, rdmabuf)
 	rts.reqID = req.id
 	rts.sentAt = p.clock.Now()
 	rts.arriveAt = p.clock.Now().Add(ch.Latency)
@@ -218,6 +253,7 @@ func (p *Proc) irecvOn(buf []byte, wsrc, tag int, o sendOpts) *Request {
 	p.inflight++
 	req := p.getReq()
 	req.buf = buf
+	req.recvVec = o.vec
 	req.src = wsrc
 	req.tag = tag
 	req.ctx = o.ctx
@@ -275,6 +311,69 @@ func (c *Comm) Irecv(buf []byte, src, tag int) (*Request, error) {
 	req.comm = c
 	c.p.gateLeave()
 	return req, nil
+}
+
+// IsendVec starts a non-blocking send of a non-contiguous payload
+// described by vec — the derived-datatype datapath. The runs (and the
+// spanning region they alias) must stay unmodified until the request
+// completes, exactly like an Isend buffer.
+func (c *Comm) IsendVec(vec *IOVec, dst, tag int) (*Request, error) {
+	if vec == nil || len(vec.Runs) == 0 {
+		return nil, fmt.Errorf("%w: nil or empty iovec send", ErrRequest)
+	}
+	if err := c.checkRank(dst); err != nil {
+		return nil, err
+	}
+	if err := c.checkSendTag(tag); err != nil {
+		return nil, err
+	}
+	c.p.gateEnter()
+	req := c.p.isendOn(nil, c.group[dst], tag, sendOpts{ctx: c.ptCtx, vec: vec})
+	req.comm = c
+	c.p.gateLeave()
+	return req, nil
+}
+
+// IrecvVec starts a non-blocking receive whose landing layout is the
+// given iovec: the payload scatters into the runs as it lands.
+func (c *Comm) IrecvVec(vec *IOVec, src, tag int) (*Request, error) {
+	if vec == nil || len(vec.Runs) == 0 {
+		return nil, fmt.Errorf("%w: nil or empty iovec receive", ErrRequest)
+	}
+	wsrc := AnySource
+	if src != AnySource {
+		if err := c.checkRank(src); err != nil {
+			return nil, err
+		}
+		wsrc = c.group[src]
+	}
+	if tag < 0 && tag != AnyTag {
+		return nil, fmt.Errorf("%w: recv tag %d", ErrTag, tag)
+	}
+	c.p.gateEnter()
+	req := c.p.irecvOn(nil, wsrc, tag, sendOpts{ctx: c.ptCtx, vec: vec})
+	req.comm = c
+	c.p.gateLeave()
+	return req, nil
+}
+
+// SendVec is the blocking form of IsendVec.
+func (c *Comm) SendVec(vec *IOVec, dst, tag int) error {
+	req, err := c.IsendVec(vec, dst, tag)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return err
+}
+
+// RecvVec is the blocking form of IrecvVec.
+func (c *Comm) RecvVec(vec *IOVec, src, tag int) (Status, error) {
+	req, err := c.IrecvVec(vec, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
 }
 
 // Send is the blocking standard-mode send.

@@ -56,6 +56,7 @@ func freePacket(p *packet) {
 		putWire(p.data)
 	}
 	p.data = nil
+	p.vec = nil
 	p.wire = nil
 	pktPool.Put(p)
 }

@@ -40,6 +40,14 @@ type packet struct {
 	reqID    uint64 // rendezvous correlation (RTS/CTS/Data)
 	emitSeq  uint64 // per-source emission counter (phase-merge sort key)
 
+	// vec, non-nil only on a gather-direct DATA packet, is a read-only
+	// borrow of the sender's non-contiguous payload descriptor: the
+	// receiver performs the only host copy, scattering (or streaming)
+	// the runs straight out of the sender's live user array. Such
+	// packets always carry borrowed=true and nil data, and settle
+	// through the same pktRndvFin fence as contiguous borrows.
+	vec *IOVec
+
 	// rdma marks a message riding the RDMA channel: an RTS advertising
 	// an RDMA-mode rendezvous, the CTS answering it (carrying the
 	// receiver's registered landing buffer when the placement datapath
@@ -586,14 +594,20 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 	switch pkt.kind {
 	case pktEager:
 		n := len(pkt.data)
-		if n > len(req.buf) {
-			req.err = fmt.Errorf("%w: %d-byte message into %d-byte buffer", ErrTruncated, n, len(req.buf))
-			n = len(req.buf)
+		if n > req.recvCap() {
+			req.err = fmt.Errorf("%w: %d-byte message into %d-byte buffer", ErrTruncated, n, req.recvCap())
+			n = req.recvCap()
 		}
-		copy(req.buf[:n], pkt.data[:n])
+		if req.recvVec != nil {
+			// Strided landing: the CPU scatters the contiguous eager
+			// image into the runs, paying the per-run unpack cost below.
+			req.recvVec.scatterFrom(pkt.data[:n])
+		} else {
+			copy(req.buf[:n], pkt.data[:n])
+		}
 		p.copyStats.count(n)
 		complete := vtime.Max(req.postedAt, pkt.arriveAt).
-			Add(ch.RecvOverhead + p.recvSoft(pkt.src) + req.extraRecvCost)
+			Add(ch.RecvOverhead + p.recvSoft(pkt.src) + req.extraRecvCost + p.ddtUnpackCost(req))
 		// A message that hit the wire before the receive was posted
 		// sat in a bounce buffer and pays one extra copy now. The
 		// comparison uses virtual times only, keeping runs
@@ -610,8 +624,8 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 		p.fcConsumed(pkt.src, complete)
 		freePacket(pkt)
 	case pktRTS:
-		if pkt.nbytes > len(req.buf) {
-			req.err = fmt.Errorf("%w: %d-byte rendezvous into %d-byte buffer", ErrTruncated, pkt.nbytes, len(req.buf))
+		if pkt.nbytes > req.recvCap() {
+			req.err = fmt.Errorf("%w: %d-byte rendezvous into %d-byte buffer", ErrTruncated, pkt.nbytes, req.recvCap())
 		}
 		readyAt := vtime.Max(req.postedAt, pkt.arriveAt)
 		req.rndvFrom = pkt.src
@@ -630,16 +644,27 @@ func (p *Proc) deliver(req *Request, pkt *packet) {
 			// the CTS, never the receiver's other work. When the
 			// placement datapath is on, the CTS also carries the landing
 			// buffer itself for the sender's direct write; host movement
-			// only, every virtual quantity is placement-independent.
+			// only, every virtual quantity is placement-independent. A
+			// strided landing registers its whole spanning region (the
+			// NIC pins pages, not runs) and travels as the iovec.
 			n := pkt.nbytes
-			if n > len(req.buf) {
-				n = len(req.buf)
+			if n > req.recvCap() {
+				n = req.recvCap()
 			}
-			readyAt = readyAt.Add(p.reg.acquire(req.buf[:n], readyAt))
-			cts.rdma = true
-			if p.w.rdmaPlace {
-				cts.data = req.buf[:n]
-				cts.borrowed = true
+			if req.recvVec != nil {
+				readyAt = readyAt.Add(p.reg.acquire(req.recvVec.Full, readyAt))
+				cts.rdma = true
+				if p.w.rdmaPlace {
+					cts.vec = req.recvVec
+					cts.borrowed = true
+				}
+			} else {
+				readyAt = readyAt.Add(p.reg.acquire(req.buf[:n], readyAt))
+				cts.rdma = true
+				if p.w.rdmaPlace {
+					cts.data = req.buf[:n]
+					cts.borrowed = true
+				}
 			}
 		}
 		cts.sentAt = readyAt
@@ -674,11 +699,18 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	start := vtime.Max(cts.arriveAt, *nic)
 	start = start.Add(ch.RndvHandshake)
 	n := len(req.sendBuf)
+	if req.sendVec != nil {
+		n = req.sendVec.N
+	}
 	if cts.rdma {
 		// RDMA mode: the NIC reads the source buffer directly, so it
 		// too must be pinned — same cache, same amortization as the
-		// receiver's side.
-		start = start.Add(p.reg.acquire(req.sendBuf, start))
+		// receiver's side. A strided source pins its spanning region.
+		if req.sendVec != nil {
+			start = start.Add(p.reg.acquire(req.sendVec.Full, start))
+		} else {
+			start = start.Add(p.reg.acquire(req.sendBuf, start))
+		}
 	}
 	// Host datapath selection. On the RDMA placement path the sender
 	// performs the transfer's only memcpy — the remote write — straight
@@ -689,23 +721,35 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	// receiver only reads it after popping the completion packet, so
 	// both directions carry a happens-before edge. Otherwise the
 	// zero-copy borrow or the framed wire copy runs exactly as before.
-	// Every virtual quantity below — start, injection, arrival,
-	// completion — is computed identically on all three paths.
-	place := cts.rdma && len(cts.data) > 0
+	// Non-contiguous endpoints add a layout dimension: gather-direct
+	// (w.ddtDirect) borrows the iovec outright or streams runs straight
+	// into the strided landing; off, the payload is packed through a
+	// wire image first — the framed fallback. Every virtual quantity
+	// below — start, injection, arrival, completion — is computed
+	// identically on all paths.
+	place := cts.rdma && (len(cts.data) > 0 || cts.vec != nil)
 	zc := !place && p.zeroCopyRndv()
+	borrow := false
 	var data []byte
+	var vec *IOVec
 	switch {
 	case place:
-		placed := copy(cts.data, req.sendBuf)
-		p.copyStats.count(placed)
-		p.rdmaStats.Writes++
-		p.rdmaStats.BytesPlaced += int64(placed)
-	case zc:
+		p.placeRndv(cts, req, n)
+	case zc && req.sendVec == nil:
 		data = req.sendBuf
+		borrow = true
+		p.copyStats.elide(n)
+	case zc && p.w.ddtDirect:
+		vec = req.sendVec
+		borrow = true
 		p.copyStats.elide(n)
 	default:
 		data = getWire(n)
-		copy(data, req.sendBuf)
+		if req.sendVec != nil {
+			req.sendVec.gatherInto(data)
+		} else {
+			copy(data, req.sendBuf)
+		}
 		p.copyStats.count(n)
 	}
 	// The send completes when the first injection clears the NIC;
@@ -720,8 +764,9 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	pkt.tag = req.tag
 	pkt.ctx = req.ctx
 	pkt.data = data
-	pkt.ownsData = !zc && data != nil
-	pkt.borrowed = zc
+	pkt.vec = vec
+	pkt.ownsData = !borrow && data != nil
+	pkt.borrowed = borrow
 	pkt.rdma = cts.rdma
 	pkt.nbytes = n
 	pkt.reqID = req.id
@@ -730,7 +775,7 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	err := p.post(req.dst, pkt)
 	req.completeAt = injected
 	req.err = err
-	if zc {
+	if borrow {
 		// Completion TIME is fixed now; completion ITSELF waits for the
 		// receiver's fence so the sender cannot reuse the buffer while
 		// the borrow is outstanding (a host-correctness gate only —
@@ -742,21 +787,102 @@ func (p *Proc) rndvSendData(req *Request, cts *packet) {
 	p.recordSend(req.dst, n, start, req.completeAt)
 }
 
+// placeRndv performs the RDMA placement write for one rendezvous with
+// at least one non-contiguous (or switched-off) endpoint. Gather-direct
+// on, the sender streams source runs straight into the landing runs —
+// one host memcpy, the intermediate pack image elided. Off, it stages
+// through a packed wire image: gather, place, free — two memcpys, the
+// honest fallback cost. Contiguous-to-contiguous placements never reach
+// here (rndvSendData keeps the original single-copy path for them).
+func (p *Proc) placeRndv(cts *packet, req *Request, n int) {
+	var placed int
+	direct := p.w.ddtDirect
+	if req.sendVec == nil && cts.vec == nil {
+		// Both ends contiguous: the classic placement write.
+		placed = copy(cts.data, req.sendBuf)
+		p.copyStats.count(placed)
+	} else if direct {
+		switch {
+		case req.sendVec != nil && cts.vec != nil:
+			placed = vecCopy(cts.vec, req.sendVec)
+		case req.sendVec != nil:
+			placed = req.sendVec.gatherInto(cts.data)
+		default:
+			placed = cts.vec.scatterFrom(req.sendBuf[:n])
+		}
+		p.copyStats.count(placed)
+		p.copyStats.elide(placed) // the staging copy the fallback would pay
+	} else {
+		tmp := getWire(n)
+		if req.sendVec != nil {
+			req.sendVec.gatherInto(tmp)
+		} else {
+			copy(tmp, req.sendBuf[:n])
+		}
+		p.copyStats.count(n)
+		if cts.vec != nil {
+			placed = cts.vec.scatterFrom(tmp)
+		} else {
+			placed = copy(cts.data, tmp)
+		}
+		p.copyStats.count(placed)
+		putWire(tmp)
+	}
+	p.rdmaStats.Writes++
+	p.rdmaStats.BytesPlaced += int64(placed)
+}
+
+// ddtPackCost is the eager tier's CPU charge for packing (sender) or
+// unpacking (receiver) a non-contiguous payload: DDTPackRun per run
+// boundary beyond the first. Zero for contiguous messages, and
+// identical on both gather-direct settings — the charge is protocol
+// level, the switch is host level.
+func (p *Proc) ddtPackCost(runs int) vtime.Duration {
+	if runs <= 1 {
+		return 0
+	}
+	return p.w.prof.DDTPackRun * vtime.Duration(runs-1)
+}
+
+// ddtUnpackCost is ddtPackCost for a receive's landing layout.
+func (p *Proc) ddtUnpackCost(req *Request) vtime.Duration {
+	if req.recvVec == nil {
+		return 0
+	}
+	return p.ddtPackCost(len(req.recvVec.Runs))
+}
+
 // completeRndvRecv lands the data phase in the user buffer.
 func (p *Proc) completeRndvRecv(req *Request, pkt *packet) {
 	ch := p.channel(pkt.src)
 	total := len(pkt.data)
-	if pkt.rdma && pkt.data == nil {
+	if pkt.vec != nil {
+		total = pkt.vec.N
+	}
+	if pkt.rdma && pkt.data == nil && pkt.vec == nil {
 		// Placement write: the payload is already in the user buffer —
 		// this packet is only the completion notification. nbytes
 		// carries the transfer size for the status.
 		total = pkt.nbytes
 	}
 	n := total
-	if n > len(req.buf) {
-		n = len(req.buf) // error already recorded at RTS time
+	if n > req.recvCap() {
+		n = req.recvCap() // error already recorded at RTS time
 	}
-	if pkt.data != nil {
+	switch {
+	case pkt.vec != nil && req.recvVec != nil:
+		// Gather-direct borrow into a strided landing: the receiver
+		// streams the sender's runs straight into its own — the
+		// transfer's only host copy, on either side.
+		vecCopy(req.recvVec, pkt.vec)
+		p.copyStats.count(n)
+	case pkt.vec != nil:
+		pkt.vec.gatherInto(req.buf[:n])
+		p.copyStats.count(n)
+	case pkt.data != nil && req.recvVec != nil:
+		req.recvVec.scatterFrom(pkt.data[:n])
+		p.copyStats.count(n)
+	case pkt.data != nil:
 		copy(req.buf[:n], pkt.data[:n])
 		p.copyStats.count(n)
 	}

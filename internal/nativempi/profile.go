@@ -208,6 +208,29 @@ type Profile struct {
 	// times, traces, metrics) is computed identically on both settings.
 	RDMAPlacement Switch
 
+	// DDTGatherDirect selects the HOST datapath of a non-contiguous
+	// (derived-datatype) transfer above the eager limit, exactly as
+	// ZeroCopyRndv and RDMAPlacement do for contiguous payloads: on (the
+	// default), a strided rendezvous send borrows the sender's iovec
+	// outright (the receiver scatters straight from the user array) and
+	// a strided RDMA placement gathers from the sender's runs directly
+	// into the receiver's strided landing runs — no intermediate pack
+	// buffer on either side. Off stages the payload through a packed
+	// wire image instead — the framed fallback that fault plans and
+	// fault tolerance always use. The switch governs host data movement
+	// ONLY: every virtual quantity is computed identically on both
+	// settings, which TestDDTZeroCopyDifferential enforces.
+	DDTGatherDirect Switch
+
+	// DDTPackRun is the per-run CPU cost of packing (or unpacking) a
+	// non-contiguous EAGER payload: the eager tier always materialises a
+	// contiguous wire image, and the CPU pays this much for each run
+	// boundary beyond the first — zero for contiguous messages, so
+	// existing clocks are untouched. Rendezvous-tier gathers are
+	// NIC-offloaded and charge nothing per run. Protocol-level (both
+	// datapath settings charge it identically); zero selects 15 ns.
+	DDTPackRun vtime.Duration
+
 	// Pin-down registration-cache economics (MVAPICH2's regcache). The
 	// cache holds up to RegCacheEntries buffer registrations totalling
 	// at most RegCacheBytes; exceeding either evicts the least recently
@@ -378,6 +401,12 @@ func (pr Profile) normalize() Profile {
 	if pr.RDMAStageChunk <= 0 {
 		pr.RDMAStageChunk = 16 << 10
 	}
+	if pr.DDTGatherDirect == SwitchDefault {
+		pr.DDTGatherDirect = SwitchOn
+	}
+	if pr.DDTPackRun <= 0 {
+		pr.DDTPackRun = 15 * vtime.Nanosecond
+	}
 	if pr.SelectBcast == nil {
 		pr.SelectBcast = func(nbytes, p int) BcastAlg {
 			if p >= 256 {
@@ -485,6 +514,13 @@ func (pr Profile) Validate() error {
 	if pr.InjectEndpoints > 1 && pr.ThreadLevel >= ThreadSingle && pr.ThreadLevel < ThreadMultiple {
 		return fmt.Errorf("profile %q: InjectEndpoints %d needs ThreadLevel MULTIPLE (got %v); below it at most one thread injects at a time",
 			pr.Name, pr.InjectEndpoints, pr.ThreadLevel)
+	}
+	if pr.DDTPackRun < 0 {
+		return fmt.Errorf("profile %q: DDTPackRun %v is negative (0 selects the default)", pr.Name, pr.DDTPackRun)
+	}
+	if pr.DDTGatherDirect < SwitchDefault || pr.DDTGatherDirect > SwitchOff {
+		return fmt.Errorf("profile %q: DDTGatherDirect %d is not a Switch value (valid: %d..%d)",
+			pr.Name, pr.DDTGatherDirect, SwitchDefault, SwitchOff)
 	}
 	return nil
 }

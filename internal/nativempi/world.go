@@ -50,6 +50,12 @@ type World struct {
 	rdmaProto bool
 	rdmaPlace bool
 
+	// ddtDirect caches the host-only gather-direct switch for
+	// non-contiguous (derived-datatype) payloads (see Profile.
+	// DDTGatherDirect): off stages strided rendezvous and placement
+	// traffic through a packed wire image instead.
+	ddtDirect bool
+
 	// Fault-tolerance state (see ft.go). ft selects the ULFM-style
 	// policy: a rank crash becomes a survivable event instead of a job
 	// abort. deathAt is the global failure registry (virtual death
@@ -77,6 +83,7 @@ func NewWorld(topo *cluster.Topology, fab *fabric.Fabric, prof Profile) *World {
 	w.flowOn = w.prof.EagerCredits > 0
 	w.rdmaProto = w.prof.RDMAThreshold > 0 && fab.Faults() == nil
 	w.rdmaPlace = w.prof.RDMAPlacement == SwitchOn
+	w.ddtDirect = w.prof.DDTGatherDirect == SwitchOn
 	w.nextCtx.Store(2)
 	w.procs = make([]*Proc, topo.Size())
 	for r := range w.procs {

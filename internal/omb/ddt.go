@@ -1,0 +1,231 @@
+package omb
+
+import (
+	"fmt"
+
+	"mv2j/internal/core"
+	"mv2j/internal/jvm"
+	"mv2j/internal/vtime"
+)
+
+// Derived-datatype ping-pong suites: the non-contiguous counterpart of
+// osu_latency, after OMB's osu_latency_dt. All three variants move the
+// same wire bytes between ranks 0 and 1; what differs is who flattens
+// the strided layout and how many times the payload crosses host
+// memory:
+//
+//   - ddt-pack:   committed TypeVector arrays handed straight to
+//     Send/Recv — the typed pack engine on the eager tier, the iovec
+//     gather/scatter elision above it (zero intermediate pack buffer);
+//   - ddt-manual: the application packs with MPI.Pack into a direct
+//     ByteBuffer, ships it as BYTE, and unpacks on the receiver — the
+//     portable pre-DDT idiom the pack engine exists to beat;
+//   - ddt-contig: a contiguous array of the same wire bytes — the
+//     density-1.0 baseline that prices the striding itself.
+//
+// The layout is a 50%-dense column pattern: blocks of 16 ints every 32
+// ints, so a message of S wire bytes spans ~2S bytes of user array.
+// These are array-path benchmarks by construction (derived types pack
+// from Java arrays); cfg.Mode is ignored.
+
+const (
+	ddtBlockInts  = 16 // ints per dense block
+	ddtStrideInts = 32 // ints from block start to block start
+	ddtIntBytes   = 4
+	// ddtChunkBytes is the wire bytes one vector block carries; sweep
+	// sizes below this are skipped.
+	ddtChunkBytes = ddtBlockInts * ddtIntBytes
+)
+
+// ddtExtentInts returns the array footprint, in ints, of a vector
+// covering `blocks` dense blocks.
+func ddtExtentInts(blocks int) int {
+	return (blocks-1)*ddtStrideInts + ddtBlockInts
+}
+
+// ddtFill writes a per-iteration pattern into the dense blocks of arr;
+// gaps are left alone (the receive path must preserve them).
+func ddtFill(arr jvm.Array, blocks, seed int) {
+	for b := 0; b < blocks; b++ {
+		base := b * ddtStrideInts
+		for i := 0; i < ddtBlockInts; i++ {
+			arr.SetInt(base+i, int64(seed+b*ddtBlockInts+i))
+		}
+	}
+}
+
+// ddtVerify checks the pattern ddtFill wrote.
+func ddtVerify(arr jvm.Array, blocks, seed int) error {
+	for b := 0; b < blocks; b++ {
+		base := b * ddtStrideInts
+		for i := 0; i < ddtBlockInts; i++ {
+			want := int64(seed + b*ddtBlockInts + i)
+			if got := arr.Int(base + i); got != want {
+				return fmt.Errorf("omb: ddt validation failed at block %d int %d: %d != %d", b, i, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// DDTLatency runs one of the derived-datatype ping-pong variants
+// ("ddt-pack", "ddt-manual", "ddt-contig"). Sizes are wire bytes;
+// sizes that do not fit a whole vector block are skipped.
+func DDTLatency(variant string, cfg Config) ([]Result, error) {
+	switch variant {
+	case "ddt-pack", "ddt-manual", "ddt-contig":
+	default:
+		return nil, fmt.Errorf("omb: unknown ddt benchmark %q", variant)
+	}
+	// The strided user arrays span ~2x the wire bytes, and ddt-manual
+	// adds a wire-sized pack buffer per side.
+	sizeJVM(&cfg.Core, 2*cfg.Opts.MaxSize)
+	sink := &resultSink{}
+	err := core.Run(cfg.Core, func(m *core.MPI) error {
+		c := m.CommWorld()
+		if c.Size() < 2 {
+			return fmt.Errorf("omb: %s needs at least 2 ranks", variant)
+		}
+		me := c.Rank()
+		maxBlocks := cfg.Opts.MaxSize / ddtChunkBytes
+		if maxBlocks < 1 {
+			return fmt.Errorf("omb: %s needs MaxSize >= %d bytes", variant, ddtChunkBytes)
+		}
+		var sarr, rarr jvm.Array
+		var spack, rpack *jvm.ByteBuffer
+		if me <= 1 {
+			ints := ddtExtentInts(maxBlocks)
+			if variant == "ddt-contig" {
+				ints = cfg.Opts.MaxSize / ddtIntBytes
+			}
+			var err error
+			if sarr, err = m.JVM().NewArray(jvm.Int, ints); err != nil {
+				return err
+			}
+			if rarr, err = m.JVM().NewArray(jvm.Int, ints); err != nil {
+				return err
+			}
+			if variant == "ddt-manual" {
+				if spack, err = m.JVM().AllocateDirect(cfg.Opts.MaxSize); err != nil {
+					return err
+				}
+				if rpack, err = m.JVM().AllocateDirect(cfg.Opts.MaxSize); err != nil {
+					return err
+				}
+			}
+		}
+		for _, size := range cfg.Opts.Sizes() {
+			blocks := size / ddtChunkBytes
+			if blocks < 1 || blocks > maxBlocks {
+				continue
+			}
+			iters, warm := cfg.Opts.itersFor(size)
+			if me <= 1 {
+				dtv := core.TypeVector(core.INT, blocks, ddtBlockInts, ddtStrideInts)
+				if variant != "ddt-contig" {
+					dtv.Commit()
+				}
+				send := func(iter int) error {
+					switch variant {
+					case "ddt-pack":
+						return c.Send(sarr, 1, dtv, 1-me, tagData)
+					case "ddt-manual":
+						spack.Clear()
+						if err := m.Pack(sarr, 0, 1, dtv, spack); err != nil {
+							return err
+						}
+						spack.Flip()
+						return c.Send(spack, size, core.BYTE, 1-me, tagData)
+					default: // ddt-contig
+						return c.Send(sarr, size/ddtIntBytes, core.INT, 1-me, tagData)
+					}
+				}
+				recv := func(iter int) error {
+					switch variant {
+					case "ddt-pack":
+						_, err := c.Recv(rarr, 1, dtv, 1-me, tagData)
+						return err
+					case "ddt-manual":
+						rpack.Clear()
+						if _, err := c.Recv(rpack, size, core.BYTE, 1-me, tagData); err != nil {
+							return err
+						}
+						return m.Unpack(rpack, rarr, 0, 1, dtv)
+					default:
+						_, err := c.Recv(rarr, size/ddtIntBytes, core.INT, 1-me, tagData)
+						return err
+					}
+				}
+				verify := func(iter int) error {
+					if !cfg.Opts.Validate {
+						return nil
+					}
+					if variant == "ddt-contig" {
+						for i, n := 0, size/ddtIntBytes; i < n; i++ {
+							if got := rarr.Int(i); got != int64(iter+i) {
+								return fmt.Errorf("omb: ddt-contig validation failed at %d", i)
+							}
+						}
+						return nil
+					}
+					return ddtVerify(rarr, blocks, iter)
+				}
+				populate := func(iter int) {
+					if !cfg.Opts.Validate {
+						return
+					}
+					if variant == "ddt-contig" {
+						for i, n := 0, size/ddtIntBytes; i < n; i++ {
+							sarr.SetInt(i, int64(iter+i))
+						}
+						return
+					}
+					ddtFill(sarr, blocks, iter)
+				}
+				var sw vtime.Stopwatch
+				for i := -warm; i < iters; i++ {
+					if i == 0 {
+						sw = vtime.StartStopwatch(m.Clock())
+					}
+					if me == 0 {
+						populate(i)
+						if err := send(i); err != nil {
+							return err
+						}
+						if err := recv(i); err != nil {
+							return err
+						}
+						if err := verify(i); err != nil {
+							return err
+						}
+					} else {
+						if err := recv(i); err != nil {
+							return err
+						}
+						if err := verify(i); err != nil {
+							return err
+						}
+						populate(i)
+						if err := send(i); err != nil {
+							return err
+						}
+					}
+				}
+				if variant != "ddt-contig" {
+					dtv.Free()
+				}
+				if me == 0 {
+					sink.add(Result{Size: size, LatencyUs: avgLatencyUs(sw.Elapsed(), 2*iters)})
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sink.sorted(), nil
+}

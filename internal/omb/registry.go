@@ -8,7 +8,8 @@ import (
 // Benchmarks returns the names RunBenchmark accepts, sorted.
 func Benchmarks() []string {
 	names := []string{"latency", "bw", "bibw", "barrier", "put", "get", "acc", "mbw", "mr",
-		"mr-overload", "mr-mt", "kvservice", "ibcast", "iallreduce", "ibarrier"}
+		"mr-overload", "mr-mt", "kvservice", "ibcast", "iallreduce", "ibarrier",
+		"ddt-pack", "ddt-manual", "ddt-contig"}
 	for name := range collCases() {
 		names = append(names, name)
 	}
@@ -42,6 +43,8 @@ func RunBenchmark(name string, cfg Config) ([]Result, error) {
 		return KVService(cfg)
 	case "ibcast", "iallreduce", "ibarrier":
 		return NonBlockingLatency(name, cfg)
+	case "ddt-pack", "ddt-manual", "ddt-contig":
+		return DDTLatency(name, cfg)
 	default:
 		if _, ok := collCases()[name]; ok {
 			if cfg.Opts.FT {
